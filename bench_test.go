@@ -1,0 +1,453 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index), plus ablation
+// and substrate micro-benchmarks. The expensive shared workloads (the
+// survey dataset and the Zmap scans) are built once per process by the
+// shared lab; each benchmark then regenerates its experiment's data per
+// iteration.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package timeouts
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"timeouts/internal/core"
+	"timeouts/internal/experiments"
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/ipmeta"
+	"timeouts/internal/netmodel"
+	"timeouts/internal/outage"
+	"timeouts/internal/scamper"
+	"timeouts/internal/simnet"
+	"timeouts/internal/stats"
+	"timeouts/internal/survey"
+	"timeouts/internal/wire"
+	"timeouts/internal/zmapper"
+)
+
+var (
+	labOnce  sync.Once
+	benchLab *experiments.Lab
+)
+
+// lab returns the shared Quick-scale lab, building its survey and scans on
+// first use so individual benchmarks time only their own analysis.
+func lab(b *testing.B) *experiments.Lab {
+	labOnce.Do(func() {
+		benchLab = experiments.NewLab(experiments.Quick)
+		benchLab.Survey()
+		benchLab.Match()
+		benchLab.Quantiles()
+		benchLab.Scans(benchLab.Scale.ZmapScans)
+	})
+	return benchLab
+}
+
+// --- one benchmark per paper table/figure ---
+
+func BenchmarkFig1SurveyDetectedCDF(b *testing.B) {
+	m := lab(b).Match()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := core.PerAddressQuantiles(m.SurveyDetected())
+		core.PercentileCDF(q, 200)
+	}
+}
+
+func BenchmarkFig2BroadcastLastOctets(b *testing.B) {
+	sc := lab(b).Scans(1)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Broadcast()
+	}
+}
+
+func BenchmarkFig3UnmatchedLastOctets(b *testing.B) {
+	recs, _ := lab(b).Survey()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.UnmatchedLastOctets(recs)
+	}
+}
+
+func BenchmarkFig4FalseMatchScenario(b *testing.B) {
+	l := lab(b)
+	l.Fig4()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Fig4()
+	}
+}
+
+func BenchmarkFig5DuplicateCCDF(b *testing.B) {
+	m := lab(b).Match()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DuplicateCCDF()
+	}
+}
+
+func BenchmarkTable1MatchingPipeline(b *testing.B) {
+	l := lab(b)
+	recs, _ := l.Survey()
+	opt := core.MatchOptionsForCycles(l.Scale.SurveyCycles)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.Match(recs, opt)
+		res.BuildTable1()
+	}
+}
+
+func BenchmarkFig6FilteringEffect(b *testing.B) {
+	m := lab(b).Match()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.PerAddressQuantiles(m.Samples(false))
+		core.PerAddressQuantiles(m.Samples(true))
+	}
+}
+
+func BenchmarkTable2TimeoutMatrix(b *testing.B) {
+	q := lab(b).Quantiles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.TimeoutMatrix(q)
+		if m.At(95, 95) <= 0 {
+			b.Fatal("degenerate matrix")
+		}
+	}
+}
+
+func BenchmarkTable3ZmapScans(b *testing.B) {
+	// Workload benchmark: one full stateless scan of a 96-block population
+	// per iteration.
+	for i := 0; i < b.N; i++ {
+		pop := netmodel.New(netmodel.Config{Seed: 42, Blocks: 96})
+		model := netmodel.NewModel(pop)
+		src := ipaddr.MustParse("240.0.2.1")
+		model.AddVantage(src, ipmeta.NorthAmerica)
+		sched := &simnet.Scheduler{}
+		net := simnet.NewNetwork(sched, model)
+		sc, err := zmapper.Run(net, zmapper.Config{
+			Src: src, Continent: ipmeta.NorthAmerica,
+			TargetN: pop.NumAddrs(), TargetAt: pop.AddrAt,
+			Duration: 10 * time.Minute, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sc.ProbesSent == 0 {
+			b.Fatal("no probes")
+		}
+	}
+}
+
+func BenchmarkFig7ZmapRTTCDF(b *testing.B) {
+	scans := lab(b).Scans(lab(b).Scale.ZmapScans)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sc := range scans {
+			rtts := sc.RTTPercentiles()
+			stats.FracAbove(rtts, time.Second)
+			stats.FracAbove(rtts, 75*time.Second)
+		}
+	}
+}
+
+func BenchmarkFig8ScamperConfirm(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Fig8()
+	}
+}
+
+func BenchmarkFig9SurveyTimeSeries(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		l.Fig9()
+	}
+}
+
+func BenchmarkFig10ProtocolComparison(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Fig10()
+	}
+}
+
+func BenchmarkFig11SatelliteScatter(b *testing.B) {
+	l := lab(b)
+	q := l.Quantiles()
+	db := l.DB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := core.SatelliteScatter(q, db, 300*time.Millisecond)
+		core.SummarizeSatellites(pts)
+	}
+}
+
+func benchScans(b *testing.B) ([]map[ipaddr.Addr]time.Duration, *ipmeta.DB) {
+	l := lab(b)
+	scans := l.Scans(3)
+	out := make([]map[ipaddr.Addr]time.Duration, len(scans))
+	for i, sc := range scans {
+		out[i] = sc.SelfResponses()
+	}
+	return out, l.DB()
+}
+
+func BenchmarkTable4TurtleASes(b *testing.B) {
+	scans, db := benchScans(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RankASes(scans, db, core.TurtleThreshold, 10)
+	}
+}
+
+func BenchmarkTable5TurtleContinents(b *testing.B) {
+	scans, db := benchScans(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RankContinents(scans, db, core.TurtleThreshold)
+	}
+}
+
+func BenchmarkTable6SleepyTurtleASes(b *testing.B) {
+	scans, db := benchScans(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RankASes(scans, db, core.SleepyTurtleThreshold, 10)
+	}
+}
+
+func BenchmarkFig12FirstPingDelta(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		l.Fig12()
+	}
+}
+
+func BenchmarkFig13WakeupDuration(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		l.Fig13()
+	}
+}
+
+func BenchmarkFig14PrefixClustering(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		l.Fig14()
+	}
+}
+
+func BenchmarkTable7HighLatencyPatterns(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		l.Tab7()
+	}
+}
+
+func BenchmarkRec60TimeoutCoverage(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		l.Rec60()
+	}
+}
+
+func BenchmarkOutageFalseLossSweep(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		l.Outage()
+	}
+}
+
+// --- ablation benchmarks (DESIGN.md §6) ---
+
+func BenchmarkAblationBroadcastFilterAlpha(b *testing.B) {
+	l := lab(b)
+	recs, _ := l.Survey()
+	base := core.MatchOptionsForCycles(l.Scale.SurveyCycles)
+	for i := 0; i < b.N; i++ {
+		for _, alpha := range []float64{0.005, 0.01, 0.05} {
+			opt := base
+			opt.BroadcastAlpha = alpha
+			core.Match(recs, opt)
+		}
+	}
+}
+
+func BenchmarkAblationDuplicateThreshold(b *testing.B) {
+	l := lab(b)
+	recs, _ := l.Survey()
+	for i := 0; i < b.N; i++ {
+		for _, maxDup := range []int{2, 4, 16} {
+			opt := core.MatchOptionsForCycles(l.Scale.SurveyCycles)
+			opt.DuplicateMax = maxDup
+			core.Match(recs, opt)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkWireEncodeEcho(b *testing.B) {
+	src, dst := ipaddr.MustParse("240.0.0.1"), ipaddr.MustParse("1.2.3.4")
+	echo := &wire.ICMPEcho{Type: wire.ICMPTypeEchoRequest, ID: 1, Seq: 2, Payload: make([]byte, 16)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire.EncodeEcho(src, dst, echo)
+	}
+}
+
+func BenchmarkWireDecodeEcho(b *testing.B) {
+	src, dst := ipaddr.MustParse("240.0.0.1"), ipaddr.MustParse("1.2.3.4")
+	pkt := wire.EncodeEcho(src, dst, &wire.ICMPEcho{Type: wire.ICMPTypeEchoRequest, ID: 1, Seq: 2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Decode(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelRespond(b *testing.B) {
+	pop := netmodel.New(netmodel.Config{Seed: 42, Blocks: 64})
+	model := netmodel.NewModel(pop)
+	src := ipaddr.MustParse("240.0.0.1")
+	model.AddVantage(src, ipmeta.NorthAmerica)
+	pkt := wire.EncodeEcho(src, pop.AddrAt(1000), &wire.ICMPEcho{Type: wire.ICMPTypeEchoRequest, ID: 1, Seq: 2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		model.Respond(src, simnet.Time(i)*simnet.Time(time.Second), pkt)
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	var s simnet.Scheduler
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.At(simnet.Time(i), func() {})
+		if i%1024 == 1023 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+func BenchmarkSurveyWorkload(b *testing.B) {
+	// One 32-block, 2-cycle survey per iteration: the full prober loop
+	// including matching, sweeps and record generation.
+	for i := 0; i < b.N; i++ {
+		pop := netmodel.New(netmodel.Config{Seed: 42, Blocks: 32})
+		model := netmodel.NewModel(pop)
+		model.AddVantage(survey.VantageW.Addr, survey.VantageW.Continent)
+		sched := &simnet.Scheduler{}
+		net := simnet.NewNetwork(sched, model)
+		var mem survey.MemWriter
+		if _, err := survey.Run(net, survey.Config{
+			Vantage: survey.VantageW, Blocks: pop.Blocks(), Cycles: 2, Seed: 42,
+		}, &mem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPermutation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := zmapper.NewPermutation(1<<16, uint64(i))
+		for {
+			if _, ok := p.Next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkAblationTimeoutSweep(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		l.AblTimeout()
+	}
+}
+
+func BenchmarkAblationSampleDepth(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		l.AblScale()
+	}
+}
+
+func BenchmarkAblationVantageConsistency(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		l.AblVantage()
+	}
+}
+
+func BenchmarkStreamingAggregation(b *testing.B) {
+	l := lab(b)
+	recs, _ := l.Survey()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.StreamAggregate(core.NewSliceSource(recs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrinocularBeliefMonitor(b *testing.B) {
+	pop := netmodel.New(netmodel.Config{Seed: 42, Blocks: 64})
+	var blocks []outage.TrinocularBlock
+	hist := make(map[ipaddr.Addr]struct{ Answered, Probes int })
+	for i := 0; i < pop.NumAddrs() && len(hist) < 300; i++ {
+		p := pop.Profile(pop.AddrAt(i))
+		if p.Responsive && p.JoinTime == 0 {
+			hist[p.Addr] = struct{ Answered, Probes int }{Answered: 9, Probes: 10}
+		}
+	}
+	blocks = outage.BuildTrinocularBlocks(hist)
+	src := ipaddr.MustParse("240.0.4.1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model := netmodel.NewModel(pop)
+		model.AddVantage(src, ipmeta.NorthAmerica)
+		sched := &simnet.Scheduler{}
+		net := simnet.NewNetwork(sched, model)
+		outage.MonitorTrinocular(net, outage.TrinocularConfig{Src: src, Rounds: 3}, blocks)
+	}
+}
+
+func BenchmarkTraceroute(b *testing.B) {
+	pop := netmodel.New(netmodel.Config{Seed: 42, Blocks: 64})
+	src := ipaddr.MustParse("240.0.3.1")
+	var dst ipaddr.Addr
+	for i := 0; i < pop.NumAddrs(); i++ {
+		p := pop.Profile(pop.AddrAt(i))
+		if p.Responsive && p.JoinTime == 0 {
+			dst = p.Addr
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model := netmodel.NewModel(pop)
+		model.AddVantage(src, ipmeta.NorthAmerica)
+		sched := &simnet.Scheduler{}
+		net := simnet.NewNetwork(sched, model)
+		pr := scamper.New(net, src, ipmeta.NorthAmerica)
+		pr.ScheduleTraceroute(dst, 0, 30, 100*time.Millisecond)
+		sched.Run()
+		if pr.ReachedHop(dst) == 0 {
+			b.Fatal("traceroute never reached")
+		}
+		pr.Close()
+	}
+}

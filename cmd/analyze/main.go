@@ -1,0 +1,117 @@
+// Command analyze runs the paper's analysis pipeline over a survey dataset
+// written by cmd/surveyor: delayed-response matching, broadcast and
+// duplicate filtering, and the minimum-timeout matrix (Table 2).
+//
+// Usage:
+//
+//	analyze survey.tosv [-cycles N] [-naive]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"timeouts/internal/core"
+	"timeouts/internal/survey"
+)
+
+// readAnyFormat sniffs the dataset format (fixed binary, compact, or CSV)
+// and loads the records.
+func readAnyFormat(f io.Reader) ([]survey.Record, survey.Header, error) {
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, survey.Header{}, fmt.Errorf("reading dataset: %w", err)
+	}
+	switch string(magic) {
+	case "TOSV":
+		r, err := survey.NewReader(br)
+		if err != nil {
+			return nil, survey.Header{}, err
+		}
+		recs, err := r.ReadAll()
+		return recs, r.Header(), err
+	case "TOSC":
+		r, err := survey.NewCompactReader(br)
+		if err != nil {
+			return nil, survey.Header{}, err
+		}
+		recs, err := r.ReadAll()
+		return recs, r.Header(), err
+	case "type":
+		recs, err := survey.ReadCSV(br)
+		return recs, survey.Header{Vantage: '?'}, err
+	default:
+		return nil, survey.Header{}, survey.ErrBadFormat
+	}
+}
+
+func main() {
+	var (
+		cycles = flag.Int("cycles", 0, "survey rounds (tunes the broadcast filter threshold; 0 = paper defaults)")
+		naive  = flag.Bool("naive", false, "skip filtering (the paper's 'naive matching')")
+		stream = flag.Bool("stream", false, "bounded-memory streaming aggregation (survey-detected view only)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: analyze [flags] survey.tosv")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	recs, hdr, err := readAnyFormat(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset: %d records, vantage %c, seed %d\n", len(recs), hdr.Vantage, hdr.Seed)
+
+	if *stream {
+		q, err := core.StreamAggregate(core.NewSliceSource(recs))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		matrix := core.TimeoutMatrix(q)
+		fmt.Printf("\nTable 2 (streaming, survey-detected only, %d addresses):\n%s",
+			len(q), matrix.FormatSeconds())
+		return
+	}
+
+	opt := core.Options{}
+	if *cycles > 0 {
+		opt = core.MatchOptionsForCycles(*cycles)
+	}
+	res := core.Match(recs, opt)
+
+	t1 := res.BuildTable1()
+	fmt.Printf("\nTable 1 — matching and filtering:\n%s", t1.Format())
+
+	samples := res.Samples(!*naive)
+	q := core.PerAddressQuantiles(samples)
+	matrix := core.TimeoutMatrix(q)
+	mode := "filtered"
+	if *naive {
+		mode = "naive"
+	}
+	fmt.Printf("\nTable 2 — minimum timeout matrix (%s, %d addresses):\n%s",
+		mode, len(q), matrix.FormatSeconds())
+
+	fmt.Printf("\nheadline: %.1f%% of addresses see >5%% of pings exceed 5s; 98/98 needs %s; 99/99 needs %s\n",
+		100*core.FracAddrsAbove(q, 95, 5*time.Second),
+		matrix.At(98, 98).Round(time.Second), matrix.At(99, 99).Round(time.Second))
+
+	if !*naive {
+		bc := res.BroadcastResponders()
+		dup := res.DuplicateResponders()
+		fmt.Printf("filtered: %d broadcast responders, %d duplicate responders\n", len(bc), len(dup))
+	}
+}

@@ -1,0 +1,86 @@
+// Command reproduce regenerates the tables and figures of "Timeouts: Beware
+// Surprisingly High Delay" (IMC 2015) against the synthetic population,
+// printing each one next to the paper's reference numbers.
+//
+// Usage:
+//
+//	reproduce [-scale quick|default|full] [-exp id[,id...]] [-list] [-seed N]
+//
+// Without -exp, every experiment in the registry runs in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"timeouts/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "quick", "workload scale: quick, default, or full")
+		expList   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		seed      = flag.Uint64("seed", 0, "override the population seed")
+		dataDir   = flag.String("data", "", "also export the figures' plottable series as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-11s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick
+	case "default":
+		scale = experiments.Default
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "reproduce: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	var entries []experiments.Entry
+	if *expList == "" {
+		entries = experiments.Registry
+	} else {
+		for _, id := range strings.Split(*expList, ",") {
+			e, ok := experiments.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "reproduce: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	lab := experiments.NewLab(scale)
+	start := time.Now()
+	for _, e := range entries {
+		t0 := time.Now()
+		rep := e.Run(lab)
+		fmt.Println(rep.Format())
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	if *dataDir != "" {
+		if err := lab.ExportData(*dataDir); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce: exporting data:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("figure data series written to %s\n", *dataDir)
+	}
+	fmt.Printf("all %d experiments completed in %v (scale %s, seed %d)\n",
+		len(entries), time.Since(start).Round(time.Millisecond), *scaleName, scale.Seed)
+}

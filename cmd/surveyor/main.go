@@ -1,0 +1,121 @@
+// Command surveyor runs an ISI-style survey against a synthetic population
+// and writes the dataset in the binary record format, ready for cmd/analyze.
+//
+// Usage:
+//
+//	surveyor -o survey.tosv [-blocks 512] [-cycles 24] [-seed 42]
+//	         [-vantage w|c|j|g] [-interval 11m] [-timeout 3s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"timeouts/internal/netmodel"
+	"timeouts/internal/simnet"
+	"timeouts/internal/survey"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "survey.tosv", "output dataset path")
+		blocks   = flag.Int("blocks", 512, "population size in /24 blocks")
+		cycles   = flag.Int("cycles", 24, "probing rounds (11 minutes each)")
+		seed     = flag.Uint64("seed", 42, "population seed")
+		vantage  = flag.String("vantage", "w", "vantage point: w, c, j or g")
+		interval = flag.Duration("interval", 11*time.Minute, "probing interval")
+		timeout  = flag.Duration("timeout", 3*time.Second, "matcher timeout")
+		format   = flag.String("format", "tosv", "output format: tosv (fixed binary), compact (varint), or csv")
+		catalog  = flag.String("catalog", "", "JSON AS-catalog file (default: built-in catalog)")
+	)
+	flag.Parse()
+
+	var vp survey.Vantage
+	found := false
+	for _, v := range survey.Vantages {
+		if string(v.Name) == *vantage {
+			vp, found = v, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "surveyor: unknown vantage %q\n", *vantage)
+		os.Exit(2)
+	}
+
+	var specs []netmodel.ASSpec
+	if *catalog != "" {
+		cf, err := os.Open(*catalog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		specs, err = netmodel.ReadCatalog(cf)
+		cf.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	pop := netmodel.New(netmodel.Config{Seed: *seed, Blocks: *blocks, Catalog: specs})
+	model := netmodel.NewModel(pop)
+	model.AddVantage(vp.Addr, vp.Continent)
+	sched := &simnet.Scheduler{}
+	net := simnet.NewNetwork(sched, model)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "surveyor:", err)
+		os.Exit(1)
+	}
+	hdr := survey.Header{Seed: *seed, Vantage: vp.Name}
+	var (
+		sink    survey.RecordWriter
+		csvRecs *survey.MemWriter
+		records func() uint64
+	)
+	switch *format {
+	case "tosv":
+		w := survey.NewWriter(f, hdr)
+		sink, records = w, w.Count
+	case "compact":
+		w := survey.NewCompactWriter(f, hdr)
+		sink, records = w, w.Count
+	case "csv":
+		csvRecs = &survey.MemWriter{}
+		sink = csvRecs
+		records = func() uint64 { return uint64(len(csvRecs.Records)) }
+	default:
+		fmt.Fprintf(os.Stderr, "surveyor: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	start := time.Now()
+	st, err := survey.Run(net, survey.Config{
+		Vantage:  vp,
+		Blocks:   pop.Blocks(),
+		Interval: *interval,
+		Cycles:   *cycles,
+		Timeout:  *timeout,
+		Seed:     *seed,
+	}, sink)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "surveyor:", err)
+		os.Exit(1)
+	}
+	if csvRecs != nil {
+		if err := survey.WriteCSV(f, csvRecs.Records); err != nil {
+			fmt.Fprintln(os.Stderr, "surveyor:", err)
+			os.Exit(1)
+		}
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "surveyor:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("surveyed %d blocks x %d cycles from %c in %v\n",
+		*blocks, *cycles, vp.Name, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("probes=%d matched=%d (%.1f%%) timeouts=%d unmatched=%d errors=%d\n",
+		st.Probes, st.Matched, 100*st.ResponseRate(), st.Timeouts, st.Unmatched, st.Errors)
+	fmt.Printf("dataset: %s (%d records, %s format)\n", *out, records(), *format)
+}

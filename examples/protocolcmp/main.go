@@ -1,0 +1,123 @@
+// Protocol comparison (§5.3 / Figure 10): are the extreme latencies an
+// artifact of ICMP deprioritization? The paper answered by probing the same
+// high-latency hosts with ICMP echo, UDP (drawing port-unreachable errors)
+// and bare TCP ACKs (drawing RSTs), 20 minutes apart, three probes each —
+// and found all protocols treated the same, apart from connection-tracking
+// firewalls answering TCP instantly on their hosts' behalf.
+//
+//	go run ./examples/protocolcmp
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"timeouts/internal/core"
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/ipmeta"
+	"timeouts/internal/netmodel"
+	"timeouts/internal/scamper"
+	"timeouts/internal/simnet"
+	"timeouts/internal/stats"
+)
+
+func main() {
+	pop := netmodel.New(netmodel.Config{Seed: 5, Blocks: 384})
+	model := netmodel.NewModel(pop)
+	src := ipaddr.MustParse("240.0.3.1")
+	model.AddVantage(src, ipmeta.NorthAmerica)
+	sched := &simnet.Scheduler{}
+	net := simnet.NewNetwork(sched, model)
+	pr := scamper.New(net, src, ipmeta.NorthAmerica)
+	defer pr.Close()
+
+	// High-latency candidates: cellular and congested hosts. The paper's
+	// sample also swept in whole /24s that sit behind connection-tracking
+	// firewalls — those are what produce the fast TCP-RST cluster — so add
+	// hosts from firewalled blocks too.
+	var targets []ipaddr.Addr
+	for i := 0; i < pop.NumAddrs() && len(targets) < 400; i++ {
+		p := pop.Profile(pop.AddrAt(i))
+		if p.Responsive && p.JoinTime == 0 &&
+			(p.Class == netmodel.ClassCellular || p.Class == netmodel.ClassCongested) {
+			targets = append(targets, p.Addr)
+		}
+	}
+	fw := 0
+	for _, b := range pop.Blocks() {
+		if fw >= 60 {
+			break
+		}
+		if !pop.BlockProfile(b).FirewallTCPRST {
+			continue
+		}
+		for o := 0; o < 256 && fw < 60; o++ {
+			p := pop.Profile(b.Addr(byte(o)))
+			if p.Responsive && p.JoinTime == 0 {
+				targets = append(targets, p.Addr)
+				fw++
+			}
+		}
+	}
+	fmt.Printf("probing %d high-latency hosts: 3 ICMP, +20min 3 UDP, +20min 3 TCP ACK\n\n", len(targets))
+
+	const gap = 20 * time.Minute
+	for i, a := range targets {
+		t0 := simnet.Time(i) * 100 * time.Millisecond
+		pr.SchedulePing(a, scamper.ICMP, t0, 3, time.Second)
+		pr.SchedulePing(a, scamper.UDP, t0+gap, 3, time.Second)
+		pr.SchedulePing(a, scamper.TCP, t0+2*gap, 3, time.Second)
+	}
+	sched.Run()
+
+	// Identify firewall-forged RSTs by the paper's signature: every TCP
+	// reply from the /24 carries one identical TTL and arrives fast.
+	var tcpReplies []core.TCPReply
+	for _, r := range pr.Results() {
+		if r.Proto == scamper.TCP && r.Responded {
+			tcpReplies = append(tcpReplies, core.TCPReply{Addr: r.Dst, RTT: r.RTT, TTL: r.ReplyTTL})
+		}
+	}
+	verdicts := core.DetectFirewalls(tcpReplies, 3, time.Second)
+
+	type agg struct{ seq0, rest []time.Duration }
+	byProto := map[scamper.Proto]*agg{scamper.ICMP: {}, scamper.UDP: {}, scamper.TCP: {}}
+	var firewall []time.Duration
+	for _, r := range pr.Results() {
+		if !r.Responded {
+			continue
+		}
+		if r.Proto == scamper.TCP && verdicts[r.Dst.Prefix()].Firewall {
+			firewall = append(firewall, r.RTT) // forged RST, not the host
+			continue
+		}
+		a := byProto[r.Proto]
+		if r.Seq == 0 {
+			a.seq0 = append(a.seq0, r.RTT)
+		} else {
+			a.rest = append(a.rest, r.RTT)
+		}
+	}
+
+	pct := func(v []time.Duration, p float64) time.Duration {
+		if len(v) == 0 {
+			return 0
+		}
+		stats.SortDurations(v)
+		return stats.Percentile(v, p)
+	}
+	fmt.Printf("%-6s %12s %12s %12s %12s %8s\n", "proto", "seq0 p50", "seq0 p90", "rest p50", "rest p90", "n")
+	for _, proto := range []scamper.Proto{scamper.ICMP, scamper.UDP, scamper.TCP} {
+		a := byProto[proto]
+		fmt.Printf("%-6s %12v %12v %12v %12v %8d\n", proto,
+			pct(a.seq0, 50).Round(time.Millisecond), pct(a.seq0, 90).Round(time.Millisecond),
+			pct(a.rest, 50).Round(time.Millisecond), pct(a.rest, 90).Round(time.Millisecond),
+			len(a.seq0)+len(a.rest))
+	}
+	fmt.Printf("\nfirewall-forged TCP RSTs (one TTL per /24, fast): %d, median %v\n",
+		len(firewall), pct(firewall, 50).Round(time.Millisecond))
+	fmt.Println("\nfindings, as in the paper:")
+	fmt.Println(" - the three protocols see the same latency distribution (no ICMP penalty);")
+	fmt.Println(" - the FIRST probe of each triplet is slower in every protocol (radio wake-up);")
+	fmt.Println(" - the fast TCP cluster is firewalls answering for their networks, not hosts.")
+}

@@ -1,0 +1,3 @@
+module timeouts
+
+go 1.22

@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"timeouts/internal/core"
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/survey"
+)
+
+func ExampleMatch() {
+	// A probe to 1.0.0.10 timed out at t=0; 17 seconds later an echo
+	// response arrived from the same address. The paper's matching
+	// recovers the 17 s latency sample the prober's timeout discarded.
+	addr := ipaddr.MustParse("1.0.0.10")
+	records := []survey.Record{
+		{Type: survey.RecTimeout, Addr: addr, When: 0},
+		{Type: survey.RecUnmatched, Addr: addr, When: 17 * time.Second, RTT: 1},
+		{Type: survey.RecMatched, Addr: addr, When: 660 * time.Second, RTT: 150 * time.Millisecond},
+	}
+	res := core.Match(records, core.Options{})
+	ar := res.Addr[addr]
+	fmt.Println("survey-detected:", ar.Matched)
+	fmt.Println("recovered delayed:", ar.Delayed)
+	// Output:
+	// survey-detected: [150ms]
+	// recovered delayed: [17s]
+}
+
+func ExampleClassifyTrain() {
+	// A 10-ping train against a cellular host: the first ping pays the
+	// radio wake-up, the rest are fast — the paper's Figure 12 signature.
+	train := []core.TrainSample{
+		{Seq: 0, SentAt: 0, Responded: true, RTT: 2300 * time.Millisecond},
+		{Seq: 1, SentAt: 1 * time.Second, Responded: true, RTT: 1300 * time.Millisecond},
+		{Seq: 2, SentAt: 2 * time.Second, Responded: true, RTT: 310 * time.Millisecond},
+		{Seq: 3, SentAt: 3 * time.Second, Responded: true, RTT: 290 * time.Millisecond},
+		{Seq: 4, SentAt: 4 * time.Second, Responded: true, RTT: 305 * time.Millisecond},
+	}
+	fmt.Println(core.ClassifyTrain(train))
+	// Output:
+	// first>max
+}
+
+func ExampleClassifyHighLatency() {
+	// A buffered-outage flush: after 30 normal pings the link drops, and
+	// at t=150s every buffered probe is released together — measured RTTs
+	// decay by exactly the probe spacing (Table 7's "decay" patterns).
+	var train []core.TrainSample
+	for i := 0; i < 200; i++ {
+		s := core.TrainSample{Seq: i, SentAt: time.Duration(i) * time.Second, Responded: true}
+		switch {
+		case i < 30 || i >= 150:
+			s.RTT = 200 * time.Millisecond
+		default:
+			s.RTT = 150*time.Second - s.SentAt
+		}
+		train = append(train, s)
+	}
+	pc := core.ClassifyHighLatency(
+		map[ipaddr.Addr][]core.TrainSample{ipaddr.MustParse("1.0.0.1"): train},
+		100*time.Second, time.Second)
+	fmt.Println("decay events:", pc.Events[core.PatternLowLatencyDecay])
+	// Output:
+	// decay events: 1
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"time"
+
+	"timeouts/internal/ipaddr"
+)
+
+// TCPReply is one answered TCP ACK probe, the input to firewall detection.
+type TCPReply struct {
+	Addr ipaddr.Addr
+	RTT  time.Duration
+	TTL  byte
+}
+
+// FirewallVerdict summarizes one /24's TCP-RST behavior.
+type FirewallVerdict struct {
+	Prefix ipaddr.Prefix24
+	// Addrs is how many distinct addresses of the block answered.
+	Addrs int
+	// Replies counts answered probes.
+	Replies int
+	// Firewall is true when the block matches the paper's signature.
+	Firewall bool
+	// TTL is the block's common reply TTL (meaningful when Firewall).
+	TTL byte
+	// MedianRTT of the block's replies.
+	MedianRTT time.Duration
+}
+
+// DetectFirewalls applies the paper's §5.3 identification of
+// connection-tracking firewalls: within a /24, *every* TCP reply carries
+// the same received TTL, at least minAddrs distinct addresses answered
+// (the behavior "applied to all probes to entire /24 blocks"), and the
+// replies are fast (the firewall answers from the network edge, without
+// consulting the destination). Host RSTs do not match: OS initial TTLs and
+// subscriber path lengths vary within a block.
+func DetectFirewalls(replies []TCPReply, minAddrs int, fastCut time.Duration) map[ipaddr.Prefix24]FirewallVerdict {
+	if minAddrs <= 0 {
+		minAddrs = 2
+	}
+	if fastCut <= 0 {
+		fastCut = time.Second
+	}
+	type acc struct {
+		addrs   map[ipaddr.Addr]bool
+		ttls    map[byte]int
+		rtts    []time.Duration
+		replies int
+	}
+	blocks := make(map[ipaddr.Prefix24]*acc)
+	for _, r := range replies {
+		b := blocks[r.Addr.Prefix()]
+		if b == nil {
+			b = &acc{addrs: make(map[ipaddr.Addr]bool), ttls: make(map[byte]int)}
+			blocks[r.Addr.Prefix()] = b
+		}
+		b.addrs[r.Addr] = true
+		b.ttls[r.TTL]++
+		b.rtts = append(b.rtts, r.RTT)
+		b.replies++
+	}
+	out := make(map[ipaddr.Prefix24]FirewallVerdict, len(blocks))
+	for pfx, b := range blocks {
+		v := FirewallVerdict{Prefix: pfx, Addrs: len(b.addrs), Replies: b.replies}
+		SortDurationsInPlace(b.rtts)
+		v.MedianRTT = b.rtts[len(b.rtts)/2]
+		if len(b.ttls) == 1 && len(b.addrs) >= minAddrs && v.MedianRTT < fastCut {
+			for ttl := range b.ttls {
+				v.TTL = ttl
+			}
+			v.Firewall = true
+		}
+		out[pfx] = v
+	}
+	return out
+}
+
+// SortDurationsInPlace is a tiny local sort helper (insertion sort is fine
+// for the per-block reply counts this sees).
+func SortDurationsInPlace(d []time.Duration) {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j] < d[j-1]; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"timeouts/internal/ipaddr"
+)
+
+// TrainSample is one probe of a ping train, the input to the first-ping and
+// pattern analyses (§6.3, §6.4). Tools convert their native results to this
+// form.
+type TrainSample struct {
+	Seq       int
+	SentAt    time.Duration
+	Responded bool
+	RTT       time.Duration
+}
+
+// FirstPingClass classifies a probe train per §6.3.
+type FirstPingClass uint8
+
+// First-ping classes, matching the paper's partition of the 83,174
+// screened addresses.
+const (
+	// FirstAboveMax: RTT1 > max(RTT2..RTTn) — wake-up/negotiation delay.
+	FirstAboveMax FirstPingClass = iota
+	// FirstAboveMedian: median(rest) < RTT1 <= max(rest).
+	FirstAboveMedian
+	// FirstBelowMedian: RTT1 <= median(rest).
+	FirstBelowMedian
+	// NoFirstResponse: the first probe went unanswered; the paper omits
+	// these from classification.
+	NoFirstResponse
+	// TooFewResponses: fewer than four probes answered overall (n >= 4 is
+	// required before computing the median/maximum).
+	TooFewResponses
+)
+
+var fpNames = [...]string{
+	"first>max", "median<first<=max", "first<=median", "no-first-response", "too-few-responses",
+}
+
+// String names the class.
+func (c FirstPingClass) String() string {
+	if int(c) < len(fpNames) {
+		return fpNames[c]
+	}
+	return "FirstPingClass?"
+}
+
+// ClassifyTrain applies the paper's §6.3 rules to one train.
+func ClassifyTrain(train []TrainSample) FirstPingClass {
+	if len(train) == 0 || !train[0].Responded {
+		return NoFirstResponse
+	}
+	responded := 0
+	for _, s := range train {
+		if s.Responded {
+			responded++
+		}
+	}
+	if responded < 4 {
+		return TooFewResponses
+	}
+	first := train[0].RTT
+	rest := make([]time.Duration, 0, len(train)-1)
+	for _, s := range train[1:] {
+		if s.Responded {
+			rest = append(rest, s.RTT)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	maxRest := rest[len(rest)-1]
+	medRest := rest[(len(rest)-1)/2]
+	switch {
+	case first > maxRest:
+		return FirstAboveMax
+	case first > medRest:
+		return FirstAboveMedian
+	default:
+		return FirstBelowMedian
+	}
+}
+
+// FirstPingAnalysis aggregates the §6.3 experiment over many addresses.
+type FirstPingAnalysis struct {
+	// Counts per class.
+	Counts map[FirstPingClass]int
+	// Delta12 holds RTT1-RTT2 for every train with both responses
+	// (Figure 12's CDF); Delta12AboveMax restricts to FirstAboveMax trains.
+	Delta12         []time.Duration
+	Delta12AboveMax []time.Duration
+	// WakeEstimates holds RTT1 - min(RTT2..RTTn) for FirstAboveMax trains:
+	// the wake-up/negotiation duration estimate (Figure 13).
+	WakeEstimates []time.Duration
+	// PrefixShare maps each /24 to (addresses classified, FirstAboveMax
+	// addresses), Figure 14's per-prefix drop share.
+	PrefixShare map[ipaddr.Prefix24]*PrefixFirstPing
+}
+
+// PrefixFirstPing counts a /24's first-ping behavior.
+type PrefixFirstPing struct {
+	Classified int
+	AboveMax   int
+}
+
+// Share returns the prefix's FirstAboveMax share.
+func (p *PrefixFirstPing) Share() float64 {
+	if p.Classified == 0 {
+		return 0
+	}
+	return float64(p.AboveMax) / float64(p.Classified)
+}
+
+// AnalyzeFirstPing runs the §6.3 analysis over per-address trains.
+func AnalyzeFirstPing(trains map[ipaddr.Addr][]TrainSample) *FirstPingAnalysis {
+	fa := &FirstPingAnalysis{
+		Counts:      make(map[FirstPingClass]int),
+		PrefixShare: make(map[ipaddr.Prefix24]*PrefixFirstPing),
+	}
+	for addr, train := range trains {
+		cls := ClassifyTrain(train)
+		fa.Counts[cls]++
+
+		pfx := fa.PrefixShare[addr.Prefix()]
+		if pfx == nil {
+			pfx = &PrefixFirstPing{}
+			fa.PrefixShare[addr.Prefix()] = pfx
+		}
+		switch cls {
+		case FirstAboveMax, FirstAboveMedian, FirstBelowMedian:
+			pfx.Classified++
+			if cls == FirstAboveMax {
+				pfx.AboveMax++
+			}
+		}
+
+		if len(train) >= 2 && train[0].Responded && train[1].Responded {
+			d := train[0].RTT - train[1].RTT
+			fa.Delta12 = append(fa.Delta12, d)
+			if cls == FirstAboveMax {
+				fa.Delta12AboveMax = append(fa.Delta12AboveMax, d)
+			}
+		}
+		if cls == FirstAboveMax {
+			min := time.Duration(0)
+			have := false
+			for _, s := range train[1:] {
+				if s.Responded && (!have || s.RTT < min) {
+					min, have = s.RTT, true
+				}
+			}
+			if have {
+				fa.WakeEstimates = append(fa.WakeEstimates, train[0].RTT-min)
+			}
+		}
+	}
+	return fa
+}
+
+// FracAboveMax returns the fraction of classified addresses in
+// FirstAboveMax — the paper's "roughly 2/3 of high latency observations are
+// a result of negotiation or wake-up".
+func (fa *FirstPingAnalysis) FracAboveMax() float64 {
+	classified := fa.Counts[FirstAboveMax] + fa.Counts[FirstAboveMedian] + fa.Counts[FirstBelowMedian]
+	if classified == 0 {
+		return 0
+	}
+	return float64(fa.Counts[FirstAboveMax]) / float64(classified)
+}
+
+// DropProbability bins Delta12 and returns, per bin, the probability that
+// the train was FirstAboveMax — Figure 12's upper panel: any significant
+// drop from RTT1 to RTT2 predicts an overestimated first RTT.
+func (fa *FirstPingAnalysis) DropProbability(binWidth time.Duration, lo, hi time.Duration) []struct {
+	Delta time.Duration
+	P     float64
+	N     int
+} {
+	nbins := int((hi-lo)/binWidth) + 1
+	tot := make([]int, nbins)
+	above := make([]int, nbins)
+	binOf := func(d time.Duration) int {
+		if d < lo || d > hi {
+			return -1
+		}
+		return int((d - lo) / binWidth)
+	}
+	for _, d := range fa.Delta12 {
+		if b := binOf(d); b >= 0 {
+			tot[b]++
+		}
+	}
+	for _, d := range fa.Delta12AboveMax {
+		if b := binOf(d); b >= 0 {
+			above[b]++
+		}
+	}
+	var out []struct {
+		Delta time.Duration
+		P     float64
+		N     int
+	}
+	for b := 0; b < nbins; b++ {
+		if tot[b] == 0 {
+			continue
+		}
+		out = append(out, struct {
+			Delta time.Duration
+			P     float64
+			N     int
+		}{lo + time.Duration(b)*binWidth, float64(above[b]) / float64(tot[b]), tot[b]})
+	}
+	return out
+}

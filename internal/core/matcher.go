@@ -1,0 +1,371 @@
+// Package core implements the paper's analysis pipeline — its primary
+// contribution. Given an ISI-style survey dataset it:
+//
+//   - recovers "delayed responses" by matching unmatched response records to
+//     the most recent timed-out request for the same source address (§3.3),
+//   - filters the two classes of *unexpected* responses that would corrupt
+//     the latency analysis: broadcast responders (detected with the paper's
+//     EWMA persistence filter, §3.3.1) and duplicate/DoS responders (more
+//     than four responses to a single request, §3.3.2),
+//   - aggregates latencies per address into percentile vectors and derives
+//     the minimum-timeout matrix of Table 2 (§4),
+//   - and implements the attribution analyses of §5–6: survey time series,
+//     satellite isolation, turtle AS/continent rankings, first-ping
+//     classification, and >100 s latency-pattern classification.
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/stats"
+	"timeouts/internal/survey"
+)
+
+// Options parameterizes the matching and filtering pipeline. Zero values
+// select the paper's settings.
+type Options struct {
+	// Interval is the survey's probing round length (11 minutes at ISI);
+	// the broadcast filter reasons in rounds.
+	Interval time.Duration
+	// BroadcastAlpha is the EWMA smoothing factor (paper: 0.01).
+	BroadcastAlpha float64
+	// BroadcastMark is the EWMA-maximum threshold above which an address
+	// is declared a broadcast responder (paper: 0.2).
+	BroadcastMark float64
+	// BroadcastMinLat: only unmatched responses at least this late engage
+	// the broadcast filter (paper: 10 s).
+	BroadcastMinLat time.Duration
+	// BroadcastTol is how close two consecutive rounds' inferred latencies
+	// must be to count as "similar" (the paper's broadcast responses are
+	// stable at fractions of the probing interval; 2 s covers the
+	// one-second record precision plus jitter).
+	BroadcastTol time.Duration
+	// DuplicateMax is the maximum number of responses to a single request
+	// an address may exhibit before all its responses are discarded
+	// (paper: 4).
+	DuplicateMax int
+	// Parallelism bounds the worker goroutines used for the per-address
+	// matching pass; addresses are independent, so the pass parallelizes
+	// perfectly. Zero selects GOMAXPROCS.
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval == 0 {
+		o.Interval = 11 * time.Minute
+	}
+	if o.BroadcastAlpha == 0 {
+		o.BroadcastAlpha = 0.01
+	}
+	if o.BroadcastMark == 0 {
+		o.BroadcastMark = 0.2
+	}
+	if o.BroadcastMinLat == 0 {
+		o.BroadcastMinLat = 10 * time.Second
+	}
+	if o.BroadcastTol == 0 {
+		o.BroadcastTol = 2 * time.Second
+	}
+	if o.DuplicateMax == 0 {
+		o.DuplicateMax = 4
+	}
+	return o
+}
+
+// MatchOptionsForCycles returns the paper's options adjusted for a survey
+// of the given number of rounds. The paper's EWMA threshold of 0.2 with
+// alpha 0.01 requires a broadcast responder to repeat for ~23 consecutive
+// rounds; ISI surveys run ~1800 rounds, but scaled-down surveys may not, so
+// the mark threshold is lowered proportionally (capped at the paper's 0.2).
+func MatchOptionsForCycles(cycles int) Options {
+	o := Options{}.withDefaults()
+	if cycles <= 3 {
+		return o
+	}
+	// A persistent responder observed for (cycles-3) rounds reaches an
+	// EWMA of 1-(1-alpha)^(cycles-3); mark at 60% of that, capped at 0.2.
+	reachable := 1 - pow1m(o.BroadcastAlpha, cycles-3)
+	mark := 0.6 * reachable
+	if mark > o.BroadcastMark {
+		mark = o.BroadcastMark
+	}
+	o.BroadcastMark = mark
+	return o
+}
+
+// pow1m computes (1-alpha)^n.
+func pow1m(alpha float64, n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= 1 - alpha
+	}
+	return v
+}
+
+// AddressResult is the per-address outcome of matching.
+type AddressResult struct {
+	// Matched holds the survey-detected RTTs (microsecond precision).
+	Matched []time.Duration
+	// Delayed holds latencies recovered from unmatched responses (second
+	// precision).
+	Delayed []time.Duration
+	// Probes counts echo requests sent to the address.
+	Probes int
+	// MaxResponses is the largest number of responses attributed to a
+	// single request (Figure 5).
+	MaxResponses int
+	// Broadcast marks the address as a broadcast responder per the EWMA
+	// filter.
+	Broadcast bool
+	// Duplicate marks the address as exceeding DuplicateMax.
+	Duplicate bool
+	// ErrorSeen marks addresses whose probes drew ICMP errors; the
+	// analysis ignores them entirely (§3.1).
+	ErrorSeen bool
+
+	packets uint64 // total response packets attributed to this address
+}
+
+// Discarded reports whether the filters remove this address.
+func (a *AddressResult) Discarded() bool { return a.Broadcast || a.Duplicate || a.ErrorSeen }
+
+// ResponsePackets counts all response packets attributed to the address.
+func (a *AddressResult) ResponsePackets() uint64 { return a.packets }
+
+// Result is the outcome of the matching pipeline over one dataset.
+type Result struct {
+	Opt  Options
+	Addr map[ipaddr.Addr]*AddressResult
+}
+
+// internal extension of AddressResult.
+type addrState struct {
+	probes    []probeRec
+	unmatched []umRec
+}
+
+type probeRec struct {
+	send     time.Duration
+	rtt      time.Duration
+	matched  bool
+	consumed bool // a delayed response has been attributed
+	resp     int  // responses attributed to this probe
+}
+
+type umRec struct {
+	at    time.Duration
+	count int
+}
+
+// Match runs the paper's §3.3–§4.1 pipeline over a dataset's records. The
+// records may be in any order; they are grouped per address and sorted by
+// time before matching.
+func Match(records []survey.Record, opt Options) *Result {
+	opt = opt.withDefaults()
+	states := make(map[ipaddr.Addr]*addrState)
+	res := &Result{Opt: opt, Addr: make(map[ipaddr.Addr]*AddressResult)}
+
+	get := func(a ipaddr.Addr) *addrState {
+		st := states[a]
+		if st == nil {
+			st = &addrState{}
+			states[a] = st
+		}
+		return st
+	}
+	getRes := func(a ipaddr.Addr) *AddressResult {
+		r := res.Addr[a]
+		if r == nil {
+			r = &AddressResult{}
+			res.Addr[a] = r
+		}
+		return r
+	}
+
+	for _, rec := range records {
+		switch rec.Type {
+		case survey.RecMatched:
+			st := get(rec.Addr)
+			st.probes = append(st.probes, probeRec{send: rec.When, rtt: rec.RTT, matched: true, resp: 1})
+		case survey.RecTimeout:
+			st := get(rec.Addr)
+			st.probes = append(st.probes, probeRec{send: rec.When})
+		case survey.RecUnmatched:
+			st := get(rec.Addr)
+			count := int(rec.RTT)
+			if count < 1 {
+				count = 1
+			}
+			st.unmatched = append(st.unmatched, umRec{at: rec.When, count: count})
+		case survey.RecError:
+			getRes(rec.Addr).ErrorSeen = true
+		}
+	}
+
+	// The per-address pass is embarrassingly parallel: every address's
+	// matching, filtering and accounting touches only its own state.
+	type job struct {
+		st *addrState
+		r  *AddressResult
+	}
+	jobs := make([]job, 0, len(states))
+	for a, st := range states {
+		jobs = append(jobs, job{st: st, r: getRes(a)})
+	}
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < len(jobs); i += workers {
+				matchAddress(jobs[i].st, jobs[i].r, opt)
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// matchAddress runs the §3.3-§4.1 per-address pass: delayed-response
+// matching, the broadcast persistence filter, and duplicate accounting.
+func matchAddress(st *addrState, r *AddressResult, opt Options) {
+	{
+		sort.Slice(st.probes, func(i, j int) bool { return st.probes[i].send < st.probes[j].send })
+		sort.Slice(st.unmatched, func(i, j int) bool { return st.unmatched[i].at < st.unmatched[j].at })
+		r.Probes = len(st.probes)
+		for _, p := range st.probes {
+			if p.matched {
+				r.Matched = append(r.Matched, p.rtt)
+			}
+		}
+
+		// Delayed-response matching (§3.3): attribute each unmatched
+		// response to the most recent request to the same address. If that
+		// request timed out and has no response yet, the gap is a latency
+		// sample; otherwise the packets are duplicates.
+		ew := stats.EWMA{Alpha: opt.BroadcastAlpha}
+		lastRound := int64(-10)
+		var lastLat time.Duration
+		pi := 0
+		for _, um := range st.unmatched {
+			// Advance to the last probe sent at or before the arrival.
+			for pi < len(st.probes) && st.probes[pi].send <= um.at {
+				pi++
+			}
+			if pi == 0 {
+				continue // response precedes all probes; stray traffic
+			}
+			p := &st.probes[pi-1]
+			p.resp += um.count
+			if !p.matched && !p.consumed {
+				p.consumed = true
+				lat := um.at - p.send
+				r.Delayed = append(r.Delayed, lat)
+
+				// Broadcast persistence filter (§3.3.1): count rounds in
+				// which the address repeats a similar >= MinLat latency.
+				if lat >= opt.BroadcastMinLat {
+					round := int64(um.at / opt.Interval)
+					d := lat - lastLat
+					if d < 0 {
+						d = -d
+					}
+					if round == lastRound+1 && d <= opt.BroadcastTol {
+						ew.Observe(1)
+					} else {
+						ew.Observe(0)
+					}
+					lastRound, lastLat = round, lat
+				}
+			}
+		}
+		if ew.Max() > opt.BroadcastMark {
+			r.Broadcast = true
+		}
+		for i := range st.probes {
+			if st.probes[i].resp > r.MaxResponses {
+				r.MaxResponses = st.probes[i].resp
+			}
+			r.packets += uint64(st.probes[i].resp)
+		}
+		if r.MaxResponses > opt.DuplicateMax {
+			r.Duplicate = true
+		}
+	}
+}
+
+// Samples returns the per-address latency sample sets. With filtered=false
+// it reproduces the paper's "naive matching": every address, survey-detected
+// plus delayed samples. With filtered=true, broadcast, duplicate and
+// error-tainted addresses are discarded — the "Survey + Delayed" row of
+// Table 1 the rest of the analysis runs on.
+func (r *Result) Samples(filtered bool) map[ipaddr.Addr][]time.Duration {
+	out := make(map[ipaddr.Addr][]time.Duration, len(r.Addr))
+	for a, ar := range r.Addr {
+		if filtered && ar.Discarded() {
+			continue
+		}
+		if len(ar.Matched)+len(ar.Delayed) == 0 {
+			continue
+		}
+		s := make([]time.Duration, 0, len(ar.Matched)+len(ar.Delayed))
+		s = append(s, ar.Matched...)
+		s = append(s, ar.Delayed...)
+		out[a] = s
+	}
+	return out
+}
+
+// SurveyDetected returns only the survey-detected (matched) samples per
+// address, the view Figure 1 is computed from.
+func (r *Result) SurveyDetected() map[ipaddr.Addr][]time.Duration {
+	out := make(map[ipaddr.Addr][]time.Duration, len(r.Addr))
+	for a, ar := range r.Addr {
+		if len(ar.Matched) == 0 {
+			continue
+		}
+		out[a] = append([]time.Duration(nil), ar.Matched...)
+	}
+	return out
+}
+
+// BroadcastResponders lists addresses the EWMA filter marked.
+func (r *Result) BroadcastResponders() []ipaddr.Addr {
+	var out []ipaddr.Addr
+	for a, ar := range r.Addr {
+		if ar.Broadcast {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DuplicateResponders lists addresses exceeding the duplicate threshold
+// (and not already marked broadcast), mirroring the paper's mutually
+// exclusive discard accounting.
+func (r *Result) DuplicateResponders() []ipaddr.Addr {
+	var out []ipaddr.Addr
+	for a, ar := range r.Addr {
+		if ar.Duplicate && !ar.Broadcast {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

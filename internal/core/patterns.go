@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"timeouts/internal/ipaddr"
+)
+
+// Pattern classifies the context of >100 s ping responses (§6.4, Table 7).
+type Pattern uint8
+
+// Patterns in Table 7's order.
+const (
+	// PatternLowLatencyDecay: a low-latency response (< 10 s) precedes a
+	// run of responses whose RTTs fall by exactly the probe spacing — a
+	// buffer flushed after connectivity returned.
+	PatternLowLatencyDecay Pattern = iota
+	// PatternLossDecay: the decay run is preceded by losses instead.
+	PatternLossDecay
+	// PatternSustained: minutes of RTTs above 10 s interleaved with loss.
+	PatternSustained
+	// PatternHighBetweenLoss: a single >100 s response surrounded by loss.
+	PatternHighBetweenLoss
+	// PatternOther: >100 s pings whose context fits none of the above.
+	PatternOther
+	numPatterns
+)
+
+var patternNames = [...]string{
+	"Low latency, then decay",
+	"Loss, then decay",
+	"Sustained high latency and loss",
+	"High latency between loss",
+	"Other",
+}
+
+// String names the pattern as in Table 7.
+func (p Pattern) String() string {
+	if int(p) < len(patternNames) {
+		return patternNames[p]
+	}
+	return "Pattern?"
+}
+
+// PatternCounts aggregates Table 7: per pattern, the number of >100 s
+// pings, the number of events, and the number of distinct addresses.
+type PatternCounts struct {
+	Pings  [numPatterns]int
+	Events [numPatterns]int
+	Addrs  [numPatterns]int
+}
+
+// Format renders Table 7.
+func (pc PatternCounts) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %8s %8s %8s\n", "Pattern", "Pings", "Events", "Addrs")
+	for p := Pattern(0); p < numPatterns; p++ {
+		fmt.Fprintf(&b, "%-34s %8d %8d %8d\n", p, pc.Pings[p], pc.Events[p], pc.Addrs[p])
+	}
+	return b.String()
+}
+
+// patternEvent is one classified episode within a train.
+type patternEvent struct {
+	pattern   Pattern
+	highPings int
+}
+
+// ClassifyHighLatency applies §6.4's pattern taxonomy to per-address probe
+// trains (probes spaced `spacing` apart). Probes with RTT above `threshold`
+// (100 s in the paper) anchor events; nearby probes give the context.
+func ClassifyHighLatency(trains map[ipaddr.Addr][]TrainSample, threshold, spacing time.Duration) PatternCounts {
+	var pc PatternCounts
+	for _, train := range trains {
+		events := classifyTrainPatterns(train, threshold, spacing)
+		var seen [numPatterns]bool
+		for _, ev := range events {
+			pc.Pings[ev.pattern] += ev.highPings
+			pc.Events[ev.pattern]++
+			if !seen[ev.pattern] {
+				seen[ev.pattern] = true
+				pc.Addrs[ev.pattern]++
+			}
+		}
+	}
+	return pc
+}
+
+// classifyTrainPatterns finds and classifies the high-latency events in one
+// train.
+func classifyTrainPatterns(train []TrainSample, threshold, spacing time.Duration) []patternEvent {
+	n := len(train)
+	var events []patternEvent
+	i := 0
+	for i < n {
+		if !(train[i].Responded && train[i].RTT > threshold) {
+			i++
+			continue
+		}
+		// Grow the event: include subsequent probes that are lost or still
+		// far above normal (>10 s), allowing short normal gaps to end it.
+		j := i
+		lastHigh := i
+		for j+1 < n {
+			s := train[j+1]
+			if !s.Responded || s.RTT > 10*time.Second {
+				j++
+				if s.Responded && s.RTT > threshold {
+					lastHigh = j
+				}
+				continue
+			}
+			break
+		}
+		high := 0
+		for k := i; k <= j; k++ {
+			if train[k].Responded && train[k].RTT > threshold {
+				high++
+			}
+		}
+		pattern := classifyEvent(train, i, j, threshold, spacing)
+		if pattern == PatternHighBetweenLoss {
+			// The paper counts each isolated straggler as its own event
+			// (Table 7: 12 pings, 12 events, 12 addresses).
+			for k := i; k <= j; k++ {
+				if train[k].Responded && train[k].RTT > threshold {
+					events = append(events, patternEvent{pattern: pattern, highPings: 1})
+				}
+			}
+		} else {
+			events = append(events, patternEvent{pattern: pattern, highPings: high})
+		}
+		_ = lastHigh
+		i = j + 1
+	}
+	return events
+}
+
+// classifyEvent decides the pattern of the event spanning train[i..j].
+func classifyEvent(train []TrainSample, i, j int, threshold, spacing time.Duration) Pattern {
+	// Collect the responded probes of the event.
+	var resp []int
+	for k := i; k <= j; k++ {
+		if train[k].Responded {
+			resp = append(resp, k)
+		}
+	}
+	// Decay test: consecutive responded probes' RTTs fall by the probe
+	// spacing (they all arrived together). Tolerance covers flush jitter.
+	tol := spacing/2 + 200*time.Millisecond
+	decayPairs, pairs := 0, 0
+	for x := 1; x < len(resp); x++ {
+		a, b := resp[x-1], resp[x]
+		pairs++
+		expected := train[a].RTT - time.Duration(b-a)*spacing
+		d := train[b].RTT - expected
+		if d < 0 {
+			d = -d
+		}
+		if d <= tol {
+			decayPairs++
+		}
+	}
+	isDecay := len(resp) >= 3 && pairs > 0 && float64(decayPairs) >= 0.7*float64(pairs)
+
+	if isDecay {
+		// What precedes the event: a recent low-latency response, or loss?
+		for k := i - 1; k >= 0 && k >= i-12; k-- {
+			if train[k].Responded {
+				if train[k].RTT < 10*time.Second {
+					if k == i-1 {
+						return PatternLowLatencyDecay
+					}
+					return PatternLossDecay // losses intervene
+				}
+				break
+			}
+		}
+		return PatternLossDecay
+	}
+
+	// Isolation test: responses surrounded by loss. A blackout with a few
+	// stragglers produces one long lossy event whose every response is
+	// isolated — the paper's "high latency between loss".
+	isolated := 0
+	for _, k := range resp {
+		prevLost := k > 0 && !train[k-1].Responded
+		nextLost := k+1 < len(train) && !train[k+1].Responded
+		if prevLost && nextLost {
+			isolated++
+		}
+	}
+	if len(resp) >= 1 && float64(isolated) >= 0.7*float64(len(resp)) {
+		return PatternHighBetweenLoss
+	}
+
+	// Sustained: several high responses spread over at least a minute,
+	// typically with loss mixed in.
+	if len(resp) >= 4 && train[j].SentAt-train[i].SentAt >= time.Minute {
+		return PatternSustained
+	}
+	return PatternOther
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"io"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/stats"
+	"timeouts/internal/survey"
+)
+
+// RecordSource is anything that yields survey records one at a time —
+// both survey dataset readers satisfy it.
+type RecordSource interface {
+	Read() (survey.Record, error)
+}
+
+// StreamAggregate consumes a dataset in one pass and maintains *streaming*
+// per-address percentile estimates (P² estimators) over the survey-detected
+// responses, in O(addresses) memory independent of the number of records.
+//
+// This is the bounded-memory path for ISI-scale datasets (9.64 billion
+// responses): the full pipeline (Match) buffers per-address probe history
+// to recover delayed responses and run the filters, which is affordable at
+// simulation scale but not at the Internet's. StreamAggregate trades the
+// delayed-response recovery for constant-space operation; its matrix
+// therefore corresponds to the paper's *survey-detected* view (Figure 1).
+func StreamAggregate(src RecordSource) (map[ipaddr.Addr]stats.Quantiles, error) {
+	ests := make(map[ipaddr.Addr]*stats.StreamingQuantiles)
+	for {
+		rec, err := src.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Type != survey.RecMatched {
+			continue
+		}
+		e := ests[rec.Addr]
+		if e == nil {
+			e = stats.NewStreamingQuantiles()
+			ests[rec.Addr] = e
+		}
+		e.Add(rec.RTT)
+	}
+	out := make(map[ipaddr.Addr]stats.Quantiles, len(ests))
+	for a, e := range ests {
+		out[a] = e.Quantiles()
+	}
+	return out, nil
+}
+
+// sliceSource adapts an in-memory record slice to RecordSource, for tests
+// and for analyses that already hold the records.
+type sliceSource struct {
+	recs []survey.Record
+	i    int
+}
+
+// NewSliceSource wraps records as a RecordSource.
+func NewSliceSource(recs []survey.Record) RecordSource {
+	return &sliceSource{recs: recs}
+}
+
+// Read implements RecordSource.
+func (s *sliceSource) Read() (survey.Record, error) {
+	if s.i >= len(s.recs) {
+		return survey.Record{}, io.EOF
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, nil
+}
+
+// StreamedMatrixError quantifies how far the streaming matrix sits from the
+// exact survey-detected matrix, as the maximum relative cell error over
+// cells at least minCell large (tiny cells amplify relative error
+// meaninglessly).
+func StreamedMatrixError(exact, streamed stats.TimeoutMatrix, minCell time.Duration) float64 {
+	worst := 0.0
+	for r := range exact.Levels {
+		for c := range exact.Levels {
+			e, s := exact.Cell[r][c], streamed.Cell[r][c]
+			if e < minCell {
+				continue
+			}
+			d := float64(s-e) / float64(e)
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/stats"
+)
+
+// SurveyPoint is one survey's summary for Figure 9: the per-percentile
+// minimum timeout and the response rate, labelled by vantage and year.
+type SurveyPoint struct {
+	Label        string // e.g. "it63w"
+	Vantage      byte
+	Year         int
+	Matrix       stats.TimeoutMatrix
+	ResponseRate float64
+	// Broken marks surveys with pathologically low response rates, which
+	// the paper excludes from the latency trend (the "j" outliers).
+	Broken bool
+}
+
+// DiagonalTimeout returns the survey's p/p diagonal entry ("capture p% of
+// pings from p% of addresses").
+func (s SurveyPoint) DiagonalTimeout(p float64) time.Duration {
+	return s.Matrix.At(p, p)
+}
+
+// FormatTimeSeries renders Figure 9 as rows: per survey, the diagonal
+// timeouts and the response rate.
+func FormatTimeSeries(points []SurveyPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-4s %6s", "survey", "vp", "year")
+	for _, p := range stats.StandardPercentiles {
+		fmt.Fprintf(&b, " %9s", fmt.Sprintf("%g%%/%g%%", p, p))
+	}
+	fmt.Fprintf(&b, " %9s\n", "resp-rate")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%-10s %-4c %6d", pt.Label, pt.Vantage, pt.Year)
+		for _, p := range stats.StandardPercentiles {
+			if pt.Broken {
+				fmt.Fprintf(&b, " %9s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %9s", stats.FormatDurSeconds(pt.DiagonalTimeout(p)))
+		}
+		fmt.Fprintf(&b, " %8.2f%%\n", pt.ResponseRate*100)
+	}
+	return b.String()
+}
+
+// RetryCorrelation quantifies the paper's §4.2 caveat that a retried ping
+// is not an independent latency sample: whatever delayed the first probe
+// likely delays the follow-up too. Over per-address trains it returns the
+// unconditional probability that a probe is slow (RTT above threshold, or
+// lost when countLossAsSlow) and the probability that the probe after a
+// slow one is also slow.
+func RetryCorrelation(trains map[ipaddr.Addr][]TrainSample, threshold time.Duration, countLossAsSlow bool) (pSlow, pSlowGivenSlow float64) {
+	slow := func(s TrainSample) bool {
+		if !s.Responded {
+			return countLossAsSlow
+		}
+		return s.RTT > threshold
+	}
+	var n, nSlow, nPairs, nBothSlow int
+	for _, train := range trains {
+		for i, s := range train {
+			n++
+			if slow(s) {
+				nSlow++
+			}
+			if i+1 < len(train) {
+				if slow(s) {
+					nPairs++
+					if slow(train[i+1]) {
+						nBothSlow++
+					}
+				}
+			}
+		}
+	}
+	if n > 0 {
+		pSlow = float64(nSlow) / float64(n)
+	}
+	if nPairs > 0 {
+		pSlowGivenSlow = float64(nBothSlow) / float64(nPairs)
+	}
+	return pSlow, pSlowGivenSlow
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/ipmeta"
+)
+
+// The paper's §6.2 terminology: addresses whose scan RTT exceeds one second
+// are "turtles"; those exceeding 100 seconds are "sleepy-turtles".
+const (
+	TurtleThreshold       = time.Second
+	SleepyTurtleThreshold = 100 * time.Second
+)
+
+// ScanCount is one AS's (or continent's) showing in one scan.
+type ScanCount struct {
+	Count  uint64  // addresses above the threshold
+	Probed uint64  // addresses that responded at all
+	Pct    float64 // Count/Probed * 100
+	Rank   int     // 1-based rank within the scan (by Count)
+}
+
+// ASRank is one row of Tables 4 or 6: an AS's high-latency address counts
+// across several scans, ordered by the cross-scan sum.
+type ASRank struct {
+	AS      ipmeta.AS
+	PerScan []ScanCount
+	Total   uint64
+}
+
+// RankASes builds the Table 4/6 ranking: for each scan (a map of responding
+// address to its RTT), count per AS the addresses above the threshold, rank
+// ASes within each scan, then order by the cross-scan total and return the
+// top n (or all, if n <= 0).
+func RankASes(scans []map[ipaddr.Addr]time.Duration, db *ipmeta.DB, threshold time.Duration, n int) []ASRank {
+	type key = uint32
+	asInfo := make(map[key]ipmeta.AS)
+	counts := make(map[key][]ScanCount)
+	ensure := func(as ipmeta.AS) []ScanCount {
+		if _, ok := asInfo[as.ASN]; !ok {
+			asInfo[as.ASN] = as
+			counts[as.ASN] = make([]ScanCount, len(scans))
+		}
+		return counts[as.ASN]
+	}
+	for si, scan := range scans {
+		for a, rtt := range scan {
+			as, ok := db.Lookup(a)
+			if !ok {
+				continue
+			}
+			sc := ensure(as)
+			sc[si].Probed++
+			if rtt > threshold {
+				sc[si].Count++
+			}
+		}
+		// Rank within the scan.
+		asns := make([]key, 0, len(counts))
+		for asn := range counts {
+			asns = append(asns, asn)
+		}
+		sort.Slice(asns, func(i, j int) bool {
+			ci, cj := counts[asns[i]][si].Count, counts[asns[j]][si].Count
+			if ci != cj {
+				return ci > cj
+			}
+			return asns[i] < asns[j]
+		})
+		for rank, asn := range asns {
+			sc := counts[asn]
+			sc[si].Rank = rank + 1
+			if sc[si].Probed > 0 {
+				sc[si].Pct = 100 * float64(sc[si].Count) / float64(sc[si].Probed)
+			}
+		}
+	}
+
+	out := make([]ASRank, 0, len(counts))
+	for asn, sc := range counts {
+		r := ASRank{AS: asInfo[asn], PerScan: sc}
+		for _, c := range sc {
+			r.Total += c.Count
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].AS.ASN < out[j].AS.ASN
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// FormatASRanks renders rows in the paper's Table 4/6 layout.
+func FormatASRanks(rows []ASRank) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-28s", "ASN", "Owner")
+	for i := range rowsScans(rows) {
+		fmt.Fprintf(&b, "  %10s %6s %4s", fmt.Sprintf("scan%d", i+1), "%", "rank")
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %-28s", r.AS.ASN, truncate(r.AS.Owner, 28))
+		for _, c := range r.PerScan {
+			fmt.Fprintf(&b, "  %10d %6.1f %4d", c.Count, c.Pct, c.Rank)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func rowsScans(rows []ASRank) []ScanCount {
+	if len(rows) == 0 {
+		return nil
+	}
+	return rows[0].PerScan
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// ContinentRank is one row of Table 5.
+type ContinentRank struct {
+	Continent ipmeta.Continent
+	PerScan   []ScanCount
+	Total     uint64
+}
+
+// RankContinents builds Table 5: turtles per continent per scan.
+func RankContinents(scans []map[ipaddr.Addr]time.Duration, db *ipmeta.DB, threshold time.Duration) []ContinentRank {
+	rows := make([]ContinentRank, ipmeta.NumContinents)
+	for c := range rows {
+		rows[c].Continent = ipmeta.Continent(c)
+		rows[c].PerScan = make([]ScanCount, len(scans))
+	}
+	for si, scan := range scans {
+		for a, rtt := range scan {
+			as, ok := db.Lookup(a)
+			if !ok {
+				continue
+			}
+			sc := &rows[as.Continent].PerScan[si]
+			sc.Probed++
+			if rtt > threshold {
+				sc.Count++
+			}
+		}
+		for c := range rows {
+			sc := &rows[c].PerScan[si]
+			if sc.Probed > 0 {
+				sc.Pct = 100 * float64(sc.Count) / float64(sc.Probed)
+			}
+		}
+	}
+	for c := range rows {
+		for _, sc := range rows[c].PerScan {
+			rows[c].Total += sc.Count
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Total > rows[j].Total })
+	return rows
+}
+
+// FormatContinentRanks renders Table 5.
+func FormatContinentRanks(rows []ContinentRank) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s", "Continent")
+	for i := 0; i < len(rowsContinentScans(rows)); i++ {
+		fmt.Fprintf(&b, "  %10s %6s", fmt.Sprintf("scan%d", i+1), "%")
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s", r.Continent)
+		for _, c := range r.PerScan {
+			fmt.Fprintf(&b, "  %10d %6.1f", c.Count, c.Pct)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func rowsContinentScans(rows []ContinentRank) []ScanCount {
+	if len(rows) == 0 {
+		return nil
+	}
+	return rows[0].PerScan
+}
+
+// CellularShare reports what fraction of the top-n ranked ASes are cellular
+// or mixed-cellular — the paper's headline attribution claim.
+func CellularShare(rows []ASRank) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range rows {
+		if r.AS.Type == ipmeta.Cellular || r.AS.Type == ipmeta.Mixed {
+			n++
+		}
+	}
+	return float64(n) / float64(len(rows))
+}

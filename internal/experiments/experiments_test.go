@@ -1,0 +1,370 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"timeouts/internal/core"
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/netmodel"
+	"timeouts/internal/stats"
+)
+
+// testLab is shared by the integration tests; Quick scale, memoized, so the
+// survey and scans run once for the whole package.
+var testLab = NewLab(Quick)
+
+func TestHeadlineTimeoutMatrix(t *testing.T) {
+	q := testLab.Quantiles()
+	if len(q) < 5000 {
+		t.Fatalf("only %d addresses with samples", len(q))
+	}
+	m := core.TimeoutMatrix(q)
+
+	// The paper's headline: ~5% of pings from ~5% of addresses exceed 5s.
+	d9595 := m.At(95, 95)
+	if d9595 < 1500*time.Millisecond || d9595 > 15*time.Second {
+		t.Errorf("95/95 timeout = %v, want the paper's ~5s ballpark", d9595)
+	}
+	frac := core.FracAddrsAbove(q, 95, 5*time.Second)
+	if frac < 0.02 || frac > 0.10 {
+		t.Errorf("addrs with >5%% of pings over 5s = %.3f, want ~5%%", frac)
+	}
+	// Latency is low for most hosts.
+	if d := m.At(50, 50); d > 400*time.Millisecond {
+		t.Errorf("50/50 timeout = %v, want ~0.2s", d)
+	}
+	// Monotone structure sanity.
+	if m.At(99, 99) < m.At(95, 95) {
+		t.Error("matrix rows not monotone")
+	}
+}
+
+func TestZmapTurtleShareStable(t *testing.T) {
+	scans := testLab.Scans(2)
+	var shares []float64
+	for _, sc := range scans {
+		rtts := sc.RTTPercentiles()
+		if len(rtts) == 0 {
+			t.Fatal("scan saw no responders")
+		}
+		shares = append(shares, stats.FracAbove(rtts, time.Second))
+		if med := stats.Percentile(rtts, 50); med > 300*time.Millisecond {
+			t.Errorf("median scan RTT = %v, want <250ms-ish", med)
+		}
+	}
+	for _, s := range shares {
+		if s < 0.03 || s > 0.09 {
+			t.Errorf("turtle share = %.3f, want ~5%%", s)
+		}
+	}
+	if d := shares[0] - shares[1]; d > 0.01 || d < -0.01 {
+		t.Errorf("turtle share unstable across scans: %v", shares)
+	}
+}
+
+func TestTurtleASRankingIsCellular(t *testing.T) {
+	rows := core.RankASes(testLab.turtleScans(2), testLab.DB(), core.TurtleThreshold, 10)
+	if len(rows) < 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].AS.ASN != 26599 {
+		t.Errorf("top turtle AS = %d (%s), want 26599", rows[0].AS.ASN, rows[0].AS.Owner)
+	}
+	if share := core.CellularShare(rows); share < 0.6 {
+		t.Errorf("cellular share of top-10 = %.2f", share)
+	}
+}
+
+func TestBroadcastFilterAgainstZmapTruth(t *testing.T) {
+	m := testLab.Match()
+	flagged := m.BroadcastResponders()
+	if len(flagged) == 0 {
+		t.Fatal("filter flagged nothing")
+	}
+	truth := testLab.Scans(1)[0].Broadcast().Responders
+	if len(truth) == 0 {
+		t.Fatal("Zmap found no broadcast responders")
+	}
+	hits := 0
+	for _, a := range flagged {
+		if truth[a] > 0 {
+			hits++
+		}
+	}
+	// Cross-validation (§3.3.1): what the survey filter flags should
+	// almost all be confirmed by the Zmap ground truth.
+	if prec := float64(hits) / float64(len(flagged)); prec < 0.9 {
+		t.Errorf("filter precision vs Zmap = %.2f (%d/%d)", prec, hits, len(flagged))
+	}
+}
+
+func TestFilteringRemovesFalseLatencyBumps(t *testing.T) {
+	m := testLab.Match()
+	naive := m.Samples(false)
+	filtered := m.Samples(true)
+	if len(filtered) >= len(naive) {
+		t.Error("filtering removed no addresses")
+	}
+	// Addresses dominated by half-interval false latencies must be gone.
+	bad := 0
+	for a, s := range filtered {
+		near := 0
+		for _, d := range s {
+			q := d % (330 * time.Second)
+			if q > 165*time.Second {
+				q = 330*time.Second - q
+			}
+			if d >= 100*time.Second && q <= 3*time.Second {
+				near++
+			}
+		}
+		if near*2 > len(s) && len(s) >= 4 {
+			bad++
+			_ = a
+		}
+	}
+	if bad > 3 {
+		t.Errorf("%d addresses with majority false-latency samples survived filtering", bad)
+	}
+}
+
+func TestFirstPingExperimentShape(t *testing.T) {
+	trains, _ := testLab.firstPingTrains()
+	if len(trains) < 50 {
+		t.Skipf("only %d screened trains", len(trains))
+	}
+	fa := core.AnalyzeFirstPing(trains)
+	frac := fa.FracAboveMax()
+	if frac < 0.5 || frac > 0.9 {
+		t.Errorf("first>max share = %.2f, want ~2/3", frac)
+	}
+	if len(fa.WakeEstimates) == 0 {
+		t.Fatal("no wake estimates")
+	}
+	ws := append([]time.Duration(nil), fa.WakeEstimates...)
+	stats.SortDurations(ws)
+	med := stats.Percentile(ws, 50)
+	if med < 700*time.Millisecond || med > 2500*time.Millisecond {
+		t.Errorf("median wake = %v, want ~1.4s", med)
+	}
+	if p90 := stats.Percentile(ws, 90); p90 > 8*time.Second {
+		t.Errorf("p90 wake = %v, want <~4s", p90)
+	}
+}
+
+func TestSatelliteIsolation(t *testing.T) {
+	pts := core.SatelliteScatter(testLab.Quantiles(), testLab.DB(), 300*time.Millisecond)
+	sum := core.SummarizeSatellites(pts)
+	if sum.SatAddrs == 0 {
+		t.Skip("no satellite addresses at this scale")
+	}
+	if sum.SatP1AboveHalf < 0.95 {
+		t.Errorf("satellite P1>0.5s share = %.2f, want ~all", sum.SatP1AboveHalf)
+	}
+	if sum.SatP99Below3s < 0.8 {
+		t.Errorf("satellite P99<3s share = %.2f, want predominant", sum.SatP99Below3s)
+	}
+}
+
+func TestScanInventoryGrowth(t *testing.T) {
+	// Later scans see at least as many responders as early ones (late
+	// joiners), and the spread stays modest.
+	scans := testLab.Scans(3)
+	n0 := len(scans[0].SelfResponses())
+	n2 := len(scans[2].SelfResponses())
+	if n2 < n0 {
+		t.Errorf("responders shrank: %d -> %d", n0, n2)
+	}
+	if float64(n2-n0)/float64(n2) > 0.2 {
+		t.Errorf("responder growth too wild: %d -> %d", n0, n2)
+	}
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	l1 := NewLab(Scale{Seed: 9, Blocks: 64, SurveyCycles: 2, ZmapScans: 1, SampleAddrs: 10, TrainPings: 10})
+	l2 := NewLab(Scale{Seed: 9, Blocks: 64, SurveyCycles: 2, ZmapScans: 1, SampleAddrs: 10, TrainPings: 10})
+	r1, s1 := l1.Survey()
+	r2, s2 := l2.Survey()
+	if s1 != s2 || len(r1) != len(r2) {
+		t.Fatal("labs with equal scales diverge")
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
+		"rec60", "outage", "abl-filter", "abl-dup",
+	}
+	for _, id := range want {
+		if _, ok := Find(id); !ok {
+			t.Errorf("registry missing %s", id)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find accepted a bogus id")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	r := Report{ID: "x", Title: "T", Body: "body\n", Metrics: []Metric{{"m", "1", "2"}}}
+	s := r.Format()
+	for _, frag := range []string{"== x: T ==", "body", "paper vs measured", "paper: 1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("format missing %q", frag)
+		}
+	}
+}
+
+func TestPopulationClassBalance(t *testing.T) {
+	counts := testLab.popProfileCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	cell := float64(counts[netmodel.ClassCellular]) / float64(total)
+	if cell < 0.03 || cell > 0.12 {
+		t.Errorf("cellular responsive share = %.3f", cell)
+	}
+}
+
+// TestRegistryRunsEverything exercises every experiment at a tiny scale:
+// each must produce a well-formed report without panicking.
+func TestRegistryRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run skipped in -short mode")
+	}
+	tiny := NewLab(Scale{Seed: 42, Blocks: 128, SurveyCycles: 6, ZmapScans: 2, SampleAddrs: 40, TrainPings: 150})
+	for _, e := range Registry {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep := e.Run(tiny)
+			if rep.ID != e.ID {
+				t.Errorf("report id %q != registry id %q", rep.ID, e.ID)
+			}
+			if rep.Title == "" || rep.Body == "" {
+				t.Errorf("report %s missing title or body", e.ID)
+			}
+			if len(rep.Metrics) == 0 {
+				t.Errorf("report %s has no paper-vs-measured metrics", e.ID)
+			}
+			for _, m := range rep.Metrics {
+				if m.Name == "" || m.Paper == "" || m.Measured == "" {
+					t.Errorf("report %s has an empty metric: %+v", e.ID, m)
+				}
+			}
+			if s := rep.Format(); len(s) < 40 {
+				t.Errorf("report %s formats to %d bytes", e.ID, len(s))
+			}
+		})
+	}
+}
+
+func TestSampleEvery(t *testing.T) {
+	addrs := make([]ipaddr.Addr, 100)
+	for i := range addrs {
+		addrs[i] = ipaddr.Addr(i)
+	}
+	got := sampleEvery(addrs, 10)
+	if len(got) != 10 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Error("sample not strictly increasing")
+		}
+	}
+	if len(sampleEvery(addrs, 200)) != 100 {
+		t.Error("oversampling should return everything")
+	}
+	if len(sampleEvery(addrs, 0)) != 100 {
+		t.Error("n<=0 should return everything")
+	}
+}
+
+func TestSortedAddrs(t *testing.T) {
+	m := map[ipaddr.Addr]int{5: 1, 1: 2, 3: 3}
+	got := sortedAddrs(m)
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("sortedAddrs = %v", got)
+	}
+}
+
+func TestValueAtFrac(t *testing.T) {
+	pts := []stats.CDFPoint{{Value: time.Second, Frac: 0.5}, {Value: 2 * time.Second, Frac: 1.0}}
+	if valueAtFrac(pts, 0.4) != time.Second {
+		t.Error("frac 0.4 should hit the first point")
+	}
+	if valueAtFrac(pts, 0.9) != 2*time.Second {
+		t.Error("frac 0.9 should hit the second point")
+	}
+	if valueAtFrac(nil, 0.5) != 0 {
+		t.Error("empty curve should be 0")
+	}
+}
+
+func TestExportData(t *testing.T) {
+	dir := t.TempDir()
+	if err := testLab.ExportData(dir); err != nil {
+		t.Fatalf("ExportData: %v", err)
+	}
+	want := []string{
+		"fig1_cdf.csv", "fig6_naive_cdf.csv", "fig6_filtered_cdf.csv",
+		"fig2_octets.csv", "fig3_octets.csv", "fig5_ccdf.csv", "fig7_cdf.csv",
+		"fig11_scatter.csv", "fig12_delta.csv", "fig12_prob.csv",
+		"fig13_wake.csv", "fig14_share.csv", "tab2_matrix.csv",
+	}
+	for _, name := range want {
+		path := filepath.Join(dir, name)
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s missing: %v", name, err)
+			continue
+		}
+		if st.Size() < 20 {
+			t.Errorf("%s suspiciously small (%d bytes)", name, st.Size())
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: invalid csv: %v", name, err)
+			continue
+		}
+		if len(rows) < 2 {
+			t.Errorf("%s: only %d rows", name, len(rows))
+		}
+	}
+	// The matrix must contain one row per cell: 7x7 levels + header.
+	f, _ := os.Open(filepath.Join(dir, "tab2_matrix.csv"))
+	rows, _ := csv.NewReader(f).ReadAll()
+	f.Close()
+	if len(rows) != 1+49 {
+		t.Errorf("tab2_matrix rows = %d, want 50", len(rows))
+	}
+	// fig7 must cover every scan.
+	f2, _ := os.Open(filepath.Join(dir, "fig7_cdf.csv"))
+	rows2, _ := csv.NewReader(f2).ReadAll()
+	f2.Close()
+	scans := map[string]bool{}
+	for _, r := range rows2[1:] {
+		scans[r[0]] = true
+	}
+	if len(scans) != testLab.Scale.ZmapScans {
+		t.Errorf("fig7 covers %d scans, want %d", len(scans), testLab.Scale.ZmapScans)
+	}
+}

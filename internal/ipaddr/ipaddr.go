@@ -1,0 +1,128 @@
+// Package ipaddr provides compact IPv4 address and /24 prefix types used
+// throughout the simulator and the analysis pipeline.
+//
+// The study operates entirely on IPv4 (the ISI surveys and Zmap scans it
+// reproduces are IPv4-only), so addresses are represented as uint32 host
+// values. This keeps per-address bookkeeping — of which the analysis does a
+// great deal — compact and cheap to hash and sort.
+package ipaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// Prefix24 identifies a /24 address block: the top 24 bits of an address.
+type Prefix24 uint32
+
+// Make assembles an address from its four dotted-quad octets.
+func Make(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// Parse parses a dotted-quad IPv4 address such as "192.0.2.1".
+func Parse(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("ipaddr: %q is not a dotted quad", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		n, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("ipaddr: bad octet %q in %q", p, s)
+		}
+		v = v<<8 | uint32(n)
+	}
+	return Addr(v), nil
+}
+
+// MustParse is Parse that panics on error; for tests and constants.
+func MustParse(s string) Addr {
+	a, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String formats the address as a dotted quad.
+func (a Addr) String() string {
+	var b [15]byte
+	s := strconv.AppendUint(b[:0], uint64(a>>24), 10)
+	s = append(s, '.')
+	s = strconv.AppendUint(s, uint64(a>>16&0xff), 10)
+	s = append(s, '.')
+	s = strconv.AppendUint(s, uint64(a>>8&0xff), 10)
+	s = append(s, '.')
+	s = strconv.AppendUint(s, uint64(a&0xff), 10)
+	return string(s)
+}
+
+// Octets returns the four dotted-quad octets of the address.
+func (a Addr) Octets() (o1, o2, o3, o4 byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// LastOctet returns the host part of the address within its /24.
+func (a Addr) LastOctet() byte { return byte(a) }
+
+// Prefix returns the /24 block containing the address.
+func (a Addr) Prefix() Prefix24 { return Prefix24(a >> 8) }
+
+// Bytes4 returns the address in network byte order.
+func (a Addr) Bytes4() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// FromBytes4 assembles an address from network byte order bytes.
+func FromBytes4(b [4]byte) Addr {
+	return Addr(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+}
+
+// Addr returns the address with the given last octet inside the prefix.
+func (p Prefix24) Addr(lastOctet byte) Addr {
+	return Addr(uint32(p)<<8 | uint32(lastOctet))
+}
+
+// First returns the .0 address of the block.
+func (p Prefix24) First() Addr { return p.Addr(0) }
+
+// String formats the prefix in CIDR notation, e.g. "192.0.2.0/24".
+func (p Prefix24) String() string {
+	return p.First().String() + "/24"
+}
+
+// Contains reports whether the address lies inside the /24.
+func (p Prefix24) Contains(a Addr) bool { return a.Prefix() == p }
+
+// BroadcastLikeOctet reports whether the last octet looks like the host part
+// of a subnet broadcast (or network) address: its last n bits are all ones or
+// all zeros for some n > 1. Octets such as 255, 0, 127, 128, 63, 191 qualify;
+// octets ending in binary 01 or 10 do not. This is the heuristic from §3.3.1
+// of the paper (Figure 2): real subnets are split on power-of-two boundaries,
+// so x.y.z.127 is the broadcast address of x.y.z.0/25, and so on.
+func BroadcastLikeOctet(o byte) bool {
+	// Last two bits equal means the trailing run of equal bits has length >= 2.
+	return o&1 == (o>>1)&1
+}
+
+// TrailingRun returns the length of the trailing run of equal bits in o,
+// e.g. TrailingRun(0b01100111) = 3. Used to weight how likely an octet is to
+// be a configured subnet broadcast: .255/.0 (run 8) are near-certain, .127/.128
+// (run 7) very likely, .3 (run 2) only if the subnet is a /30.
+func TrailingRun(o byte) int {
+	bit := o & 1
+	n := 1
+	for i := 1; i < 8; i++ {
+		if (o>>i)&1 != bit {
+			break
+		}
+		n++
+	}
+	return n
+}

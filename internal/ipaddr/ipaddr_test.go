@@ -1,0 +1,124 @@
+package ipaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseFormatRoundtrip(t *testing.T) {
+	cases := []string{"0.0.0.0", "1.2.3.4", "10.0.0.1", "192.0.2.255", "255.255.255.255"}
+	for _, s := range cases {
+		a, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := a.String(); got != s {
+			t.Errorf("Parse(%q).String() = %q", s, got)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1.2.3.x", "-1.2.3.4", "1..2.3"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		back, err := Parse(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesRoundtripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		return FromBytes4(a.Bytes4()) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOctets(t *testing.T) {
+	a := Make(192, 0, 2, 7)
+	o1, o2, o3, o4 := a.Octets()
+	if o1 != 192 || o2 != 0 || o3 != 2 || o4 != 7 {
+		t.Errorf("Octets() = %d.%d.%d.%d", o1, o2, o3, o4)
+	}
+	if a.LastOctet() != 7 {
+		t.Errorf("LastOctet() = %d", a.LastOctet())
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	a := MustParse("10.1.2.3")
+	p := a.Prefix()
+	if p.String() != "10.1.2.0/24" {
+		t.Errorf("Prefix() = %s", p)
+	}
+	if !p.Contains(a) {
+		t.Error("prefix should contain its member")
+	}
+	if p.Contains(MustParse("10.1.3.3")) {
+		t.Error("prefix should not contain neighbor block")
+	}
+	if p.Addr(255) != MustParse("10.1.2.255") {
+		t.Errorf("Addr(255) = %s", p.Addr(255))
+	}
+	if p.First() != MustParse("10.1.2.0") {
+		t.Errorf("First() = %s", p.First())
+	}
+}
+
+func TestPrefixAddrProperty(t *testing.T) {
+	f := func(v uint32, o byte) bool {
+		p := Addr(v).Prefix()
+		a := p.Addr(o)
+		return a.Prefix() == p && a.LastOctet() == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcastLikeOctet(t *testing.T) {
+	like := []byte{255, 0, 127, 128, 63, 64, 191, 192, 3, 252}
+	unlike := []byte{1, 2, 5, 6, 9, 10, 254, 253, 129, 126}
+	for _, o := range like {
+		if !BroadcastLikeOctet(o) {
+			t.Errorf("BroadcastLikeOctet(%d) = false, want true", o)
+		}
+	}
+	for _, o := range unlike {
+		if BroadcastLikeOctet(o) {
+			t.Errorf("BroadcastLikeOctet(%d) = true, want false", o)
+		}
+	}
+}
+
+func TestBroadcastLikeMatchesTrailingRun(t *testing.T) {
+	// BroadcastLikeOctet must be equivalent to TrailingRun >= 2.
+	for o := 0; o < 256; o++ {
+		want := TrailingRun(byte(o)) >= 2
+		if got := BroadcastLikeOctet(byte(o)); got != want {
+			t.Errorf("octet %d: BroadcastLikeOctet=%v TrailingRun=%d", o, got, TrailingRun(byte(o)))
+		}
+	}
+}
+
+func TestTrailingRun(t *testing.T) {
+	cases := map[byte]int{0: 8, 255: 8, 127: 7, 128: 7, 1: 1, 254: 1, 0b01100111: 3, 0b10011000: 3}
+	for o, want := range cases {
+		if got := TrailingRun(o); got != want {
+			t.Errorf("TrailingRun(%08b) = %d, want %d", o, got, want)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package ipmeta maps IPv4 addresses to autonomous-system and geographic
+// metadata. It plays the role MaxMind's GeoIP/ASN databases play in the
+// paper (§6.2): attributing each responding address to an AS, an owner name,
+// an access-network type, and a continent so that high-latency addresses can
+// be ranked by network and geography (Tables 4–6, Figure 11).
+//
+// The database is a sorted list of non-overlapping /24-granularity prefix
+// ranges; lookups are binary searches.
+package ipmeta
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"timeouts/internal/ipaddr"
+)
+
+// Continent identifies one of the six populated continents the paper's
+// Table 5 aggregates over.
+type Continent uint8
+
+// Continents in Table 5 order.
+const (
+	SouthAmerica Continent = iota
+	Asia
+	Europe
+	Africa
+	NorthAmerica
+	Oceania
+	numContinents
+)
+
+// NumContinents is the number of distinct continents.
+const NumContinents = int(numContinents)
+
+var continentNames = [...]string{
+	"South America", "Asia", "Europe", "Africa", "North America", "Oceania",
+}
+
+// String returns the display name used in the paper's tables.
+func (c Continent) String() string {
+	if int(c) < len(continentNames) {
+		return continentNames[c]
+	}
+	return fmt.Sprintf("Continent(%d)", uint8(c))
+}
+
+// AccessType classifies how an AS connects its customers; the paper's key
+// finding is that Cellular ASes dominate the high-latency population.
+type AccessType uint8
+
+// Access types.
+const (
+	Broadband AccessType = iota // DSL / cable / fiber eyeball networks
+	Cellular
+	Satellite
+	Datacenter
+	Backbone // national backbones such as Chinanet
+	Mixed    // offers cellular alongside other services (e.g. AS9829)
+)
+
+var accessNames = [...]string{
+	"broadband", "cellular", "satellite", "datacenter", "backbone", "mixed",
+}
+
+// String returns a short lowercase label.
+func (t AccessType) String() string {
+	if int(t) < len(accessNames) {
+		return accessNames[t]
+	}
+	return fmt.Sprintf("AccessType(%d)", uint8(t))
+}
+
+// AS describes an autonomous system.
+type AS struct {
+	ASN       uint32
+	Owner     string
+	Type      AccessType
+	Continent Continent
+}
+
+// Range assigns a contiguous run of /24 blocks to an AS.
+type Range struct {
+	Start  ipaddr.Prefix24 // first /24 in the range
+	Blocks int             // number of consecutive /24s
+	AS     AS
+}
+
+// End returns the first prefix after the range.
+func (r Range) End() ipaddr.Prefix24 { return r.Start + ipaddr.Prefix24(r.Blocks) }
+
+// DB is an immutable prefix-to-AS database. Build one with a Builder.
+type DB struct {
+	ranges []Range
+}
+
+// Builder accumulates ranges for a DB.
+type Builder struct {
+	ranges []Range
+}
+
+// Add appends a range. Ranges may be added in any order but must not
+// overlap; Build verifies this.
+func (b *Builder) Add(r Range) {
+	b.ranges = append(b.ranges, r)
+}
+
+// Build sorts and validates the ranges.
+func (b *Builder) Build() (*DB, error) {
+	rs := make([]Range, len(b.ranges))
+	copy(rs, b.ranges)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Start < rs[i-1].End() {
+			return nil, fmt.Errorf("ipmeta: ranges %s+%d and %s+%d overlap",
+				rs[i-1].Start, rs[i-1].Blocks, rs[i].Start, rs[i].Blocks)
+		}
+	}
+	return &DB{ranges: rs}, nil
+}
+
+// Lookup returns the AS owning the address.
+func (db *DB) Lookup(a ipaddr.Addr) (AS, bool) {
+	return db.LookupPrefix(a.Prefix())
+}
+
+// LookupPrefix returns the AS owning the /24.
+func (db *DB) LookupPrefix(p ipaddr.Prefix24) (AS, bool) {
+	i := sort.Search(len(db.ranges), func(i int) bool { return db.ranges[i].End() > p })
+	if i == len(db.ranges) || p < db.ranges[i].Start {
+		return AS{}, false
+	}
+	return db.ranges[i].AS, true
+}
+
+// Ranges returns the sorted range list (shared slice; callers must not
+// modify it).
+func (db *DB) Ranges() []Range { return db.ranges }
+
+// NumBlocks returns the total number of /24 blocks in the database.
+func (db *DB) NumBlocks() int {
+	n := 0
+	for _, r := range db.ranges {
+		n += r.Blocks
+	}
+	return n
+}
+
+// ASes returns the distinct ASes in the database, ordered by ASN.
+func (db *DB) ASes() []AS {
+	seen := make(map[uint32]AS)
+	for _, r := range db.ranges {
+		seen[r.AS.ASN] = r.AS
+	}
+	out := make([]AS, 0, len(seen))
+	for _, as := range seen {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// ParseContinent inverts Continent.String.
+func ParseContinent(s string) (Continent, error) {
+	for i, n := range continentNames {
+		if n == s {
+			return Continent(i), nil
+		}
+	}
+	return 0, fmt.Errorf("ipmeta: unknown continent %q", s)
+}
+
+// ParseAccessType inverts AccessType.String.
+func ParseAccessType(s string) (AccessType, error) {
+	for i, n := range accessNames {
+		if n == s {
+			return AccessType(i), nil
+		}
+	}
+	return 0, fmt.Errorf("ipmeta: unknown access type %q", s)
+}
+
+// MarshalJSON encodes the continent as its display name.
+func (c Continent) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.String())
+}
+
+// UnmarshalJSON decodes a continent display name.
+func (c *Continent) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParseContinent(s)
+	if err != nil {
+		return err
+	}
+	*c = v
+	return nil
+}
+
+// MarshalJSON encodes the access type as its label.
+func (t AccessType) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON decodes an access-type label.
+func (t *AccessType) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParseAccessType(s)
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
+}

@@ -1,0 +1,182 @@
+package ipmeta
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"timeouts/internal/ipaddr"
+)
+
+func mustDB(t *testing.T, ranges ...Range) *DB {
+	t.Helper()
+	var b Builder
+	for _, r := range ranges {
+		b.Add(r)
+	}
+	db, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return db
+}
+
+func pfx(s string) ipaddr.Prefix24 { return ipaddr.MustParse(s).Prefix() }
+
+func TestLookup(t *testing.T) {
+	db := mustDB(t,
+		Range{Start: pfx("1.0.0.0"), Blocks: 4, AS: AS{ASN: 100, Owner: "a", Type: Cellular, Continent: Asia}},
+		Range{Start: pfx("1.0.10.0"), Blocks: 2, AS: AS{ASN: 200, Owner: "b", Type: Broadband, Continent: Europe}},
+	)
+	cases := []struct {
+		addr string
+		asn  uint32
+		ok   bool
+	}{
+		{"1.0.0.1", 100, true},
+		{"1.0.3.255", 100, true},
+		{"1.0.4.0", 0, false},
+		{"1.0.10.7", 200, true},
+		{"1.0.11.7", 200, true},
+		{"1.0.12.0", 0, false},
+		{"0.255.255.255", 0, false},
+	}
+	for _, c := range cases {
+		as, ok := db.Lookup(ipaddr.MustParse(c.addr))
+		if ok != c.ok || (ok && as.ASN != c.asn) {
+			t.Errorf("Lookup(%s) = %v, %v", c.addr, as.ASN, ok)
+		}
+	}
+}
+
+func TestBuilderRejectsOverlap(t *testing.T) {
+	var b Builder
+	b.Add(Range{Start: pfx("1.0.0.0"), Blocks: 4, AS: AS{ASN: 1}})
+	b.Add(Range{Start: pfx("1.0.3.0"), Blocks: 4, AS: AS{ASN: 2}})
+	if _, err := b.Build(); err == nil {
+		t.Error("overlapping ranges accepted")
+	}
+}
+
+func TestBuilderAcceptsAdjacent(t *testing.T) {
+	var b Builder
+	b.Add(Range{Start: pfx("1.0.4.0"), Blocks: 4, AS: AS{ASN: 2}})
+	b.Add(Range{Start: pfx("1.0.0.0"), Blocks: 4, AS: AS{ASN: 1}})
+	db, err := b.Build()
+	if err != nil {
+		t.Fatalf("adjacent ranges rejected: %v", err)
+	}
+	if db.NumBlocks() != 8 {
+		t.Errorf("NumBlocks = %d", db.NumBlocks())
+	}
+}
+
+func TestASes(t *testing.T) {
+	db := mustDB(t,
+		Range{Start: pfx("1.0.0.0"), Blocks: 1, AS: AS{ASN: 300}},
+		Range{Start: pfx("1.0.1.0"), Blocks: 1, AS: AS{ASN: 100}},
+		Range{Start: pfx("1.0.2.0"), Blocks: 1, AS: AS{ASN: 100}},
+	)
+	ases := db.ASes()
+	if len(ases) != 2 || ases[0].ASN != 100 || ases[1].ASN != 300 {
+		t.Errorf("ASes = %+v", ases)
+	}
+}
+
+// Property: every address inside an added range resolves to its AS; the
+// boundaries just outside do not.
+func TestLookupBoundaryProperty(t *testing.T) {
+	f := func(startRaw uint16, blocksRaw uint8) bool {
+		start := ipaddr.Prefix24(0x010000) + ipaddr.Prefix24(startRaw)
+		blocks := int(blocksRaw%16) + 1
+		db := &DB{}
+		var b Builder
+		b.Add(Range{Start: start, Blocks: blocks, AS: AS{ASN: 42}})
+		db, err := b.Build()
+		if err != nil {
+			return false
+		}
+		if _, ok := db.LookupPrefix(start - 1); ok {
+			return false
+		}
+		if _, ok := db.LookupPrefix(start + ipaddr.Prefix24(blocks)); ok {
+			return false
+		}
+		for i := 0; i < blocks; i++ {
+			as, ok := db.LookupPrefix(start + ipaddr.Prefix24(i))
+			if !ok || as.ASN != 42 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if SouthAmerica.String() != "South America" || Oceania.String() != "Oceania" {
+		t.Error("continent names wrong")
+	}
+	if Cellular.String() != "cellular" || Backbone.String() != "backbone" {
+		t.Error("access type names wrong")
+	}
+	if Continent(99).String() == "" || AccessType(99).String() == "" {
+		t.Error("out-of-range labels must not be empty")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	for c := Continent(0); int(c) < NumContinents; c++ {
+		got, err := ParseContinent(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseContinent(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseContinent("Atlantis"); err == nil {
+		t.Error("bogus continent accepted")
+	}
+	for _, a := range []AccessType{Broadband, Cellular, Satellite, Datacenter, Backbone, Mixed} {
+		got, err := ParseAccessType(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseAccessType(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseAccessType("carrier-pigeon"); err == nil {
+		t.Error("bogus access type accepted")
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	as := AS{ASN: 26599, Owner: "TELEFONICA BRASIL", Type: Cellular, Continent: SouthAmerica}
+	b, err := json.Marshal(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"cellular"`) || !strings.Contains(string(b), `"South America"`) {
+		t.Errorf("JSON not human-readable: %s", b)
+	}
+	var got AS
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != as {
+		t.Errorf("roundtrip: %+v != %+v", got, as)
+	}
+}
+
+func TestJSONRejectsUnknownNames(t *testing.T) {
+	var c Continent
+	if err := json.Unmarshal([]byte(`"Mars"`), &c); err == nil {
+		t.Error("bogus continent unmarshaled")
+	}
+	var a AccessType
+	if err := json.Unmarshal([]byte(`"quantum"`), &a); err == nil {
+		t.Error("bogus access type unmarshaled")
+	}
+	if err := json.Unmarshal([]byte(`42`), &c); err == nil {
+		t.Error("non-string continent unmarshaled")
+	}
+}

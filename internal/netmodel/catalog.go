@@ -1,0 +1,142 @@
+// Package netmodel synthesizes the Internet address population the study
+// measures. Because the live 2015 Internet (and ISI's archived view of it)
+// is not available offline, the population is generated: a catalog of
+// autonomous systems — the cellular, satellite, broadband, backbone and
+// datacenter networks the paper attributes latency to — each owning a range
+// of /24 blocks whose per-address behavior (base latency, loss, radio
+// wake-up, bufferbloat, buffered-outage flushes, broadcast responders,
+// duplicate/DoS responders, firewalls) is a deterministic function of the
+// population seed. Every scan of the same seeded population therefore sees
+// the same hosts, which is what lets the reproduction exhibit the paper's
+// central stability result: the same ~5% of addresses are slow in every scan.
+package netmodel
+
+import "timeouts/internal/ipmeta"
+
+// ASSpec describes one autonomous system in the synthetic population: its
+// identity, its share of the address space, and the behavioral mix of its
+// hosts.
+type ASSpec struct {
+	AS ipmeta.AS
+
+	// Weight is the AS's share of the population's address space, in
+	// arbitrary units normalized over the catalog.
+	Weight float64
+
+	// CellularFrac is the fraction of responsive hosts that behave like
+	// cellular devices (radio wake-up delay, deep queues, buffered outages).
+	// It is 1 for pure cellular carriers, intermediate for mixed ASes such
+	// as AS9829, and 0 for wireline networks.
+	CellularFrac float64
+
+	// CongestionLevel in [0,1] scales bufferbloat episode frequency and
+	// depth for the AS's non-cellular hosts. Developing-region broadband
+	// sits high; datacenter networks near zero.
+	CongestionLevel float64
+
+	// Responsiveness is the probability that an address in the AS hosts a
+	// device that answers probes at all.
+	Responsiveness float64
+
+	// SatBaseMS/SatSpreadMS define, for satellite ASes, the minimum RTT
+	// cluster (geosynchronous transit ~500 ms plus provider-specific
+	// ground-segment overhead) in milliseconds. Figure 11 shows each
+	// provider as a distinct cluster.
+	SatBaseMS, SatSpreadMS float64
+
+	// SatQueueCapMS caps satellite queueing delay; two providers in
+	// Figure 11 (Horizon, iiNet) show near-constant 99th percentiles, as if
+	// queueing were capped while the base distance varies.
+	SatQueueCapMS float64
+}
+
+// DefaultCatalog returns the synthetic AS catalog. Identities and relative
+// sizes follow the paper's Tables 4–6 (turtle/sleepy-turtle rankings) and
+// Figure 11 (satellite providers); generic per-continent eyeball, transit
+// and datacenter ASes fill out the rest of the space so that continent
+// shares match Table 5's denominators.
+func DefaultCatalog() []ASSpec {
+	mk := func(asn uint32, owner string, typ ipmeta.AccessType, cont ipmeta.Continent) ipmeta.AS {
+		return ipmeta.AS{ASN: asn, Owner: owner, Type: typ, Continent: cont}
+	}
+	return []ASSpec{
+		// --- Cellular carriers from Tables 4 and 6, sized so the turtle
+		// ranking reproduces: Telefonica Brasil ~2x the next AS.
+		{AS: mk(26599, "TELEFONICA BRASIL", ipmeta.Cellular, ipmeta.SouthAmerica),
+			Weight: 12, CellularFrac: 0.97, CongestionLevel: 0.5, Responsiveness: 0.28},
+		{AS: mk(26615, "Tim Celular S.A.", ipmeta.Cellular, ipmeta.SouthAmerica),
+			Weight: 5, CellularFrac: 0.92, CongestionLevel: 0.5, Responsiveness: 0.28},
+		{AS: mk(45609, "Bharti Airtel Ltd.", ipmeta.Cellular, ipmeta.Asia),
+			Weight: 4.5, CellularFrac: 0.97, CongestionLevel: 0.5, Responsiveness: 0.28},
+		{AS: mk(22394, "Cellco Partnership", ipmeta.Cellular, ipmeta.NorthAmerica),
+			Weight: 2, CellularFrac: 0.92, CongestionLevel: 0.3, Responsiveness: 0.28},
+		{AS: mk(1257, "TELE2", ipmeta.Cellular, ipmeta.Europe),
+			Weight: 2.4, CellularFrac: 0.87, CongestionLevel: 0.3, Responsiveness: 0.28},
+		{AS: mk(27831, "Colombia Movil", ipmeta.Cellular, ipmeta.SouthAmerica),
+			Weight: 2, CellularFrac: 0.85, CongestionLevel: 0.5, Responsiveness: 0.28},
+		{AS: mk(6306, "VENEZOLAN", ipmeta.Cellular, ipmeta.SouthAmerica),
+			Weight: 2.2, CellularFrac: 0.95, CongestionLevel: 0.6, Responsiveness: 0.28},
+		{AS: mk(35819, "Etihad Etisalat (Mobily)", ipmeta.Cellular, ipmeta.Asia),
+			Weight: 1.8, CellularFrac: 0.70, CongestionLevel: 0.4, Responsiveness: 0.28},
+		{AS: mk(12430, "VODAFONE ESPANA S.A.U.", ipmeta.Cellular, ipmeta.Europe),
+			Weight: 1.0, CellularFrac: 0.60, CongestionLevel: 0.3, Responsiveness: 0.28,
+		},
+		// AS9829 offers cellular alongside wireline; only ~30% of its
+		// probed addresses are turtles (Table 4).
+		{AS: mk(9829, "National Internet Backbone", ipmeta.Mixed, ipmeta.Asia),
+			Weight: 6, CellularFrac: 0.35, CongestionLevel: 0.6, Responsiveness: 0.25},
+		// Chinanet: enormous, overwhelmingly wireline; contributes many
+		// turtles in absolute count at ~1% incidence.
+		{AS: mk(4134, "Chinanet", ipmeta.Backbone, ipmeta.Asia),
+			Weight: 110, CellularFrac: 0.008, CongestionLevel: 0.35, Responsiveness: 0.22},
+		// Telefonica de Espana: wireline with a sleepy tail (Table 6 only).
+		{AS: mk(3352, "TELEFONICA DE ESPANA", ipmeta.Broadband, ipmeta.Europe),
+			Weight: 11, CellularFrac: 0.015, CongestionLevel: 0.35, Responsiveness: 0.25},
+
+		// --- Satellite providers from Figure 11. Tiny populations with
+		// distinct base-latency clusters; Horizon and iiNet get capped
+		// queues (near-constant 99th percentile).
+		{AS: mk(6621, "Hughes Network Systems", ipmeta.Satellite, ipmeta.NorthAmerica),
+			Weight: 0.8, Responsiveness: 0.18, SatBaseMS: 560, SatSpreadMS: 60, SatQueueCapMS: 2200},
+		{AS: mk(7155, "ViaSat", ipmeta.Satellite, ipmeta.NorthAmerica),
+			Weight: 0.55, Responsiveness: 0.18, SatBaseMS: 620, SatSpreadMS: 50, SatQueueCapMS: 2000},
+		{AS: mk(29286, "Skylogic", ipmeta.Satellite, ipmeta.Europe),
+			Weight: 0.2, Responsiveness: 0.18, SatBaseMS: 700, SatSpreadMS: 80, SatQueueCapMS: 2400},
+		{AS: mk(45787, "BayCity", ipmeta.Satellite, ipmeta.Oceania),
+			Weight: 0.1, Responsiveness: 0.18, SatBaseMS: 660, SatSpreadMS: 70, SatQueueCapMS: 2100},
+		{AS: mk(4739, "iiNet", ipmeta.Satellite, ipmeta.Oceania),
+			Weight: 0.15, Responsiveness: 0.18, SatBaseMS: 600, SatSpreadMS: 300, SatQueueCapMS: 900},
+		{AS: mk(56089, "On Line", ipmeta.Satellite, ipmeta.Europe),
+			Weight: 0.1, Responsiveness: 0.18, SatBaseMS: 760, SatSpreadMS: 60, SatQueueCapMS: 2300},
+		{AS: mk(45638, "Skymesh", ipmeta.Satellite, ipmeta.Oceania),
+			Weight: 0.1, Responsiveness: 0.18, SatBaseMS: 640, SatSpreadMS: 60, SatQueueCapMS: 2200},
+		{AS: mk(17495, "Telesat", ipmeta.Satellite, ipmeta.NorthAmerica),
+			Weight: 0.12, Responsiveness: 0.18, SatBaseMS: 580, SatSpreadMS: 90, SatQueueCapMS: 2500},
+		{AS: mk(21804, "Horizon", ipmeta.Satellite, ipmeta.NorthAmerica),
+			Weight: 0.12, Responsiveness: 0.18, SatBaseMS: 540, SatSpreadMS: 260, SatQueueCapMS: 800},
+
+		// --- Generic space: eyeball broadband, datacenter and transit per
+		// continent, sized to reproduce Table 5's continent denominators
+		// (Asia ~40%, Europe ~26%, North America ~25%, South America ~7%,
+		// Africa ~1%, Oceania ~0.6%) and turtle shares (South America and
+		// Africa congested, North America clean).
+		{AS: mk(64512, "AsiaNet Broadband", ipmeta.Broadband, ipmeta.Asia),
+			Weight: 250, CellularFrac: 0.012, CongestionLevel: 0.3, Responsiveness: 0.21},
+		{AS: mk(64513, "EuroLink Broadband", ipmeta.Broadband, ipmeta.Europe),
+			Weight: 235, CellularFrac: 0.008, CongestionLevel: 0.15, Responsiveness: 0.21},
+		{AS: mk(64514, "NorthStar Cable", ipmeta.Broadband, ipmeta.NorthAmerica),
+			Weight: 215, CellularFrac: 0.002, CongestionLevel: 0.08, Responsiveness: 0.21},
+		{AS: mk(64515, "AndesNet", ipmeta.Broadband, ipmeta.SouthAmerica),
+			Weight: 52, CellularFrac: 0.04, CongestionLevel: 0.75, Responsiveness: 0.21},
+		{AS: mk(64516, "PanAfrica Online", ipmeta.Broadband, ipmeta.Africa),
+			Weight: 10, CellularFrac: 0.30, CongestionLevel: 0.85, Responsiveness: 0.19},
+		{AS: mk(64517, "Austral Broadband", ipmeta.Broadband, ipmeta.Oceania),
+			Weight: 5.5, CellularFrac: 0.015, CongestionLevel: 0.2, Responsiveness: 0.21},
+		{AS: mk(64520, "CloudPlex Hosting", ipmeta.Datacenter, ipmeta.NorthAmerica),
+			Weight: 38, CongestionLevel: 0.01, Responsiveness: 0.34},
+		{AS: mk(64521, "RackEuro Hosting", ipmeta.Datacenter, ipmeta.Europe),
+			Weight: 20, CongestionLevel: 0.01, Responsiveness: 0.34},
+		{AS: mk(64522, "AsiaColo", ipmeta.Datacenter, ipmeta.Asia),
+			Weight: 12, CongestionLevel: 0.01, Responsiveness: 0.34},
+	}
+}

@@ -1,0 +1,76 @@
+package netmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Catalog (de)serialization: populations are configurable, so a study can
+// model a different Internet — more cellular, no satellites, a custom AS
+// mix — by loading a JSON catalog instead of editing code. cmd/surveyor and
+// cmd/zmapscan accept `-catalog file.json`.
+
+// WriteCatalog serializes a catalog as indented JSON.
+func WriteCatalog(w io.Writer, specs []ASSpec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(specs); err != nil {
+		return fmt.Errorf("netmodel: encoding catalog: %w", err)
+	}
+	return nil
+}
+
+// ReadCatalog parses a JSON catalog and validates it.
+func ReadCatalog(r io.Reader) ([]ASSpec, error) {
+	var specs []ASSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&specs); err != nil {
+		return nil, fmt.Errorf("netmodel: decoding catalog: %w", err)
+	}
+	if err := ValidateCatalog(specs); err != nil {
+		return nil, err
+	}
+	return specs, nil
+}
+
+// ValidateCatalog checks a catalog for the invariants the population
+// generator relies on.
+func ValidateCatalog(specs []ASSpec) error {
+	if len(specs) == 0 {
+		return fmt.Errorf("netmodel: catalog is empty")
+	}
+	seen := make(map[uint32]bool, len(specs))
+	total := 0.0
+	for i, s := range specs {
+		if s.AS.ASN == 0 {
+			return fmt.Errorf("netmodel: catalog entry %d has no ASN", i)
+		}
+		if seen[s.AS.ASN] {
+			return fmt.Errorf("netmodel: duplicate ASN %d", s.AS.ASN)
+		}
+		seen[s.AS.ASN] = true
+		if s.Weight <= 0 {
+			return fmt.Errorf("netmodel: AS%d has non-positive weight %v", s.AS.ASN, s.Weight)
+		}
+		total += s.Weight
+		if s.CellularFrac < 0 || s.CellularFrac > 1 {
+			return fmt.Errorf("netmodel: AS%d CellularFrac %v out of [0,1]", s.AS.ASN, s.CellularFrac)
+		}
+		if s.CongestionLevel < 0 || s.CongestionLevel > 1 {
+			return fmt.Errorf("netmodel: AS%d CongestionLevel %v out of [0,1]", s.AS.ASN, s.CongestionLevel)
+		}
+		if s.Responsiveness < 0 || s.Responsiveness > 0.87 {
+			// The late-joiner band occupies (R, R*1.15]; keep it below 1.
+			return fmt.Errorf("netmodel: AS%d Responsiveness %v out of [0,0.87]", s.AS.ASN, s.Responsiveness)
+		}
+		if s.SatBaseMS < 0 || s.SatSpreadMS < 0 || s.SatQueueCapMS < 0 {
+			return fmt.Errorf("netmodel: AS%d has negative satellite parameters", s.AS.ASN)
+		}
+	}
+	if total <= 0 {
+		return fmt.Errorf("netmodel: catalog has no weight")
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package netmodel
+
+// SleepyEvent is the exported view of a probe's fate inside a
+// buffered-outage episode, for diagnostics and tests.
+type SleepyEvent struct {
+	Mode  SleepyMode
+	Lost  bool
+	Delay float64 // seconds
+}
+
+// SleepyAt exposes the sleepy-episode decision for a probe at time t
+// (seconds), for diagnostics and tests.
+func (p *Population) SleepyAt(pr *Profile, t float64) (SleepyEvent, bool) {
+	ev, ok := p.sleepyAt(pr, t)
+	if !ok {
+		return SleepyEvent{}, false
+	}
+	return SleepyEvent{Mode: ev.mode, Lost: ev.lost, Delay: ev.delay}, true
+}
+
+// CongestionDelayAt exposes the queueing-delay draw for a probe at time t
+// (seconds), for diagnostics and tests.
+func (p *Population) CongestionDelayAt(pr *Profile, level float64, t float64) float64 {
+	return p.congestionDelay(pr, level, t)
+}

@@ -1,0 +1,426 @@
+package netmodel
+
+import (
+	"fmt"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/ipmeta"
+	"timeouts/internal/simnet"
+	"timeouts/internal/wire"
+	"timeouts/internal/xrand"
+)
+
+// Additional hash salts for per-probe draws.
+const (
+	saltProbeLoss = 30 + iota
+	saltBcastResp
+	saltSvcJitter
+	saltFwJitter
+	saltGwJitter
+	saltDupChunk
+	saltAwake
+)
+
+// propRTT is the base round-trip propagation between continents in seconds,
+// indexed [vantage continent][host continent] in ipmeta order (SA, Asia,
+// Europe, Africa, NA, Oceania). Symmetric.
+var propRTT = [ipmeta.NumContinents][ipmeta.NumContinents]float64{
+	{0.040, 0.260, 0.210, 0.290, 0.150, 0.280},
+	{0.260, 0.060, 0.230, 0.280, 0.160, 0.140},
+	{0.210, 0.230, 0.040, 0.160, 0.130, 0.280},
+	{0.290, 0.280, 0.160, 0.060, 0.200, 0.320},
+	{0.150, 0.160, 0.130, 0.200, 0.040, 0.160},
+	{0.280, 0.140, 0.280, 0.320, 0.160, 0.050},
+}
+
+// PropagationRTT exposes the base inter-continent RTT (for tests and docs).
+func PropagationRTT(vantage, host ipmeta.Continent) time.Duration {
+	return time.Duration(propRTT[vantage][host] * float64(time.Second))
+}
+
+// hostState is the minimal per-host mutable state: cellular radio activity.
+// Everything else the model does is a pure function of (seed, addr, time).
+type hostState struct {
+	lastActive float64 // time the radio was last carrying traffic
+	wakeUntil  float64 // if > lastActive, radio is mid-wake until this time
+	used       bool
+}
+
+// Model implements simnet.Fabric over a Population: it turns probe packets
+// into the deliveries a 2015-Internet host population would have produced.
+type Model struct {
+	pop      *Population
+	vantages map[ipaddr.Addr]ipmeta.Continent
+	state    map[ipaddr.Addr]*hostState
+
+	// Stats counts model decisions, useful for validating population
+	// composition in tests.
+	Stats struct {
+		EchoProbes, UDPProbes, TCPProbes uint64
+		Lost, Sleepy, Woken              uint64
+		BroadcastFanouts                 uint64
+	}
+}
+
+// NewModel wraps a population in a fabric.
+func NewModel(pop *Population) *Model {
+	return &Model{
+		pop:      pop,
+		vantages: make(map[ipaddr.Addr]ipmeta.Continent),
+		state:    make(map[ipaddr.Addr]*hostState),
+	}
+}
+
+// Population returns the underlying population.
+func (m *Model) Population() *Population { return m.pop }
+
+// AddVantage registers a prober address and its continent. Probes must
+// originate from registered vantages so the model can compute propagation.
+func (m *Model) AddVantage(addr ipaddr.Addr, c ipmeta.Continent) {
+	m.vantages[addr] = c
+}
+
+// ResetRadioState clears cellular radio state, as if all devices had been
+// idle for a long time. Tools use it between independent experiments.
+func (m *Model) ResetRadioState() { m.state = make(map[ipaddr.Addr]*hostState) }
+
+// Respond implements simnet.Fabric.
+func (m *Model) Respond(from ipaddr.Addr, at simnet.Time, pkt []byte) []simnet.Delivery {
+	vc, ok := m.vantages[from]
+	if !ok {
+		panic(fmt.Sprintf("netmodel: probe from unregistered vantage %s", from))
+	}
+	p, err := wire.Decode(pkt)
+	if err != nil {
+		return nil // a malformed probe dies in the network
+	}
+	t := at.Seconds()
+	// TTL expiry: a probe whose TTL is smaller than the path's hop count
+	// dies at that router, which answers with ICMP time exceeded — the
+	// mechanism traceroute exploits.
+	if p.IP.TTL > 0 && int(p.IP.TTL) < m.pop.hostHops(vc, p.IP.Dst) {
+		return m.timeExceeded(vc, from, p, t)
+	}
+	switch {
+	case p.Echo != nil && p.Echo.Type == wire.ICMPTypeEchoRequest:
+		m.Stats.EchoProbes++
+		return m.respondEcho(vc, from, p, t)
+	case p.UDP != nil:
+		m.Stats.UDPProbes++
+		return m.respondUDP(vc, from, p, t)
+	case p.TCP != nil:
+		m.Stats.TCPProbes++
+		return m.respondTCP(vc, from, p, t)
+	}
+	return nil
+}
+
+// respondEcho handles an ICMP echo request.
+func (m *Model) respondEcho(vc ipmeta.Continent, from ipaddr.Addr, p *wire.Packet, t float64) []simnet.Delivery {
+	dst := p.IP.Dst
+	bp := m.pop.BlockProfile(dst.Prefix())
+
+	// Probes to subnet network/broadcast addresses can fan out (§3.3.1).
+	if bp.IsSpecial(dst.LastOctet()) && m.pop.Contains(dst) {
+		return m.respondBroadcast(vc, from, p, bp, t)
+	}
+
+	pr := m.pop.Profile(dst)
+	if !m.responsiveAt(&pr, t) {
+		return m.gatewayError(vc, from, p, &pr, t)
+	}
+	delay, ok := m.pathDelay(&pr, vc, t)
+	if !ok {
+		return nil
+	}
+	reply := wire.EncodeEchoTTL(dst, from, p.Echo.Reply(), m.pop.ReplyTTL(vc, dst))
+	return m.withDuplicates(&pr, t, delay, reply)
+}
+
+// respondUDP handles a UDP probe: hosts answer with ICMP port unreachable
+// (no servers listen on the prober's high ports), which still measures the
+// full path and host wake-up, so "all protocols are treated the same" (§5.3).
+func (m *Model) respondUDP(vc ipmeta.Continent, from ipaddr.Addr, p *wire.Packet, t float64) []simnet.Delivery {
+	dst := p.IP.Dst
+	pr := m.pop.Profile(dst)
+	if !m.responsiveAt(&pr, t) {
+		return m.gatewayError(vc, from, p, &pr, t)
+	}
+	delay, ok := m.pathDelay(&pr, vc, t)
+	if !ok {
+		return nil
+	}
+	// Quote the probe's IP header + first 8 payload bytes, per RFC 792.
+	quote := quoteFor(p)
+	reply := wire.EncodeICMPErrorTTL(dst, from, &wire.ICMPError{
+		Type: wire.ICMPTypeDstUnreachable, Code: wire.ICMPCodePortUnreachable, Original: quote,
+	}, m.pop.ReplyTTL(vc, dst))
+	return []simnet.Delivery{{Delay: durOf(delay), Data: reply}}
+}
+
+// respondTCP handles a TCP ACK probe: a perimeter firewall may answer with
+// an immediate RST for the whole block; otherwise the host itself RSTs
+// after the full path delay.
+func (m *Model) respondTCP(vc ipmeta.Continent, from ipaddr.Addr, p *wire.Packet, t float64) []simnet.Delivery {
+	dst := p.IP.Dst
+	bp := m.pop.BlockProfile(dst.Prefix())
+	if bp.FirewallTCPRST {
+		pr := m.pop.Profile(dst) // for continent lookup; works even if unresponsive
+		cont := pr.AS.Continent
+		rng := xrand.New(m.pop.cfg.Seed, uint64(dst), saltFwJitter, uint64(int64(t*1e6)))
+		delay := propRTT[vc][cont]*(0.85+0.1*rng.Float64()) + 0.045 + rng.Exp(0.03)
+		rst := p.TCP.RST()
+		reply := wire.EncodeTCPTTL(dst, from, rst, m.pop.FirewallTTL(vc, dst.Prefix()))
+		return []simnet.Delivery{{Delay: durOf(delay), Data: reply}}
+	}
+	pr := m.pop.Profile(dst)
+	if !m.responsiveAt(&pr, t) {
+		return nil
+	}
+	delay, ok := m.pathDelay(&pr, vc, t)
+	if !ok {
+		return nil
+	}
+	reply := wire.EncodeTCPTTL(dst, from, p.TCP.RST(), m.pop.ReplyTTL(vc, dst))
+	return []simnet.Delivery{{Delay: durOf(delay), Data: reply}}
+}
+
+// respondBroadcast fans an echo request sent to a subnet broadcast (or
+// network) address out to the subnet's devices; those configured to answer
+// reply with their *own* source address (§3.3.1, Figure 2).
+func (m *Model) respondBroadcast(vc ipmeta.Continent, from ipaddr.Addr, p *wire.Packet, bp BlockProfile, t float64) []simnet.Delivery {
+	last := p.IP.Dst.LastOctet()
+	isBcast := bp.IsBroadcast(last)
+	if isBcast && !bp.BroadcastEnabled {
+		return nil
+	}
+	if !isBcast && !bp.NetworkReplies {
+		return nil
+	}
+	var out []simnet.Delivery
+	base := bp.SubnetOf(last)
+	seed := m.pop.cfg.Seed
+	for i := 0; i < bp.SubnetSize(); i++ {
+		a := p.IP.Dst.Prefix().Addr(base + byte(i))
+		if a == p.IP.Dst {
+			continue
+		}
+		pr := m.pop.Profile(a)
+		if !pr.RespondsToBroadcast {
+			continue
+		}
+		// Answering the network address is the rarer, old-stack behavior.
+		if !isBcast && xrand.HashFloat(seed, uint64(a), saltBcastResp) > 0.6 {
+			continue
+		}
+		// Most broadcast responders answer nearly every round; a rare few
+		// answer only ~once in 50 rounds — the population behind the
+		// paper's 0.13% filter false-negative rate (§3.3.1).
+		brLoss := 0.02
+		if xrand.HashFloat(seed, uint64(a), saltBcastResp, 7) < 0.01 {
+			brLoss = 0.98
+		}
+		if xrand.HashFloat(seed, uint64(a), saltBcastResp, uint64(int64(t*1e6))) < brLoss {
+			continue
+		}
+		// Broadcast responders are LAN devices; their latency is the plain
+		// path plus their access link — deliberately *stable*, which is the
+		// property the paper's EWMA filter keys on. Their access component
+		// is drawn here because many of them are not directly responsive
+		// and so carry no access profile.
+		jitter := 0.8 + 0.7*xrand.HashFloat(seed, uint64(a), saltDistance)
+		access := 0.01 + 0.05*xrand.HashFloat(seed, uint64(a), saltAccess)
+		rng := xrand.New(seed, uint64(a), saltSvcJitter, uint64(int64(t*1e6)))
+		delay := propRTT[vc][pr.AS.Continent]*jitter + access + rng.Exp(0.006)
+		reply := wire.EncodeEchoTTL(a, from, p.Echo.Reply(), m.pop.ReplyTTL(vc, a))
+		out = append(out, simnet.Delivery{Delay: durOf(delay), Data: reply})
+	}
+	if len(out) > 0 {
+		m.Stats.BroadcastFanouts++
+	}
+	return out
+}
+
+// timeExceeded answers a TTL-expired probe from the router at that hop.
+// The delay scales with how far along the path the probe died.
+func (m *Model) timeExceeded(vc ipmeta.Continent, from ipaddr.Addr, p *wire.Packet, t float64) []simnet.Delivery {
+	dst := p.IP.Dst
+	hop := int(p.IP.TTL)
+	hops := m.pop.hostHops(vc, dst)
+	router := m.pop.RouterAddr(vc, dst, hop)
+	spec, ok := m.pop.spec(dst.Prefix())
+	cont := vc
+	if ok && hop > hops/2 {
+		cont = spec.AS.Continent
+	}
+	frac := float64(hop) / float64(hops)
+	rng := xrand.New(m.pop.cfg.Seed, uint64(dst), saltGwJitter, uint64(int64(t*1e6)), uint64(hop))
+	// Routers rate-limit ICMP generation (RFC 1812); drop some requests.
+	if rng.Float64() < 0.08 {
+		return nil
+	}
+	delay := propRTT[vc][cont]*frac*(0.9+0.2*rng.Float64()) + 0.004 + rng.Exp(0.01)
+	ttl := byte(255 - hop)
+	reply := wire.EncodeICMPErrorTTL(router, from, &wire.ICMPError{
+		Type: wire.ICMPTypeTimeExceeded, Code: 0, Original: quoteFor(p),
+	}, ttl)
+	return []simnet.Delivery{{Delay: durOf(delay), Data: reply}}
+}
+
+// gatewayError emits a host-unreachable from the block gateway for a small
+// share of unoccupied addresses. The survey records these and then ignores
+// the probes (§3.1: "we ignore all probes associated with such responses").
+func (m *Model) gatewayError(vc ipmeta.Continent, from ipaddr.Addr, p *wire.Packet, pr *Profile, t float64) []simnet.Delivery {
+	if !pr.ICMPErrorResponder {
+		return nil
+	}
+	gw := p.IP.Dst.Prefix().Addr(1)
+	rng := xrand.New(m.pop.cfg.Seed, uint64(p.IP.Dst), saltGwJitter, uint64(int64(t*1e6)))
+	delay := propRTT[vc][pr.AS.Continent]*(0.9+0.2*rng.Float64()) + 0.01 + rng.Exp(0.01)
+	reply := wire.EncodeICMPErrorTTL(gw, from, &wire.ICMPError{
+		Type: wire.ICMPTypeDstUnreachable, Code: wire.ICMPCodeHostUnreachable, Original: quoteFor(p),
+	}, m.pop.GatewayTTL(vc, p.IP.Dst.Prefix()))
+	return []simnet.Delivery{{Delay: durOf(delay), Data: reply}}
+}
+
+// pathDelay computes the full probe->response delay for a responsive host,
+// or reports the probe lost. It is the composition of the model's latency
+// sources: loss, buffered-outage episodes, cellular wake-up, queueing, and
+// the base path.
+func (m *Model) pathDelay(pr *Profile, vc ipmeta.Continent, t float64) (float64, bool) {
+	seed, key := m.pop.cfg.Seed, uint64(pr.Addr)
+
+	// Plain packet loss.
+	if xrand.HashFloat(seed, key, saltProbeLoss, uint64(int64(t*1e6))) < pr.LossRate {
+		m.Stats.Lost++
+		return 0, false
+	}
+
+	svc := propRTT[vc][pr.AS.Continent]*pr.DistanceJitter + pr.AccessRTT + pr.SatBase
+	rng := xrand.New(seed, key, saltSvcJitter, uint64(int64(t*1e6)))
+	svc += rng.Exp(0.008)
+
+	// Buffered-outage episodes override everything else: the device is
+	// unreachable and its probes are buffered, delayed enormously, or lost.
+	if ev, in := m.pop.sleepyAt(pr, t); in {
+		m.Stats.Sleepy++
+		if ev.lost {
+			return 0, false
+		}
+		return svc + ev.delay, true
+	}
+
+	var hold float64
+	if pr.Class == ClassCellular {
+		hold = m.wakeHold(pr, t)
+		if hold > 0 {
+			m.Stats.Woken++
+		}
+	}
+
+	queue := m.pop.congestionDelay(pr, m.congLevel(pr), t)
+	return svc + queue + hold, true
+}
+
+// responsiveAt reports whether the host answers probes at time t,
+// accounting for late joiners.
+func (m *Model) responsiveAt(pr *Profile, t float64) bool {
+	return pr.Responsive && t >= pr.JoinTime
+}
+
+// congLevel returns the AS congestion level for the profile's AS.
+func (m *Model) congLevel(pr *Profile) float64 {
+	spec, ok := m.pop.spec(pr.Addr.Prefix())
+	if !ok {
+		return 0
+	}
+	return spec.CongestionLevel
+}
+
+// wakeHold advances the cellular radio state machine for a probe arriving
+// at t and returns how long the probe is held before the device can answer.
+// Probes arriving while the radio negotiates are all released together when
+// it is ready — which is why the paper sees RTT1-RTT2 differences of almost
+// exactly the probe spacing (Figure 12).
+func (m *Model) wakeHold(pr *Profile, t float64) float64 {
+	st := m.state[pr.Addr]
+	if st == nil {
+		st = &hostState{}
+		m.state[pr.Addr] = st
+	}
+	var hold float64
+	switch {
+	case st.used && t < st.wakeUntil:
+		hold = st.wakeUntil - t
+	case !st.used || t-st.lastActive > pr.IdleTimeout:
+		// The device's own traffic sometimes has the radio up already; for
+		// those probes the first ping pays no penalty. This is the minority of
+		// high-latency addresses the paper finds with RTT1 at or below the
+		// median of the rest (§6.3).
+		if xrand.HashFloat(m.pop.cfg.Seed, uint64(pr.Addr), saltAwake, uint64(int64(t*1e6))) < 0.25 {
+			break
+		}
+		w := drawWake(m.pop.cfg.Seed, uint64(pr.Addr), t)
+		st.wakeUntil = t + w
+		hold = w
+	}
+	st.used = true
+	if t+hold > st.lastActive {
+		st.lastActive = t + hold
+	}
+	return hold
+}
+
+// withDuplicates wraps a reply according to the host's duplication profile:
+// most hosts send one copy; duplicating links send 2-4 together; DoS-style
+// responders send huge counts spread over minutes (§3.3.2, Figure 5).
+func (m *Model) withDuplicates(pr *Profile, t, delay float64, reply []byte) []simnet.Delivery {
+	switch {
+	case pr.DupCount < 2:
+		return []simnet.Delivery{{Delay: durOf(delay), Data: reply}}
+	case pr.DupCount <= 4:
+		return []simnet.Delivery{{Delay: durOf(delay), Data: reply, Count: pr.DupCount}}
+	}
+	// Flood: first copy at the natural delay, the rest in chunks over the
+	// following minutes (the paper saw ~11M responses inside 11 minutes).
+	rng := xrand.New(m.pop.cfg.Seed, uint64(pr.Addr), saltDupChunk, uint64(int64(t*1e6)))
+	const chunks = 8
+	out := make([]simnet.Delivery, 0, chunks+1)
+	out = append(out, simnet.Delivery{Delay: durOf(delay), Data: reply})
+	remaining := pr.DupCount - 1
+	spread := 60 + 540*rng.Float64()
+	for i := 0; i < chunks && remaining > 0; i++ {
+		n := remaining / (chunks - i)
+		if i == chunks-1 {
+			n = remaining
+		}
+		if n == 0 {
+			continue
+		}
+		remaining -= n
+		at := delay + spread*float64(i+1)/chunks*(0.8+0.4*rng.Float64())
+		out = append(out, simnet.Delivery{Delay: durOf(at), Data: reply, Count: n})
+	}
+	return out
+}
+
+// quoteFor builds the ICMP error quote: the probe's IPv4 header plus its
+// first 8 payload bytes, per RFC 792.
+func quoteFor(p *wire.Packet) []byte {
+	h := p.IP
+	q := h.AppendTo(nil)
+	n := len(p.L4)
+	if n > 8 {
+		n = 8
+	}
+	return append(q, p.L4[:n]...)
+}
+
+// durOf converts seconds to a Duration, clamping negatives to zero.
+func durOf(s float64) time.Duration {
+	if s < 0 {
+		s = 0
+	}
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,152 @@
+package outage
+
+import (
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/ipmeta"
+	"timeouts/internal/scamper"
+	"timeouts/internal/simnet"
+)
+
+// Hubble-style monitoring (Katz-Bassett et al., NSDI 2008 — the paper's
+// reference [10] and another of §2.2's baselines): ICMP echo probes with a
+// 2-second timeout; after a failed probe it waits two minutes, retransmits
+// six times, and finally "declares reachability with traceroutes" — if the
+// path is visible almost to the destination, the problem is the host or the
+// last hop, not the network.
+
+// HubbleConfig parameterizes the monitor.
+type HubbleConfig struct {
+	Src       ipaddr.Addr
+	Continent ipmeta.Continent
+	// TracerouteSrc is a second prober address for the confirmation
+	// traceroutes (must be registered with the model).
+	TracerouteSrc ipaddr.Addr
+	// Timeout per echo probe (Hubble: 2 s).
+	Timeout time.Duration
+	// RetransmitWait after a failed probe (Hubble: 2 minutes).
+	RetransmitWait time.Duration
+	// Retransmits after the wait (Hubble: 6).
+	Retransmits int
+	// Interval between monitoring rounds; Rounds of monitoring.
+	Interval time.Duration
+	Rounds   int
+	// MaxHops for the confirmation traceroute.
+	MaxHops int
+	Start   simnet.Time
+}
+
+func (c HubbleConfig) withDefaults() HubbleConfig {
+	if c.Timeout == 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.RetransmitWait == 0 {
+		c.RetransmitWait = 2 * time.Minute
+	}
+	if c.Retransmits == 0 {
+		c.Retransmits = 6
+	}
+	if c.Interval == 0 {
+		c.Interval = 15 * time.Minute
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 4
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 30
+	}
+	return c
+}
+
+// HubbleReport summarizes one host.
+type HubbleReport struct {
+	Addr ipaddr.Addr
+	// Rounds monitored; Suspect counts rounds whose initial probe failed;
+	// Confirmed counts rounds where every retransmission also failed.
+	Rounds, Suspect, Confirmed int
+	// TracerouteRuns counts confirmation traceroutes; PathVisible counts
+	// those that reached at least MostHops-2 hops (the path works);
+	// ReachedAnyway counts those where the traceroute's own probe drew an
+	// echo reply from the "down" host — a false outage caught red-handed.
+	TracerouteRuns, PathVisible, ReachedAnyway int
+}
+
+// MonitorHubble runs the Hubble strategy over the addresses and drains the
+// scheduler.
+func MonitorHubble(net *simnet.Network, cfg HubbleConfig, addrs []ipaddr.Addr) []HubbleReport {
+	cfg = cfg.withDefaults()
+	pr := newProber(net, cfg.Src)
+	defer pr.close()
+	tr := scamper.New(net, cfg.TracerouteSrc, cfg.Continent)
+	defer tr.Close()
+	reports := make([]HubbleReport, len(addrs))
+	sched := net.Scheduler()
+
+	// Traceroutes are evaluated after the scheduler drains; remember which
+	// (host, round) triggered one. Hop results for repeated traceroutes to
+	// the same host merge, so per-run attribution is approximate — fine
+	// for the aggregate rates this baseline reports.
+	type trRun struct {
+		idx  int
+		dst  ipaddr.Addr
+		hops int
+	}
+	var trRuns []trRun
+
+	for i, a := range addrs {
+		i, a := i, a
+		reports[i].Addr = a
+		for round := 0; round < cfg.Rounds; round++ {
+			round := round
+			sched.At(cfg.Start+simnet.Time(round)*cfg.Interval, func() {
+				reports[i].Rounds++
+				seq := uint16(round * 8)
+				pr.ping(a, seq, cfg.Timeout,
+					func(time.Duration) {},
+					func() {
+						reports[i].Suspect++
+						// Wait two minutes, then retransmit.
+						fails := 0
+						var retry func(k int)
+						retry = func(k int) {
+							if k >= cfg.Retransmits {
+								reports[i].Confirmed++
+								reports[i].TracerouteRuns++
+								trRuns = append(trRuns, trRun{idx: i, dst: a, hops: cfg.MaxHops})
+								tr.ScheduleTraceroute(a, sched.Now(), cfg.MaxHops, 200*time.Millisecond)
+								return
+							}
+							pr.ping(a, seq+1+uint16(k), cfg.Timeout,
+								func(time.Duration) {},
+								func() {
+									fails++
+									retry(k + 1)
+								})
+						}
+						sched.After(cfg.RetransmitWait, func() { retry(0) })
+					})
+			})
+		}
+	}
+	sched.Run()
+
+	for _, run := range trRuns {
+		hops := tr.TracerouteResults(run.dst)
+		if tr.ReachedHop(run.dst) > 0 {
+			reports[run.idx].ReachedAnyway++
+			reports[run.idx].PathVisible++
+			continue
+		}
+		deepest := 0
+		for _, h := range hops {
+			if h.Responded && h.Hop > deepest {
+				deepest = h.Hop
+			}
+		}
+		if deepest >= run.hops*2/3 {
+			reports[run.idx].PathVisible++
+		}
+	}
+	return reports
+}

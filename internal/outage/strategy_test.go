@@ -1,0 +1,164 @@
+package outage
+
+import (
+	"testing"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/simnet"
+	"timeouts/internal/wire"
+)
+
+// wakeFabric mimics a cellular host: the first probe of a burst is answered
+// after `wake`; probes arriving within the wake window are answered at the
+// same instant (like the model's radio hold).
+type wakeFabric struct {
+	wake      time.Duration
+	wakeUntil simnet.Time
+	last      simnet.Time
+}
+
+func (f *wakeFabric) Respond(from ipaddr.Addr, at simnet.Time, pkt []byte) []simnet.Delivery {
+	p, err := wire.Decode(pkt)
+	if err != nil || p.Echo == nil {
+		return nil
+	}
+	if at > f.last+simnet.Time(30*time.Second) || f.last == 0 {
+		f.wakeUntil = at + simnet.Time(f.wake)
+	}
+	release := at
+	if at < f.wakeUntil {
+		release = f.wakeUntil
+	}
+	f.last = release
+	reply := wire.EncodeEcho(p.IP.Dst, p.IP.Src, p.Echo.Reply())
+	return []simnet.Delivery{{Delay: release - at + simnet.Time(100*time.Millisecond), Data: reply}}
+}
+
+func strategyNet(f simnet.Fabric) *simnet.Network {
+	sched := &simnet.Scheduler{}
+	return simnet.NewNetwork(sched, f)
+}
+
+func TestTCPStyleRescuesSlowHost(t *testing.T) {
+	// A host that takes 8 s to answer: a 3 s fixed timeout calls every
+	// round down; the TCP-style monitor retransmits at 3 s but keeps
+	// listening, so every round is up — answered late.
+	net := strategyNet(&slowFabric{delay: 8 * time.Second})
+	addr := []ipaddr.Addr{ipaddr.MustParse("1.2.3.4")}
+	reps := MonitorTCPStyle(net, StrategyConfig{
+		Src: ipaddr.MustParse("240.0.4.1"), Rounds: 4,
+		RetransmitAfter: 3 * time.Second, ListenFor: 60 * time.Second,
+	}, addr)
+	r := reps[0]
+	if r.DownRounds != 0 {
+		t.Errorf("down rounds = %d", r.DownRounds)
+	}
+	if r.AnsweredLate != 4 || r.AnsweredFast != 0 {
+		t.Errorf("late=%d fast=%d", r.AnsweredLate, r.AnsweredFast)
+	}
+	// Retransmissions fired (responsiveness preserved).
+	if r.ProbesSent <= r.Rounds {
+		t.Errorf("no retransmissions: %d probes in %d rounds", r.ProbesSent, r.Rounds)
+	}
+}
+
+func TestTCPStyleFastHostAnswersFast(t *testing.T) {
+	net := strategyNet(&slowFabric{delay: 100 * time.Millisecond})
+	addr := []ipaddr.Addr{ipaddr.MustParse("1.2.3.4")}
+	reps := MonitorTCPStyle(net, StrategyConfig{
+		Src: ipaddr.MustParse("240.0.4.1"), Rounds: 3,
+	}, addr)
+	r := reps[0]
+	if r.AnsweredFast != 3 || r.AnsweredLate != 0 || r.DownRounds != 0 {
+		t.Errorf("%+v", r)
+	}
+	if r.ProbesSent != 3 {
+		t.Errorf("probes = %d, want no retransmissions", r.ProbesSent)
+	}
+}
+
+func TestTCPStyleDeadHostStillDown(t *testing.T) {
+	net := strategyNet(silentFabric{})
+	addr := []ipaddr.Addr{ipaddr.MustParse("1.2.3.4")}
+	reps := MonitorTCPStyle(net, StrategyConfig{
+		Src: ipaddr.MustParse("240.0.4.1"), Rounds: 2, Retransmits: 2,
+		RetransmitAfter: time.Second, ListenFor: 10 * time.Second,
+	}, addr)
+	r := reps[0]
+	if r.DownRounds != 2 {
+		t.Errorf("down rounds = %d", r.DownRounds)
+	}
+	if r.ProbesSent != 2*3 {
+		t.Errorf("probes = %d", r.ProbesSent)
+	}
+}
+
+func TestRTTEstimator(t *testing.T) {
+	var e rttEstimator
+	if e.rto() != 0 {
+		t.Error("uninitialized RTO should be 0")
+	}
+	e.observe(100 * time.Millisecond)
+	// First sample: SRTT=100ms, RTTVAR=50ms, RTO=300ms.
+	if e.rto() != 300*time.Millisecond {
+		t.Errorf("initial RTO = %v", e.rto())
+	}
+	// Constant samples shrink the variance toward zero.
+	for i := 0; i < 50; i++ {
+		e.observe(100 * time.Millisecond)
+	}
+	if e.rto() > 120*time.Millisecond {
+		t.Errorf("converged RTO = %v", e.rto())
+	}
+}
+
+func TestAdaptiveMonitorLearnsSlowHost(t *testing.T) {
+	// 5s responder with a 60s max RTO: the first round may be lossy (the
+	// seed RTO is 3s), but the estimator learns and later rounds succeed.
+	net := strategyNet(&slowFabric{delay: 5 * time.Second})
+	addr := []ipaddr.Addr{ipaddr.MustParse("1.2.3.4")}
+	reps := MonitorAdaptive(net, AdaptiveConfig{
+		Src: ipaddr.MustParse("240.0.4.1"), Rounds: 5, Retries: 3,
+		InitialRTO: 3 * time.Second, MaxRTO: 60 * time.Second,
+	}, addr)
+	r := reps[0]
+	if r.DownRounds != 0 {
+		t.Errorf("down rounds = %d", r.DownRounds)
+	}
+	if r.FinalRTO < 5*time.Second {
+		t.Errorf("final RTO = %v, should exceed the host RTT", r.FinalRTO)
+	}
+	// The first round needed retries (seed RTO too small); later rounds
+	// should not: total probes < rounds * (retries+1).
+	if r.Probes >= 5*4 {
+		t.Errorf("estimator never learned: %d probes", r.Probes)
+	}
+}
+
+func TestAdaptiveRTOClamped(t *testing.T) {
+	cfg := AdaptiveConfig{MinRTO: time.Second, MaxRTO: 10 * time.Second, InitialRTO: 3 * time.Second}
+	if got := clampRTO(cfg, 0); got != 3*time.Second {
+		t.Errorf("uninitialized clamp = %v", got)
+	}
+	if got := clampRTO(cfg, time.Millisecond); got != time.Second {
+		t.Errorf("min clamp = %v", got)
+	}
+	if got := clampRTO(cfg, time.Hour); got != 10*time.Second {
+		t.Errorf("max clamp = %v", got)
+	}
+}
+
+func TestTCPStyleAgainstWakeFabric(t *testing.T) {
+	// A wake-style host (first probe held 6s) under the paper's settings:
+	// rounds answered late, none down.
+	net := strategyNet(&wakeFabric{wake: 6 * time.Second})
+	addr := []ipaddr.Addr{ipaddr.MustParse("1.2.3.4")}
+	reps := MonitorTCPStyle(net, StrategyConfig{
+		Src: ipaddr.MustParse("240.0.4.1"), Rounds: 3,
+	}, addr)
+	r := reps[0]
+	if r.DownRounds != 0 || r.AnsweredLate != 3 {
+		t.Errorf("%+v", r)
+	}
+}

@@ -1,0 +1,232 @@
+package outage
+
+import (
+	"testing"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/ipmeta"
+	"timeouts/internal/netmodel"
+	"timeouts/internal/simnet"
+)
+
+func triBlocks(pfx ipaddr.Prefix24, n int, availability float64) []TrinocularBlock {
+	addrs := make([]ipaddr.Addr, n)
+	for i := range addrs {
+		addrs[i] = pfx.Addr(byte(10 + i))
+	}
+	return []TrinocularBlock{{Prefix: pfx, Addrs: addrs, Availability: availability}}
+}
+
+func TestTrinocularHealthyBlockStaysUp(t *testing.T) {
+	sched := &simnet.Scheduler{}
+	net := simnet.NewNetwork(sched, &slowFabric{delay: 100 * time.Millisecond})
+	reps := MonitorTrinocular(net, TrinocularConfig{
+		Src: ipaddr.MustParse("240.0.4.1"), Rounds: 4,
+	}, triBlocks(ipaddr.MustParse("9.9.9.0").Prefix(), 5, 0.9))
+	r := reps[0]
+	if r.DownDecisions != 0 || r.Uncertain != 0 {
+		t.Errorf("healthy block: %+v", r)
+	}
+	if r.FinalBelief < 0.9 {
+		t.Errorf("belief = %v", r.FinalBelief)
+	}
+	if r.Probes != 4 {
+		t.Errorf("probes = %d: a confident belief needs one probe per round", r.Probes)
+	}
+}
+
+func TestTrinocularDeadBlockGoesDown(t *testing.T) {
+	sched := &simnet.Scheduler{}
+	net := simnet.NewNetwork(sched, silentFabric{})
+	reps := MonitorTrinocular(net, TrinocularConfig{
+		Src: ipaddr.MustParse("240.0.4.1"), Rounds: 3, Timeout: time.Second,
+	}, triBlocks(ipaddr.MustParse("9.9.9.0").Prefix(), 5, 0.9))
+	r := reps[0]
+	if r.DownDecisions != 3 {
+		t.Errorf("down decisions = %d", r.DownDecisions)
+	}
+	if r.FinalBelief > 0.1 {
+		t.Errorf("belief = %v", r.FinalBelief)
+	}
+	// With availability 0.9, each timeout multiplies the odds by 0.1: the
+	// belief crosses 0.1 within a couple of probes per round.
+	if r.Probes > 3*4 {
+		t.Errorf("probes = %d: high availability should decide quickly", r.Probes)
+	}
+}
+
+func TestTrinocularSlowBlockFalseOutage(t *testing.T) {
+	// The paper's point applied to Trinocular: a block of healthy hosts
+	// answering in 5 s looks DOWN under the 3 s timeout...
+	sched := &simnet.Scheduler{}
+	net := simnet.NewNetwork(sched, &slowFabric{delay: 5 * time.Second})
+	reps := MonitorTrinocular(net, TrinocularConfig{
+		Src: ipaddr.MustParse("240.0.4.1"), Rounds: 3,
+	}, triBlocks(ipaddr.MustParse("9.9.9.0").Prefix(), 5, 0.9))
+	if reps[0].DownDecisions != 3 {
+		t.Errorf("slow block under 3s timeout: %+v", reps[0])
+	}
+	// ...and perfectly healthy under a 60 s timeout.
+	sched2 := &simnet.Scheduler{}
+	net2 := simnet.NewNetwork(sched2, &slowFabric{delay: 5 * time.Second})
+	reps2 := MonitorTrinocular(net2, TrinocularConfig{
+		Src: ipaddr.MustParse("240.0.4.1"), Rounds: 3, Timeout: 60 * time.Second,
+	}, triBlocks(ipaddr.MustParse("9.9.9.0").Prefix(), 5, 0.9))
+	if reps2[0].DownDecisions != 0 {
+		t.Errorf("slow block under 60s timeout: %+v", reps2[0])
+	}
+}
+
+func TestTrinocularLowAvailabilityNeedsMoreProbes(t *testing.T) {
+	// With availability 0.3 a timeout carries little signal: early rounds
+	// leave the belief above the up-threshold (one probe each, correctly
+	// Bayesian), and only after the belief erodes does adaptive probing
+	// kick in and conclude the block is down.
+	sched := &simnet.Scheduler{}
+	net := simnet.NewNetwork(sched, silentFabric{})
+	reps := MonitorTrinocular(net, TrinocularConfig{
+		Src: ipaddr.MustParse("240.0.4.1"), Rounds: 4, Timeout: time.Second,
+	}, triBlocks(ipaddr.MustParse("9.9.9.0").Prefix(), 5, 0.3))
+	r := reps[0]
+	if r.Probes <= r.Rounds {
+		t.Errorf("probes = %d over %d rounds: adaptive probing never engaged", r.Probes, r.Rounds)
+	}
+	if r.DownDecisions == 0 {
+		t.Errorf("dead block never declared down: %+v", r)
+	}
+	// Compare: a high-availability dead block is decided with far fewer
+	// probes, because each timeout is strong evidence.
+	sched2 := &simnet.Scheduler{}
+	net2 := simnet.NewNetwork(sched2, silentFabric{})
+	reps2 := MonitorTrinocular(net2, TrinocularConfig{
+		Src: ipaddr.MustParse("240.0.4.1"), Rounds: 4, Timeout: time.Second,
+	}, triBlocks(ipaddr.MustParse("9.9.9.0").Prefix(), 5, 0.95))
+	if reps2[0].Probes >= r.Probes {
+		t.Errorf("high availability (%d probes) should decide faster than low (%d)",
+			reps2[0].Probes, r.Probes)
+	}
+}
+
+func TestBuildTrinocularBlocks(t *testing.T) {
+	pfx := ipaddr.MustParse("7.7.7.0").Prefix()
+	hist := map[ipaddr.Addr]struct{ Answered, Probes int }{
+		pfx.Addr(1):  {Answered: 9, Probes: 10},
+		pfx.Addr(2):  {Answered: 7, Probes: 10},
+		pfx.Addr(3):  {Answered: 0, Probes: 10}, // never answered: excluded
+		pfx.Addr(99): {Answered: 4, Probes: 10},
+	}
+	blocks := BuildTrinocularBlocks(hist)
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	b := blocks[0]
+	if len(b.Addrs) != 3 {
+		t.Errorf("addrs = %v", b.Addrs)
+	}
+	want := 20.0 / 30.0
+	if b.Availability < want-0.01 || b.Availability > want+0.01 {
+		t.Errorf("availability = %v, want %v", b.Availability, want)
+	}
+}
+
+func TestMonitorMultiVantage(t *testing.T) {
+	// The wake fabric answers everyone (slowly at first); no vantage
+	// should see enough failures to declare the host down with a long
+	// timeout, and the all-vantages rule must never exceed any single
+	// vantage's failures.
+	sched := &simnet.Scheduler{}
+	net := simnet.NewNetwork(sched, &slowFabric{delay: 5 * time.Second})
+	cfg := MultiVantageConfig{
+		Timeout: 3 * time.Second, Retries: 2, Rounds: 3,
+	}
+	for i, addr := range []string{"240.0.4.1", "240.0.4.2", "240.0.4.3"} {
+		cfg.Vantages = append(cfg.Vantages, struct {
+			Addr      ipaddr.Addr
+			Continent ipmeta.Continent
+		}{ipaddr.MustParse(addr), ipmeta.NorthAmerica})
+		_ = i
+	}
+	addrs := []ipaddr.Addr{ipaddr.MustParse("1.2.3.4")}
+	reps := MonitorMultiVantage(net, cfg, addrs)
+	r := reps[0]
+	// All vantages time out on the 5s host with 3s timeouts.
+	if r.VantageFailures != 9 {
+		t.Errorf("vantage failures = %d, want 3 vantages x 3 rounds", r.VantageFailures)
+	}
+	if r.DownRounds != 3 {
+		t.Errorf("down rounds = %d", r.DownRounds)
+	}
+
+	// With a 60s timeout no vantage fails and the host is never down.
+	sched2 := &simnet.Scheduler{}
+	net2 := simnet.NewNetwork(sched2, &slowFabric{delay: 5 * time.Second})
+	cfg.Timeout = 60 * time.Second
+	reps2 := MonitorMultiVantage(net2, cfg, addrs)
+	if reps2[0].VantageFailures != 0 || reps2[0].DownRounds != 0 {
+		t.Errorf("long timeout: %+v", reps2[0])
+	}
+}
+
+func TestMultiVantagePanicsWithoutVantages(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	sched := &simnet.Scheduler{}
+	net := simnet.NewNetwork(sched, silentFabric{})
+	MonitorMultiVantage(net, MultiVantageConfig{}, nil)
+}
+
+func TestMonitorHubbleAgainstModel(t *testing.T) {
+	pop := netmodel.New(netmodel.Config{Seed: 11, Blocks: 256})
+	model := netmodel.NewModel(pop)
+	src := ipaddr.MustParse("240.0.4.1")
+	trSrc := ipaddr.MustParse("240.0.4.9")
+	model.AddVantage(src, ipmeta.NorthAmerica)
+	model.AddVantage(trSrc, ipmeta.NorthAmerica)
+	sched := &simnet.Scheduler{}
+	net := simnet.NewNetwork(sched, model)
+
+	// Monitor healthy cellular hosts: Hubble's 2s timeout makes wake-up
+	// hosts suspects; the confirmation traceroute then often catches the
+	// "down" host answering.
+	var cellular []ipaddr.Addr
+	for i := 0; i < pop.NumAddrs() && len(cellular) < 40; i++ {
+		p := pop.Profile(pop.AddrAt(i))
+		if p.Responsive && p.JoinTime == 0 && p.Class == netmodel.ClassCellular {
+			cellular = append(cellular, p.Addr)
+		}
+	}
+	if len(cellular) < 10 {
+		t.Skip("too few cellular hosts")
+	}
+	reps := MonitorHubble(net, HubbleConfig{
+		Src: src, TracerouteSrc: trSrc, Continent: ipmeta.NorthAmerica, Rounds: 3,
+	}, cellular)
+	var rounds, suspect, confirmed, visible, reached int
+	for _, r := range reps {
+		rounds += r.Rounds
+		suspect += r.Suspect
+		confirmed += r.Confirmed
+		visible += r.PathVisible
+		reached += r.ReachedAnyway
+	}
+	if rounds != len(cellular)*3 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+	if suspect == 0 {
+		t.Error("no suspects: the 2s timeout should trip on wake-up hosts")
+	}
+	if confirmed > suspect {
+		t.Errorf("confirmed %d > suspect %d", confirmed, suspect)
+	}
+	// Every confirmed outage here is false; the traceroute should show a
+	// working path (and often an answering host) most of the time.
+	if confirmed > 0 && visible == 0 {
+		t.Error("confirmation traceroutes never saw the path")
+	}
+	t.Logf("rounds=%d suspect=%d confirmed=%d pathVisible=%d reachedAnyway=%d",
+		rounds, suspect, confirmed, visible, reached)
+}

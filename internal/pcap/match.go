@@ -1,0 +1,65 @@
+package pcap
+
+import (
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/wire"
+)
+
+// EchoRTT is one offline-matched probe: an echo request and, if a reply
+// with the same (dst, id, seq) appeared later in the capture, its RTT.
+type EchoRTT struct {
+	Dst       ipaddr.Addr
+	ID, Seq   uint16
+	SentAt    time.Duration
+	Responded bool
+	RTT       time.Duration
+}
+
+// MatchEchoes performs the paper's offline tcpdump analysis over a capture:
+// pair every ICMP echo request with the first later echo reply carrying the
+// same (address, id, seq), with no timeout at all. Duplicate replies are
+// counted per probe.
+//
+// It returns the matched probes in capture order and the per-address count
+// of reply packets that matched no outstanding request (strays — broadcast
+// responses, floods, replies to another prober).
+func MatchEchoes(pkts []Packet) ([]EchoRTT, map[ipaddr.Addr]int) {
+	type key struct {
+		a       ipaddr.Addr
+		id, seq uint16
+	}
+	pending := make(map[key]int) // -> index into out
+	var out []EchoRTT
+	strays := make(map[ipaddr.Addr]int)
+	for _, p := range pkts {
+		pkt, err := wire.Decode(p.Data)
+		if err != nil || pkt.Echo == nil {
+			continue
+		}
+		switch pkt.Echo.Type {
+		case wire.ICMPTypeEchoRequest:
+			k := key{a: pkt.IP.Dst, id: pkt.Echo.ID, seq: pkt.Echo.Seq}
+			out = append(out, EchoRTT{
+				Dst: pkt.IP.Dst, ID: pkt.Echo.ID, Seq: pkt.Echo.Seq, SentAt: p.When,
+			})
+			pending[k] = len(out) - 1
+		case wire.ICMPTypeEchoReply:
+			k := key{a: pkt.IP.Src, id: pkt.Echo.ID, seq: pkt.Echo.Seq}
+			idx, ok := pending[k]
+			if !ok {
+				strays[pkt.IP.Src]++
+				continue
+			}
+			e := &out[idx]
+			if e.Responded {
+				strays[pkt.IP.Src]++ // duplicate reply
+				continue
+			}
+			e.Responded = true
+			e.RTT = p.When - e.SentAt
+		}
+	}
+	return out, strays
+}

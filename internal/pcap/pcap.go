@@ -1,0 +1,183 @@
+// Package pcap implements the classic libpcap capture file format
+// (LINKTYPE_RAW: raw IPv4 packets) and an offline echo matcher.
+//
+// The paper's verification experiments could not trust any single tool's
+// timeout, so the authors ran tcpdump alongside scamper and matched
+// responses to probes *offline*, achieving an effectively indefinite
+// timeout (§5.1, §5.3: "we run tcpdump simultaneously and matched
+// responses to sent packets separately"). This package provides that
+// workflow: the simulated network can be tapped into a capture file
+// (simnet.Network.SetTap), and MatchEchoes recovers per-probe RTTs from
+// the capture alone.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// File-format constants (classic pcap, microsecond timestamps).
+const (
+	magicMicros  = 0xa1b2c3d4
+	magicNanos   = 0xa1b23c4d
+	versionMajor = 2
+	versionMinor = 4
+	// LinkTypeRaw is LINKTYPE_RAW: packets begin directly with the IPv4
+	// header, which is how the simulator's fabric carries them.
+	LinkTypeRaw = 101
+	headerLen   = 24
+	recordLen   = 16
+)
+
+// ErrBadMagic reports a file that is not a pcap capture.
+var ErrBadMagic = errors.New("pcap: bad magic")
+
+// Packet is one captured packet.
+type Packet struct {
+	// When is the capture timestamp as simulation time since the epoch.
+	When time.Duration
+	// Data is the raw IPv4 packet.
+	Data []byte
+}
+
+// Writer writes a capture file. Create with NewWriter; the header is
+// emitted immediately.
+type Writer struct {
+	w       io.Writer
+	snaplen uint32
+	count   uint64
+	err     error
+}
+
+// NewWriter writes the pcap global header (nanosecond-precision variant,
+// since simulation time is exact) and returns a Writer.
+func NewWriter(w io.Writer, snaplen int) (*Writer, error) {
+	if snaplen <= 0 {
+		snaplen = 65535
+	}
+	var h [headerLen]byte
+	binary.LittleEndian.PutUint32(h[0:], magicNanos)
+	binary.LittleEndian.PutUint16(h[4:], versionMajor)
+	binary.LittleEndian.PutUint16(h[6:], versionMinor)
+	// thiszone=0, sigfigs=0
+	binary.LittleEndian.PutUint32(h[16:], uint32(snaplen))
+	binary.LittleEndian.PutUint32(h[20:], LinkTypeRaw)
+	if _, err := w.Write(h[:]); err != nil {
+		return nil, fmt.Errorf("pcap: writing header: %w", err)
+	}
+	return &Writer{w: w, snaplen: uint32(snaplen)}, nil
+}
+
+// ErrTimestampRange reports a timestamp beyond the classic format's 32-bit
+// seconds field (~136 years).
+var ErrTimestampRange = errors.New("pcap: timestamp out of range")
+
+// WritePacket appends one packet record, truncating to the snap length.
+func (w *Writer) WritePacket(at time.Duration, data []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if at < 0 || at/time.Second > 0xffffffff {
+		return ErrTimestampRange
+	}
+	capLen := len(data)
+	if uint32(capLen) > w.snaplen {
+		capLen = int(w.snaplen)
+	}
+	var h [recordLen]byte
+	sec := at / time.Second
+	nsec := at % time.Second
+	binary.LittleEndian.PutUint32(h[0:], uint32(sec))
+	binary.LittleEndian.PutUint32(h[4:], uint32(nsec))
+	binary.LittleEndian.PutUint32(h[8:], uint32(capLen))
+	binary.LittleEndian.PutUint32(h[12:], uint32(len(data)))
+	if _, err := w.w.Write(h[:]); err != nil {
+		w.err = fmt.Errorf("pcap: writing record: %w", err)
+		return w.err
+	}
+	if _, err := w.w.Write(data[:capLen]); err != nil {
+		w.err = fmt.Errorf("pcap: writing packet: %w", err)
+		return w.err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of packets written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Reader reads a capture file.
+type Reader struct {
+	r        io.Reader
+	nanos    bool
+	snaplen  uint32
+	linkType uint32
+}
+
+// NewReader parses the global header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var h [headerLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading header: %w", err)
+	}
+	rd := &Reader{r: r}
+	switch binary.LittleEndian.Uint32(h[0:]) {
+	case magicNanos:
+		rd.nanos = true
+	case magicMicros:
+	default:
+		return nil, ErrBadMagic
+	}
+	rd.snaplen = binary.LittleEndian.Uint32(h[16:])
+	rd.linkType = binary.LittleEndian.Uint32(h[20:])
+	return rd, nil
+}
+
+// LinkType returns the capture's link type.
+func (r *Reader) LinkType() uint32 { return r.linkType }
+
+// Next returns the next packet, or io.EOF at the end of the capture.
+func (r *Reader) Next() (Packet, error) {
+	var h [recordLen]byte
+	if _, err := io.ReadFull(r.r, h[:]); err != nil {
+		if err == io.EOF {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("pcap: reading record: %w", err)
+	}
+	sec := binary.LittleEndian.Uint32(h[0:])
+	frac := binary.LittleEndian.Uint32(h[4:])
+	capLen := binary.LittleEndian.Uint32(h[8:])
+	if capLen > r.snaplen {
+		return Packet{}, fmt.Errorf("pcap: record exceeds snap length (%d > %d)", capLen, r.snaplen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Packet{}, fmt.Errorf("pcap: reading packet body: %w", err)
+	}
+	at := time.Duration(sec) * time.Second
+	if r.nanos {
+		at += time.Duration(frac)
+	} else {
+		at += time.Duration(frac) * time.Microsecond
+	}
+	return Packet{When: at, Data: data}, nil
+}
+
+// ReadAll drains the capture.
+func (r *Reader) ReadAll() ([]Packet, error) {
+	var out []Packet
+	for {
+		p, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}

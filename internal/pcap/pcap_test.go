@@ -1,0 +1,233 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/ipmeta"
+	"timeouts/internal/netmodel"
+	"timeouts/internal/scamper"
+	"timeouts/internal/simnet"
+	"timeouts/internal/wire"
+)
+
+func TestWriterReaderRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []Packet{
+		{When: 1500 * time.Millisecond, Data: []byte{1, 2, 3, 4}},
+		{When: 2 * time.Hour, Data: []byte{9}},
+		{When: 0, Data: nil},
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p.When, p.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeRaw {
+		t.Errorf("link type = %d", r.LinkType())
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("read %d packets", len(got))
+	}
+	for i := range pkts {
+		if got[i].When != pkts[i].When || !bytes.Equal(got[i].Data, pkts[i].Data) {
+			t.Errorf("packet %d: %+v != %+v", i, got[i], pkts[i])
+		}
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	f := func(whenNS int64, data []byte) bool {
+		if whenNS < 0 {
+			whenNS = -whenNS
+		}
+		whenNS %= int64(0xffffffff) * int64(time.Second)
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 0)
+		if err != nil {
+			return false
+		}
+		if w.WritePacket(time.Duration(whenNS), data) != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		p, err := r.Next()
+		if err != nil {
+			return false
+		}
+		if _, err := r.Next(); err != io.EOF {
+			return false
+		}
+		return p.When == time.Duration(whenNS) && bytes.Equal(p.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnaplenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(0, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 8 {
+		t.Errorf("captured %d bytes, want 8", len(p.Data))
+	}
+}
+
+func TestWriterRejectsOutOfRangeTimestamp(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(time.Duration(1)<<62, []byte{1}); err != ErrTimestampRange {
+		t.Errorf("want ErrTimestampRange, got %v", err)
+	}
+	if err := w.WritePacket(-time.Second, []byte{1}); err != ErrTimestampRange {
+		t.Errorf("negative timestamp: got %v", err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, headerLen))); err != ErrBadMagic {
+		t.Errorf("want ErrBadMagic, got %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty capture accepted")
+	}
+}
+
+func TestMatchEchoesOffline(t *testing.T) {
+	src, dst := ipaddr.MustParse("240.0.3.1"), ipaddr.MustParse("1.2.3.4")
+	req := wire.EncodeEcho(src, dst, &wire.ICMPEcho{Type: wire.ICMPTypeEchoRequest, ID: 7, Seq: 1})
+	rep := wire.EncodeEcho(dst, src, &wire.ICMPEcho{Type: wire.ICMPTypeEchoReply, ID: 7, Seq: 1})
+	req2 := wire.EncodeEcho(src, dst, &wire.ICMPEcho{Type: wire.ICMPTypeEchoRequest, ID: 7, Seq: 2})
+	stray := wire.EncodeEcho(dst, src, &wire.ICMPEcho{Type: wire.ICMPTypeEchoReply, ID: 99, Seq: 1})
+	pkts := []Packet{
+		{When: 1 * time.Second, Data: req},
+		// A response 130 seconds later: no timeout in offline matching.
+		{When: 131 * time.Second, Data: rep},
+		{When: 131 * time.Second, Data: rep}, // duplicate -> stray
+		{When: 140 * time.Second, Data: req2},
+		{When: 150 * time.Second, Data: stray},
+	}
+	rtts, strays := MatchEchoes(pkts)
+	if len(rtts) != 2 {
+		t.Fatalf("probes = %d", len(rtts))
+	}
+	if !rtts[0].Responded || rtts[0].RTT != 130*time.Second {
+		t.Errorf("probe 0: %+v", rtts[0])
+	}
+	if rtts[1].Responded {
+		t.Errorf("probe 1 should be unanswered: %+v", rtts[1])
+	}
+	if strays[dst] != 2 {
+		t.Errorf("strays = %v", strays)
+	}
+}
+
+// TestCaptureMatchesOnlineProber taps the simulated network into a capture,
+// then verifies that offline matching reproduces the online prober's RTTs —
+// the cross-check the paper performed between scamper and tcpdump.
+func TestCaptureMatchesOnlineProber(t *testing.T) {
+	pop := netmodel.New(netmodel.Config{Seed: 7, Blocks: 128})
+	model := netmodel.NewModel(pop)
+	src := ipaddr.MustParse("240.0.3.1")
+	model.AddVantage(src, ipmeta.NorthAmerica)
+	sched := &simnet.Scheduler{}
+	net := simnet.NewNetwork(sched, model)
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetTap(func(at simnet.Time, dir simnet.TapDirection, data []byte, count int) {
+		for i := 0; i < count && i < 8; i++ {
+			if err := w.WritePacket(time.Duration(at), data); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+
+	pr := scamper.New(net, src, ipmeta.NorthAmerica)
+	defer pr.Close()
+	var targets []ipaddr.Addr
+	for i := 0; i < pop.NumAddrs() && len(targets) < 25; i++ {
+		p := pop.Profile(pop.AddrAt(i))
+		if p.Responsive && p.JoinTime == 0 {
+			targets = append(targets, p.Addr)
+		}
+	}
+	for i, a := range targets {
+		pr.SchedulePing(a, scamper.ICMP, simnet.Time(i)*time.Second, 4, 2*time.Second)
+	}
+	sched.Run()
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, _ := MatchEchoes(pkts)
+	checked := 0
+	for _, res := range pr.Results() {
+		if res.Proto != scamper.ICMP {
+			continue
+		}
+		// The online prober's ID token is internal; find the offline probe
+		// by (dst, seq, send time).
+		for _, e := range offline {
+			if e.Dst == res.Dst && int(e.Seq) == res.Seq && e.SentAt == time.Duration(res.SentAt) {
+				checked++
+				if e.Responded != res.Responded {
+					t.Errorf("%s seq %d: offline responded=%v online=%v", res.Dst, res.Seq, e.Responded, res.Responded)
+				}
+				if e.Responded && e.RTT != res.RTT {
+					t.Errorf("%s seq %d: offline RTT %v != online %v", res.Dst, res.Seq, e.RTT, res.RTT)
+				}
+			}
+		}
+	}
+	if checked < len(targets)*3 {
+		t.Errorf("cross-checked only %d probes", checked)
+	}
+}

@@ -1,0 +1,113 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"timeouts/internal/ipaddr"
+)
+
+// Delivery is one response (or batch of identical responses) the fabric
+// produces for a probe: Data arrives at the prober Delay after the probe was
+// sent. Count > 1 represents a burst of identical packets arriving together
+// — the duplicate/DoS responders of §3.3.2 can answer one echo request with
+// millions of copies, which would be wasteful to schedule individually.
+type Delivery struct {
+	Delay time.Duration
+	Data  []byte
+	Count int
+}
+
+// Fabric models the probed population: given a probe packet sent by the
+// prober at `from` at time `at`, it returns the resulting deliveries. A
+// Fabric is driven entirely by the single-threaded event loop.
+type Fabric interface {
+	Respond(from ipaddr.Addr, at Time, pkt []byte) []Delivery
+}
+
+// Handler receives packets delivered to a prober. count is >= 1; identical
+// packets batched by the fabric share one call.
+type Handler func(at Time, data []byte, count int)
+
+// TapDirection distinguishes tapped traffic.
+type TapDirection uint8
+
+// Tap directions.
+const (
+	// TapSent is a probe leaving a prober.
+	TapSent TapDirection = iota
+	// TapReceived is a delivery arriving at a prober.
+	TapReceived
+)
+
+// Tap observes every packet crossing the network — the simulation's
+// equivalent of running tcpdump next to the prober (§5.1 of the paper).
+// For batched deliveries the tap is invoked once with the batch count.
+type Tap func(at Time, dir TapDirection, data []byte, count int)
+
+// Network connects probers to a Fabric through the scheduler.
+type Network struct {
+	sched   *Scheduler
+	fabric  Fabric
+	tap     Tap
+	probers map[ipaddr.Addr]Handler
+
+	// Stats counts traffic through the fabric.
+	Stats struct {
+		ProbesSent         uint64
+		DeliveriesReceived uint64
+		PacketsReceived    uint64 // counts Count-fold batches fully
+	}
+}
+
+// NewNetwork creates a network driven by sched and answered by fabric.
+func NewNetwork(sched *Scheduler, fabric Fabric) *Network {
+	return &Network{sched: sched, fabric: fabric, probers: make(map[ipaddr.Addr]Handler)}
+}
+
+// Scheduler returns the driving scheduler.
+func (n *Network) Scheduler() *Scheduler { return n.sched }
+
+// AttachProber registers a prober's receive handler at the given source
+// address. Packets whose IPv4 destination equals addr are handed to h.
+func (n *Network) AttachProber(addr ipaddr.Addr, h Handler) {
+	if _, dup := n.probers[addr]; dup {
+		panic(fmt.Sprintf("simnet: prober address %s already attached", addr))
+	}
+	n.probers[addr] = h
+}
+
+// DetachProber removes a prober registration.
+func (n *Network) DetachProber(addr ipaddr.Addr) { delete(n.probers, addr) }
+
+// SetTap installs (or, with nil, removes) the packet tap.
+func (n *Network) SetTap(t Tap) { n.tap = t }
+
+// Send injects a probe packet from the prober at `from` into the network at
+// the current simulation time. The fabric's deliveries are scheduled back to
+// the prober.
+func (n *Network) Send(from ipaddr.Addr, pkt []byte) {
+	h, ok := n.probers[from]
+	if !ok {
+		panic(fmt.Sprintf("simnet: Send from unattached prober %s", from))
+	}
+	n.Stats.ProbesSent++
+	at := n.sched.Now()
+	if n.tap != nil {
+		n.tap(at, TapSent, pkt, 1)
+	}
+	for _, d := range n.fabric.Respond(from, at, pkt) {
+		d := d
+		if d.Count == 0 {
+			d.Count = 1
+		}
+		n.Stats.DeliveriesReceived++
+		n.Stats.PacketsReceived += uint64(d.Count)
+		n.sched.At(at+d.Delay, func() {
+			if n.tap != nil {
+				n.tap(n.sched.Now(), TapReceived, d.Data, d.Count)
+			}
+			h(n.sched.Now(), d.Data, d.Count)
+		})
+	}
+}

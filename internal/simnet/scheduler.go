@@ -1,0 +1,95 @@
+// Package simnet provides the discrete-event simulation substrate: a
+// deterministic scheduler with a simulated clock, and a network that carries
+// wire-format packets between measurement tools (probers at vantage points)
+// and a pluggable fabric that models the probed population.
+//
+// Everything runs single-threaded inside the event loop; determinism — the
+// same seed always yields byte-identical datasets — is a design requirement,
+// because the analysis verifies cross-tool consistency (the same addresses
+// must be slow in every scan, as in the paper's Figure 7).
+package simnet
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Time is simulation time: the duration since the simulation epoch.
+type Time = time.Duration
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among equal times
+	fn  func()
+}
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Scheduler is a deterministic discrete-event scheduler. The zero value is
+// ready to use, starting at time zero.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) runs fn at the current time, preserving event order.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// Pending returns the number of scheduled events.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Step runs the next event, advancing the clock. It reports false when no
+// events remain.
+func (s *Scheduler) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run drains the event queue until empty.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil processes events with time <= deadline, then sets the clock to
+// the deadline. Events beyond the deadline stay queued.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.events) > 0 && s.events[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}

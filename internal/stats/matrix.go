@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TimeoutMatrix is the paper's Table 2: entry [r][c] is the minimum timeout
+// that would have captured StandardPercentiles[c] percent of pings from
+// StandardPercentiles[r] percent of addresses. Rows and columns both range
+// over the standard percentile set {1, 50, 80, 90, 95, 98, 99}.
+type TimeoutMatrix struct {
+	// Levels are the percentile levels labelling rows and columns.
+	Levels []float64
+	// Cell[r][c] is the timeout for row percentile r and column percentile c.
+	Cell [][]time.Duration
+	// Addresses is how many addresses contributed a percentile vector.
+	Addresses int
+}
+
+// BuildTimeoutMatrix aggregates per-address quantile vectors into the Table 2
+// matrix. For column percentile c, it collects the c-th percentile latency of
+// every address and then takes the r-th percentile of that collection for
+// each row level r: "to capture c% of pings from r% of addresses, wait this
+// long".
+func BuildTimeoutMatrix(perAddress []Quantiles) TimeoutMatrix {
+	m := TimeoutMatrix{Levels: StandardPercentiles, Addresses: len(perAddress)}
+	m.Cell = make([][]time.Duration, len(m.Levels))
+	for r := range m.Cell {
+		m.Cell[r] = make([]time.Duration, len(m.Levels))
+	}
+	if len(perAddress) == 0 {
+		return m
+	}
+	col := make([]time.Duration, len(perAddress))
+	for c, cp := range m.Levels {
+		for i, q := range perAddress {
+			col[i] = q.At(cp)
+		}
+		SortDurations(col)
+		for r, rp := range m.Levels {
+			m.Cell[r][c] = Percentile(col, rp)
+		}
+	}
+	return m
+}
+
+// At returns the cell for row percentile r and column percentile c, which
+// must be standard levels.
+func (m TimeoutMatrix) At(r, c float64) time.Duration {
+	ri, ci := -1, -1
+	for i, l := range m.Levels {
+		if l == r {
+			ri = i
+		}
+		if l == c {
+			ci = i
+		}
+	}
+	if ri < 0 || ci < 0 {
+		panic(fmt.Sprintf("stats: TimeoutMatrix.At(%v, %v): non-standard level", r, c))
+	}
+	return m.Cell[ri][ci]
+}
+
+// FormatSeconds renders the matrix in the paper's Table 2 style: seconds with
+// two decimals below 10 s, integer seconds above.
+func (m TimeoutMatrix) FormatSeconds() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%18s", "% of pings ->")
+	for _, c := range m.Levels {
+		fmt.Fprintf(&b, "%9s", fmt.Sprintf("%g%%", c))
+	}
+	b.WriteByte('\n')
+	for r, rp := range m.Levels {
+		fmt.Fprintf(&b, "%18s", fmt.Sprintf("%g%% addrs", rp))
+		for c := range m.Levels {
+			b.WriteString(fmt.Sprintf("%9s", FormatDurSeconds(m.Cell[r][c])))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatDurSeconds formats a duration the way the paper's tables do:
+// "0.19" for sub-10-second values, "41" for larger ones.
+func FormatDurSeconds(d time.Duration) string {
+	s := d.Seconds()
+	if s < 10 {
+		return fmt.Sprintf("%.2f", s)
+	}
+	return fmt.Sprintf("%.0f", s)
+}

@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// P2Quantile is the P² (P-squared) streaming quantile estimator of Jain &
+// Chlamtac (CACM 1985): it tracks a single quantile of a stream in O(1)
+// space by maintaining five markers whose heights are adjusted with a
+// piecewise-parabolic prediction.
+//
+// The exact per-address percentile aggregation elsewhere in this repository
+// holds samples in memory, which is fine at simulation scale; the real ISI
+// datasets hold 9.64 *billion* responses, where a streaming estimator is
+// the practical choice. P2Quantile lets the same analyses run in bounded
+// memory, and TestP2AgainstExact quantifies the estimation error.
+type P2Quantile struct {
+	p       float64
+	n       int
+	q       [5]float64 // marker heights
+	pos     [5]float64 // actual marker positions
+	desired [5]float64 // desired marker positions
+	dn      [5]float64 // desired position increments
+	initial []float64  // first five observations
+}
+
+// NewP2Quantile creates an estimator for the p-th percentile (0 < p < 100).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 100 {
+		panic(fmt.Sprintf("stats: P2 percentile %v out of range", p))
+	}
+	f := p / 100
+	e := &P2Quantile{p: f}
+	e.dn = [5]float64{0, f / 2, f, (1 + f) / 2, 1}
+	return e
+}
+
+// Add folds one observation into the estimate.
+func (e *P2Quantile) Add(x float64) {
+	e.n++
+	if len(e.initial) < 5 {
+		e.initial = append(e.initial, x)
+		if len(e.initial) == 5 {
+			sort.Float64s(e.initial)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.initial[i]
+				e.pos[i] = float64(i + 1)
+			}
+			f := e.p
+			e.desired = [5]float64{1, 1 + 2*f, 1 + 4*f, 3 + 2*f, 5}
+		}
+		return
+	}
+
+	// Find the cell k containing x and update extreme markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.desired[i] += e.dn[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.desired[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			qNew := e.parabolic(i, s)
+			if e.q[i-1] < qNew && qNew < e.q[i+1] {
+				e.q[i] = qNew
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the piecewise-parabolic (P²) height prediction.
+func (e *P2Quantile) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+s)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-s)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback linear prediction.
+func (e *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// N returns the observation count.
+func (e *P2Quantile) N() int { return e.n }
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact small-sample percentile.
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	if len(e.initial) < 5 {
+		s := append([]float64(nil), e.initial...)
+		sort.Float64s(s)
+		return PercentileFloat(s, e.p*100)
+	}
+	return e.q[2]
+}
+
+// P2Duration wraps P2Quantile for latency streams.
+type P2Duration struct{ est *P2Quantile }
+
+// NewP2Duration creates a streaming latency-percentile estimator.
+func NewP2Duration(p float64) *P2Duration {
+	return &P2Duration{est: NewP2Quantile(p)}
+}
+
+// Add folds in one latency sample.
+func (d *P2Duration) Add(v time.Duration) { d.est.Add(v.Seconds()) }
+
+// N returns the observation count.
+func (d *P2Duration) N() int { return d.est.N() }
+
+// Value returns the current estimate.
+func (d *P2Duration) Value() time.Duration {
+	v := d.est.Value()
+	if math.IsNaN(v) {
+		return 0
+	}
+	return time.Duration(v * float64(time.Second))
+}
+
+// StreamingQuantiles tracks the standard percentile set of a stream in
+// bounded space — the constant-memory counterpart of ComputeQuantiles.
+//
+// It is a hybrid: the first streamBufferCap samples are kept exactly (an
+// estimator cannot beat nearest-rank at small n, and most survey addresses
+// answer only a handful of probes), and once the stream outgrows the
+// buffer, everything is folded into P² estimators that take over.
+type StreamingQuantiles struct {
+	buf  []time.Duration
+	ests map[float64]*P2Duration
+	n    int
+}
+
+// streamBufferCap bounds the exact-sample buffer per stream.
+const streamBufferCap = 64
+
+// NewStreamingQuantiles creates a hybrid streaming estimator.
+func NewStreamingQuantiles() *StreamingQuantiles {
+	return &StreamingQuantiles{}
+}
+
+// Add folds in one latency sample.
+func (s *StreamingQuantiles) Add(d time.Duration) {
+	s.n++
+	if s.ests == nil {
+		s.buf = append(s.buf, d)
+		if len(s.buf) <= streamBufferCap {
+			return
+		}
+		// Graduate to P²: replay the buffer into fresh estimators.
+		s.ests = make(map[float64]*P2Duration, len(StandardPercentiles))
+		for _, p := range StandardPercentiles {
+			s.ests[p] = NewP2Duration(p)
+		}
+		for _, v := range s.buf {
+			for _, e := range s.ests {
+				e.Add(v)
+			}
+		}
+		s.buf = nil
+		return
+	}
+	for _, e := range s.ests {
+		e.Add(d)
+	}
+}
+
+// N returns the observation count.
+func (s *StreamingQuantiles) N() int { return s.n }
+
+// Quantiles returns the current estimates as a Quantiles vector: exact for
+// short streams, P² beyond the buffer.
+func (s *StreamingQuantiles) Quantiles() Quantiles {
+	if s.ests == nil {
+		if len(s.buf) == 0 {
+			return Quantiles{}
+		}
+		tmp := append([]time.Duration(nil), s.buf...)
+		return ComputeQuantiles(tmp)
+	}
+	return Quantiles{
+		P1:  s.ests[1].Value(),
+		P50: s.ests[50].Value(),
+		P80: s.ests[80].Value(),
+		P90: s.ests[90].Value(),
+		P95: s.ests[95].Value(),
+		P98: s.ests[98].Value(),
+		P99: s.ests[99].Value(),
+	}
+}

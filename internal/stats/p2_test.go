@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestP2SmallSamplesExact(t *testing.T) {
+	e := NewP2Quantile(50)
+	if !math.IsNaN(e.Value()) {
+		t.Error("empty estimator should be NaN")
+	}
+	for _, v := range []float64{5, 1, 3} {
+		e.Add(v)
+	}
+	if got := e.Value(); got != 3 {
+		t.Errorf("median of {1,3,5} = %v", got)
+	}
+}
+
+func TestP2AgainstExactUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []float64{50, 90, 95, 99} {
+		e := NewP2Quantile(p)
+		var all []float64
+		for i := 0; i < 100000; i++ {
+			v := rng.Float64()
+			e.Add(v)
+			all = append(all, v)
+		}
+		sort.Float64s(all)
+		exact := PercentileFloat(all, p)
+		got := e.Value()
+		if math.Abs(got-exact) > 0.01 {
+			t.Errorf("p%.0f: P2=%v exact=%v", p, got, exact)
+		}
+	}
+}
+
+func TestP2AgainstExactHeavyTail(t *testing.T) {
+	// The latency-like case: lognormal body with a heavy tail.
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []float64{50, 95, 99} {
+		e := NewP2Quantile(p)
+		var all []float64
+		for i := 0; i < 200000; i++ {
+			v := math.Exp(rng.NormFloat64() * 1.5)
+			e.Add(v)
+			all = append(all, v)
+		}
+		sort.Float64s(all)
+		exact := PercentileFloat(all, p)
+		got := e.Value()
+		if rel := math.Abs(got-exact) / exact; rel > 0.08 {
+			t.Errorf("p%.0f: P2=%v exact=%v (rel err %.3f)", p, got, exact, rel)
+		}
+	}
+}
+
+func TestP2MonotoneInput(t *testing.T) {
+	e := NewP2Quantile(90)
+	for i := 1; i <= 10000; i++ {
+		e.Add(float64(i))
+	}
+	if got := e.Value(); math.Abs(got-9000) > 150 {
+		t.Errorf("p90 of 1..10000 = %v", got)
+	}
+}
+
+func TestP2PanicsOnBadPercentile(t *testing.T) {
+	for _, p := range []float64{0, 100, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2Quantile(%v) should panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}
+
+func TestP2DurationWrapper(t *testing.T) {
+	d := NewP2Duration(50)
+	if d.Value() != 0 {
+		t.Error("empty duration estimator should be 0")
+	}
+	for i := 0; i < 1001; i++ {
+		d.Add(time.Duration(i) * time.Millisecond)
+	}
+	got := d.Value()
+	if got < 450*time.Millisecond || got > 550*time.Millisecond {
+		t.Errorf("median = %v", got)
+	}
+	if d.N() != 1001 {
+		t.Errorf("N = %d", d.N())
+	}
+}
+
+func TestStreamingQuantilesMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewStreamingQuantiles()
+	var all []time.Duration
+	for i := 0; i < 50000; i++ {
+		v := time.Duration(math.Exp(rng.NormFloat64())*1e8) + time.Millisecond
+		s.Add(v)
+		all = append(all, v)
+	}
+	exact := ComputeQuantiles(all)
+	got := s.Quantiles()
+	check := func(name string, g, e time.Duration) {
+		rel := math.Abs(float64(g-e)) / float64(e)
+		if rel > 0.1 {
+			t.Errorf("%s: streaming %v vs exact %v (rel %.3f)", name, g, e, rel)
+		}
+	}
+	check("P50", got.P50, exact.P50)
+	check("P90", got.P90, exact.P90)
+	check("P95", got.P95, exact.P95)
+	check("P99", got.P99, exact.P99)
+	if s.N() != 50000 {
+		t.Errorf("N = %d", s.N())
+	}
+}

@@ -1,0 +1,91 @@
+package survey
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"timeouts/internal/ipaddr"
+)
+
+// CSV interchange for datasets: one record per row, mirroring how the ISI
+// traces are commonly post-processed with text tooling. Columns:
+//
+//	type,addr,when_ns,rtt_ns
+//
+// where type is one of matched/timeout/unmatched/error, addr is dotted
+// quad, and rtt_ns carries the RTT for matched records and the run-length
+// count for unmatched batches.
+
+// WriteCSV streams records as CSV rows (with a header row).
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"type", "addr", "when_ns", "rtt_ns"}); err != nil {
+		return fmt.Errorf("survey: writing csv header: %w", err)
+	}
+	row := make([]string, 4)
+	for _, r := range recs {
+		row[0] = r.Type.String()
+		row[1] = r.Addr.String()
+		row[2] = strconv.FormatInt(int64(r.When), 10)
+		row[3] = strconv.FormatInt(int64(r.RTT), 10)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("survey: writing csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// typeByName inverts RecordType.String.
+var typeByName = map[string]RecordType{
+	"matched":   RecMatched,
+	"timeout":   RecTimeout,
+	"unmatched": RecUnmatched,
+	"error":     RecError,
+}
+
+// ReadCSV parses a CSV dataset written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("survey: reading csv header: %w", err)
+	}
+	if header[0] != "type" {
+		return nil, fmt.Errorf("survey: unexpected csv header %q", header)
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("survey: reading csv: %w", err)
+		}
+		typ, ok := typeByName[row[0]]
+		if !ok {
+			return nil, fmt.Errorf("survey: csv line %d: unknown record type %q", line, row[0])
+		}
+		addr, err := ipaddr.Parse(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("survey: csv line %d: %w", line, err)
+		}
+		when, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("survey: csv line %d: bad when: %w", line, err)
+		}
+		rtt, err := strconv.ParseInt(row[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("survey: csv line %d: bad rtt: %w", line, err)
+		}
+		out = append(out, Record{
+			Type: typ, Addr: addr,
+			When: time.Duration(when), RTT: time.Duration(rtt),
+		})
+	}
+}

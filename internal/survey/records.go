@@ -1,0 +1,89 @@
+// Package survey implements the ISI-style Internet survey the paper's
+// primary dataset comes from (§3.1): ICMP echo probes to every address of a
+// set of /24 blocks once per 11-minute cycle, a ~3-second matching timeout,
+// and a dataset of matched (microsecond-precision), timeout and unmatched
+// (second-precision) records. The analysis pipeline in internal/core
+// re-processes these records to recover responses that took longer than the
+// prober's timeout — the paper's central methodological trick.
+package survey
+
+import (
+	"time"
+
+	"timeouts/internal/ipaddr"
+)
+
+// RecordType distinguishes dataset records.
+type RecordType uint8
+
+// Record types, mirroring the ISI binary format's semantics.
+const (
+	// RecMatched: an echo response arrived while its request was
+	// outstanding; RTT is known to microsecond precision.
+	RecMatched RecordType = iota + 1
+	// RecTimeout: a request's timer fired with no response; the send time
+	// is recorded at one-second precision.
+	RecTimeout
+	// RecUnmatched: an echo response arrived with no outstanding request
+	// from its source; the arrival time is recorded at one-second
+	// precision.
+	RecUnmatched
+	// RecError: an ICMP error (e.g. host unreachable) arrived for a probe;
+	// the probed destination is recorded and the analysis ignores such
+	// probes entirely.
+	RecError
+)
+
+var recNames = [...]string{"invalid", "matched", "timeout", "unmatched", "error"}
+
+// String names the record type.
+func (t RecordType) String() string {
+	if int(t) < len(recNames) {
+		return recNames[t]
+	}
+	return "RecordType?"
+}
+
+// Record is one dataset record. Which fields are meaningful depends on Type:
+//
+//   - RecMatched: Addr is the probed destination, When the send time
+//     (microsecond precision), RTT the measured round trip (microsecond
+//     precision).
+//   - RecTimeout: Addr is the probed destination, When the send time
+//     truncated to seconds.
+//   - RecUnmatched: Addr is the *source of the response*, When the arrival
+//     time truncated to seconds.
+//   - RecError: Addr is the probed destination the error refers to, When
+//     the arrival time truncated to seconds.
+type Record struct {
+	Type RecordType
+	Addr ipaddr.Addr
+	When time.Duration
+	RTT  time.Duration
+}
+
+// RecordWriter consumes survey records; *Writer persists them in the
+// binary dataset format, MemWriter collects them in memory.
+type RecordWriter interface {
+	Write(Record) error
+}
+
+// MemWriter collects records in memory, for analyses that do not need a
+// persisted dataset.
+type MemWriter struct {
+	Records []Record
+}
+
+// Write implements RecordWriter.
+func (m *MemWriter) Write(r Record) error {
+	m.Records = append(m.Records, r)
+	return nil
+}
+
+// truncation helpers matching ISI's precisions.
+
+// TruncMicro truncates to microsecond precision (matched records).
+func TruncMicro(d time.Duration) time.Duration { return d - d%time.Microsecond }
+
+// TruncSecond truncates to second precision (timeout/unmatched records).
+func TruncSecond(d time.Duration) time.Duration { return d - d%time.Second }

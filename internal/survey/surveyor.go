@@ -1,0 +1,295 @@
+package survey
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/ipmeta"
+	"timeouts/internal/simnet"
+	"timeouts/internal/wire"
+	"timeouts/internal/xrand"
+)
+
+// Vantage identifies a survey vantage point. The ISI surveys ran from four:
+// Marina del Rey, California ("w"); Ft. Collins, Colorado ("c");
+// Fujisawa-shi, Japan ("j"); and Athens, Greece ("g") (§5.2).
+type Vantage struct {
+	Name      byte
+	Addr      ipaddr.Addr
+	Continent ipmeta.Continent
+}
+
+// The four ISI vantage points, at prober addresses in reserved 240/8 space
+// (outside any synthetic population).
+var (
+	VantageW = Vantage{Name: 'w', Addr: ipaddr.MustParse("240.0.0.1"), Continent: ipmeta.NorthAmerica}
+	VantageC = Vantage{Name: 'c', Addr: ipaddr.MustParse("240.0.0.2"), Continent: ipmeta.NorthAmerica}
+	VantageJ = Vantage{Name: 'j', Addr: ipaddr.MustParse("240.0.0.3"), Continent: ipmeta.Asia}
+	VantageG = Vantage{Name: 'g', Addr: ipaddr.MustParse("240.0.0.4"), Continent: ipmeta.Europe}
+)
+
+// Vantages lists the vantage points in ISI's rotation order.
+var Vantages = []Vantage{VantageW, VantageC, VantageJ, VantageG}
+
+// Config parameterizes one survey run.
+type Config struct {
+	Vantage Vantage
+	// Blocks are the /24s to probe (ISI surveys probe ~24,000; scaled
+	// populations use what they have).
+	Blocks []ipaddr.Prefix24
+	// Interval is the per-address probing period; ISI uses 11 minutes. The
+	// 256 addresses of a block are spread evenly across the interval in the
+	// interleaved order that puts adjacent last octets half an interval
+	// apart (§3.3.1, Figure 4).
+	Interval time.Duration
+	// Cycles is how many probing rounds to run (ISI: ~2 weeks ≈ 1830).
+	Cycles int
+	// Timeout is the matcher's timeout; ISI uses 3 s.
+	Timeout time.Duration
+	// Sweep is the granularity at which the prober expires outstanding
+	// probes. Because expiry only happens at sweeps, responses arriving in
+	// (Timeout, Timeout+Sweep] are still matched — reproducing the paper's
+	// observation that "a few responses were matched even after 7 seconds"
+	// despite the 3 s timeout (Figure 1).
+	Sweep time.Duration
+	// Start is the simulation time at which probing begins.
+	Start simnet.Time
+	// ResponseDropRate drops incoming responses at the vantage, modelling
+	// the broken "j"/"g" surveys of Figure 9 whose response rates fell to
+	// 0.02–0.2%.
+	ResponseDropRate float64
+	// Seed drives prober-local randomness (drop decisions, probe IDs).
+	Seed uint64
+}
+
+// withDefaults fills zero fields with ISI-like values.
+func (c Config) withDefaults() Config {
+	if c.Vantage.Addr == 0 {
+		c.Vantage = VantageW
+	}
+	if c.Interval == 0 {
+		c.Interval = 11 * time.Minute
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 4
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 3 * time.Second
+	}
+	if c.Sweep == 0 {
+		c.Sweep = 4 * time.Second
+	}
+	return c
+}
+
+// Stats summarizes a survey run.
+type Stats struct {
+	Probes    uint64
+	Matched   uint64
+	Timeouts  uint64
+	Unmatched uint64 // response packets recorded as unmatched (incl. batch counts)
+	Errors    uint64
+	Dropped   uint64 // responses dropped at the vantage
+}
+
+// ResponseRate returns matched responses as a fraction of probes, the
+// "percentage of successful pings" of Figure 9's lower panel.
+func (s Stats) ResponseRate() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.Matched) / float64(s.Probes)
+}
+
+// SlotOfOctet returns the probing slot (0..255) of a last octet within the
+// interval: even octets first, then odd, so that octets x and x+1 are
+// probed half an interval apart (330 s at ISI's 11 minutes) — the property
+// the paper's broadcast filter exploits.
+func SlotOfOctet(o byte) int {
+	return int(o&1)*128 + int(o>>1)
+}
+
+// Run executes a survey: it attaches a prober to the network, probes every
+// address of every block once per cycle, writes the dataset to out, drains
+// the scheduler, and detaches. The scheduler is run to completion.
+func Run(net *simnet.Network, cfg Config, out RecordWriter) (Stats, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Blocks) == 0 {
+		return Stats{}, fmt.Errorf("survey: no blocks to probe")
+	}
+	s := &surveyor{net: net, cfg: cfg, out: out, outstanding: make(map[ipaddr.Addr]simnet.Time)}
+	net.AttachProber(cfg.Vantage.Addr, s.receive)
+	defer net.DetachProber(cfg.Vantage.Addr)
+
+	sched := net.Scheduler()
+	slotDur := cfg.Interval / 256
+	for cyc := 0; cyc < cfg.Cycles; cyc++ {
+		cyc := cyc
+		base := cfg.Start + simnet.Time(cyc)*cfg.Interval
+		for slot := 0; slot < 256; slot++ {
+			at := base + simnet.Time(slot)*slotDur
+			slot := slot
+			sched.At(at, func() { s.sendSlot(cyc, slot) })
+		}
+	}
+	// Sweeps run from start until all probes are resolved.
+	end := cfg.Start + simnet.Time(cfg.Cycles)*cfg.Interval
+	for t := cfg.Start + cfg.Sweep; t <= end+cfg.Timeout+2*cfg.Sweep; t += cfg.Sweep {
+		sched.At(t, s.sweep)
+	}
+	sched.Run()
+	s.expireAll()
+	if f, ok := out.(interface{ Flush() error }); ok {
+		if err := f.Flush(); err != nil {
+			return s.stats, err
+		}
+	}
+	if s.err != nil {
+		return s.stats, s.err
+	}
+	return s.stats, nil
+}
+
+// surveyor holds the run state of one survey.
+type surveyor struct {
+	net         *simnet.Network
+	cfg         Config
+	out         RecordWriter
+	outstanding map[ipaddr.Addr]simnet.Time
+	stats       Stats
+	err         error
+}
+
+// sendSlot probes the slot's last octet in every block.
+func (s *surveyor) sendSlot(cycle, slot int) {
+	// Invert SlotOfOctet: slots 0..127 carry even octets, 128..255 odd.
+	oct := byte(slot%128)<<1 | byte(slot/128)
+	for _, b := range s.cfg.Blocks {
+		dst := b.Addr(oct)
+		// A still-outstanding probe (possible only in pathological
+		// configurations where Interval < Timeout) is force-expired first.
+		if send, ok := s.outstanding[dst]; ok {
+			s.record(Record{Type: RecTimeout, Addr: dst, When: TruncSecond(send)})
+			s.stats.Timeouts++
+			delete(s.outstanding, dst)
+		}
+		echo := &wire.ICMPEcho{
+			Type: wire.ICMPTypeEchoRequest,
+			ID:   uint16(xrand.Hash(s.cfg.Seed, uint64(dst))),
+			Seq:  uint16(cycle),
+		}
+		now := s.net.Scheduler().Now()
+		s.outstanding[dst] = now
+		s.stats.Probes++
+		s.net.Send(s.cfg.Vantage.Addr, wire.EncodeEcho(s.cfg.Vantage.Addr, dst, echo))
+	}
+}
+
+// receive handles a delivered packet (batch).
+func (s *surveyor) receive(at simnet.Time, data []byte, count int) {
+	if s.cfg.ResponseDropRate > 0 {
+		// Vantage-side filtering drops response packets independently.
+		kept := 0
+		for i := 0; i < count; i++ {
+			if xrand.HashFloat(s.cfg.Seed, uint64(at), uint64(i), 0xD20) >= s.cfg.ResponseDropRate {
+				kept++
+			}
+		}
+		s.stats.Dropped += uint64(count - kept)
+		if kept == 0 {
+			return
+		}
+		count = kept
+	}
+	p, err := wire.Decode(data)
+	if err != nil {
+		return // corrupt packets are dropped silently, like a kernel would
+	}
+	switch {
+	case p.Err != nil:
+		dst, err := p.Err.QuotedDst()
+		if err != nil {
+			return
+		}
+		// The ICMP error resolves the outstanding probe; the analysis
+		// ignores error-answered probes (§3.1).
+		delete(s.outstanding, dst)
+		s.stats.Errors++
+		s.record(Record{Type: RecError, Addr: dst, When: TruncSecond(at)})
+	case p.Echo != nil && p.Echo.Type == wire.ICMPTypeEchoReply:
+		src := p.IP.Src
+		if send, ok := s.outstanding[src]; ok {
+			delete(s.outstanding, src)
+			s.stats.Matched++
+			s.record(Record{
+				Type: RecMatched, Addr: src,
+				When: TruncMicro(send), RTT: TruncMicro(at - send),
+			})
+			count--
+		}
+		if count > 0 {
+			// Extra copies — duplicates, floods, or responses whose
+			// request already timed out — are unmatched. Identical packets
+			// arriving together are run-length encoded in the RTT field.
+			s.stats.Unmatched += uint64(count)
+			s.record(Record{
+				Type: RecUnmatched, Addr: src,
+				When: TruncSecond(at), RTT: time.Duration(count),
+			})
+		}
+	}
+}
+
+// sweep expires outstanding probes older than the timeout.
+func (s *surveyor) sweep() {
+	now := s.net.Scheduler().Now()
+	var expired []ipaddr.Addr
+	for a, send := range s.outstanding {
+		if now-send >= s.cfg.Timeout {
+			expired = append(expired, a)
+		}
+	}
+	// Deterministic record order regardless of map iteration.
+	sort.Slice(expired, func(i, j int) bool {
+		if s.outstanding[expired[i]] != s.outstanding[expired[j]] {
+			return s.outstanding[expired[i]] < s.outstanding[expired[j]]
+		}
+		return expired[i] < expired[j]
+	})
+	for _, a := range expired {
+		s.record(Record{Type: RecTimeout, Addr: a, When: TruncSecond(s.outstanding[a])})
+		s.stats.Timeouts++
+		delete(s.outstanding, a)
+	}
+}
+
+// expireAll times out whatever remains after the run.
+func (s *surveyor) expireAll() {
+	s.sweep()
+	if len(s.outstanding) > 0 {
+		// Remaining entries are younger than the timeout; expire them too —
+		// the survey is over and they will never be matched.
+		var rest []ipaddr.Addr
+		for a := range s.outstanding {
+			rest = append(rest, a)
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+		for _, a := range rest {
+			s.record(Record{Type: RecTimeout, Addr: a, When: TruncSecond(s.outstanding[a])})
+			s.stats.Timeouts++
+			delete(s.outstanding, a)
+		}
+	}
+}
+
+// record writes one record, latching the first write error.
+func (s *surveyor) record(r Record) {
+	if s.err != nil {
+		return
+	}
+	if err := s.out.Write(r); err != nil {
+		s.err = err
+	}
+}

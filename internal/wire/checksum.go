@@ -1,0 +1,48 @@
+package wire
+
+// Checksum computes the RFC 1071 Internet checksum over data: the one's
+// complement of the one's complement sum of the data taken as 16-bit
+// big-endian words, with an odd trailing byte padded with zero.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// checksumWords folds a sequence of pre-assembled 16-bit words, used to mix a
+// pseudo-header into a transport checksum without materializing it.
+func checksumWords(base uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		base += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		base += uint32(data[n-1]) << 8
+	}
+	return base
+}
+
+// foldChecksum reduces a 32-bit accumulated sum to the final 16-bit
+// complemented checksum.
+func foldChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// VerifyChecksum reports whether data carries a valid RFC 1071 checksum,
+// i.e. summing the data including the checksum field yields 0xffff before
+// complementing.
+func VerifyChecksum(data []byte) bool {
+	return Checksum(data) == 0
+}

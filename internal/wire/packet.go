@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"timeouts/internal/ipaddr"
+)
+
+// Packet is a decoded probe or response: the IPv4 header plus exactly one of
+// the layer-4 fields, mirroring the layer stacks the probers exchange.
+type Packet struct {
+	IP   IPv4
+	Echo *ICMPEcho  // set when IP.Protocol is ICMP and the body is an echo
+	Err  *ICMPError // set when IP.Protocol is ICMP and the body is an error
+	UDP  *UDP
+	TCP  *TCP
+	// L4 is the raw layer-4 bytes (the IPv4 payload), retained so ICMP
+	// errors can quote the leading 8 bytes per RFC 792.
+	L4 []byte
+}
+
+// Decode parses a full IPv4 packet into its layer stack, verifying every
+// checksum along the way.
+func Decode(data []byte) (*Packet, error) {
+	var p Packet
+	payload, err := p.IP.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	p.L4 = payload
+	switch p.IP.Protocol {
+	case ProtoICMP:
+		if len(payload) < 1 {
+			return nil, ErrTruncated
+		}
+		switch payload[0] {
+		case ICMPTypeEchoRequest, ICMPTypeEchoReply:
+			p.Echo = new(ICMPEcho)
+			if err := p.Echo.Unmarshal(payload); err != nil {
+				return nil, err
+			}
+		case ICMPTypeDstUnreachable, ICMPTypeTimeExceeded:
+			p.Err = new(ICMPError)
+			if err := p.Err.Unmarshal(payload); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("wire: unsupported ICMP type %d", payload[0])
+		}
+	case ProtoUDP:
+		p.UDP = new(UDP)
+		if err := p.UDP.Unmarshal(payload, p.IP.Src, p.IP.Dst); err != nil {
+			return nil, err
+		}
+	case ProtoTCP:
+		p.TCP = new(TCP)
+		if err := p.TCP.Unmarshal(payload, p.IP.Src, p.IP.Dst); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("wire: unsupported IP protocol %d", p.IP.Protocol)
+	}
+	return &p, nil
+}
+
+// defaultTTL is the initial TTL the probers use.
+const defaultTTL = 64
+
+// EncodeEcho serializes an IPv4+ICMP echo packet with the default TTL.
+func EncodeEcho(src, dst ipaddr.Addr, m *ICMPEcho) []byte {
+	return EncodeEchoTTL(src, dst, m, defaultTTL)
+}
+
+// EncodeEchoTTL serializes an IPv4+ICMP echo packet with an explicit TTL;
+// the model uses it to deliver replies with their remaining (post-hop) TTL.
+func EncodeEchoTTL(src, dst ipaddr.Addr, m *ICMPEcho, ttl byte) []byte {
+	h := IPv4{
+		TotalLen: uint16(IPv4HeaderLen + ICMPEchoHeaderLen + len(m.Payload)),
+		TTL:      ttl,
+		Protocol: ProtoICMP,
+		Src:      src,
+		Dst:      dst,
+	}
+	b := make([]byte, 0, h.TotalLen)
+	b = h.AppendTo(b)
+	return m.AppendTo(b)
+}
+
+// EncodeICMPError serializes an IPv4+ICMP error packet quoting original,
+// with the default TTL.
+func EncodeICMPError(src, dst ipaddr.Addr, e *ICMPError) []byte {
+	return EncodeICMPErrorTTL(src, dst, e, defaultTTL)
+}
+
+// EncodeICMPErrorTTL serializes an IPv4+ICMP error packet with an explicit
+// TTL.
+func EncodeICMPErrorTTL(src, dst ipaddr.Addr, e *ICMPError, ttl byte) []byte {
+	h := IPv4{
+		TotalLen: uint16(IPv4HeaderLen + 8 + len(e.Original)),
+		TTL:      ttl,
+		Protocol: ProtoICMP,
+		Src:      src,
+		Dst:      dst,
+	}
+	b := make([]byte, 0, h.TotalLen)
+	b = h.AppendTo(b)
+	return e.AppendTo(b)
+}
+
+// EncodeUDP serializes an IPv4+UDP packet.
+func EncodeUDP(src, dst ipaddr.Addr, u *UDP) []byte {
+	h := IPv4{
+		TotalLen: uint16(IPv4HeaderLen + UDPHeaderLen + len(u.Payload)),
+		TTL:      defaultTTL,
+		Protocol: ProtoUDP,
+		Src:      src,
+		Dst:      dst,
+	}
+	b := make([]byte, 0, h.TotalLen)
+	b = h.AppendTo(b)
+	return u.AppendTo(b, src, dst)
+}
+
+// EncodeTCP serializes an IPv4+TCP packet with the default TTL.
+func EncodeTCP(src, dst ipaddr.Addr, t *TCP) []byte {
+	return EncodeTCPTTL(src, dst, t, defaultTTL)
+}
+
+// EncodeTCPTTL serializes an IPv4+TCP packet with an explicit TTL. The model
+// distinguishes firewall-forged RSTs from host RSTs by TTL, as the paper's
+// authors did (§5.3).
+func EncodeTCPTTL(src, dst ipaddr.Addr, t *TCP, ttl byte) []byte {
+	h := IPv4{
+		TotalLen: uint16(IPv4HeaderLen + TCPHeaderLen),
+		TTL:      ttl,
+		Protocol: ProtoTCP,
+		Src:      src,
+		Dst:      dst,
+	}
+	b := make([]byte, 0, h.TotalLen)
+	b = h.AppendTo(b)
+	return t.AppendTo(b, src, dst)
+}
+
+// ZmapPayload is the probe body the paper's authors added to Zmap's ICMP
+// module (module_icmp_echo_time): the original destination address and the
+// send timestamp travel inside the echo payload, so the stateless scanner
+// can compute an RTT and recover the probed destination even when the
+// response comes from a different address (a broadcast responder).
+type ZmapPayload struct {
+	Dst      ipaddr.Addr
+	SendTime time.Duration // simulation time at send
+}
+
+// zmapMagic guards against interpreting foreign payloads as Zmap metadata.
+const zmapMagic = 0x54494d45 // "TIME"
+
+// ZmapPayloadLen is the encoded size of a ZmapPayload.
+const ZmapPayloadLen = 16
+
+// ErrNotZmapPayload is returned when a payload does not carry the Zmap
+// metadata magic.
+var ErrNotZmapPayload = errors.New("wire: payload does not carry Zmap metadata")
+
+// Encode serializes the payload.
+func (z ZmapPayload) Encode() []byte {
+	b := make([]byte, ZmapPayloadLen)
+	binary.BigEndian.PutUint32(b[0:], zmapMagic)
+	binary.BigEndian.PutUint32(b[4:], uint32(z.Dst))
+	binary.BigEndian.PutUint64(b[8:], uint64(z.SendTime))
+	return b
+}
+
+// DecodeZmapPayload parses a payload encoded by Encode. Extra trailing bytes
+// are permitted (some hosts pad echo replies).
+func DecodeZmapPayload(b []byte) (ZmapPayload, error) {
+	if len(b) < ZmapPayloadLen {
+		return ZmapPayload{}, ErrTruncated
+	}
+	if binary.BigEndian.Uint32(b[0:]) != zmapMagic {
+		return ZmapPayload{}, ErrNotZmapPayload
+	}
+	return ZmapPayload{
+		Dst:      ipaddr.Addr(binary.BigEndian.Uint32(b[4:])),
+		SendTime: time.Duration(binary.BigEndian.Uint64(b[8:])),
+	}, nil
+}

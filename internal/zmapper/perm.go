@@ -1,0 +1,70 @@
+// Package zmapper implements a Zmap-style stateless Internet scanner
+// (Durumeric et al., USENIX Security 2013) with the ICMP timestamp
+// extension the paper's authors contributed: each echo request carries its
+// destination address and send time in the payload, so RTTs can be computed
+// and broadcast responders identified without keeping per-probe state
+// (§3.3.1, §5.1).
+package zmapper
+
+import "timeouts/internal/xrand"
+
+// Permutation iterates a pseudorandom permutation of [0, n) without
+// materializing it, the way Zmap randomizes its scan order: a full-period
+// linear congruential generator over the next power of two, cycle-walking
+// past values >= n. Randomized order spreads load across target networks
+// instead of hammering one /24 at a time.
+type Permutation struct {
+	n     uint64
+	mod   uint64 // power of two >= n
+	a, c  uint64
+	first uint64
+	cur   uint64
+	done  bool
+	begun bool
+}
+
+// NewPermutation creates a permutation of [0, n) seeded deterministically.
+func NewPermutation(n int, seed uint64) *Permutation {
+	if n <= 0 {
+		panic("zmapper: permutation over empty range")
+	}
+	mod := uint64(1)
+	for mod < uint64(n) {
+		mod <<= 1
+	}
+	// Full period over a power-of-two modulus (Hull–Dobell): c odd,
+	// a ≡ 1 (mod 4).
+	a := uint64(1)
+	if mod >= 8 {
+		a = xrand.Hash(seed, 1)&(mod-1)&^uint64(3) | 1
+		if a == 1 {
+			a = 5 // avoid the identity multiplier
+		}
+	}
+	c := xrand.Hash(seed, 2)&(mod-1) | 1
+	first := xrand.Hash(seed, 3) & (mod - 1)
+	return &Permutation{n: uint64(n), mod: mod, a: a, c: c, first: first}
+}
+
+// Next returns the next element, or ok=false when the permutation is
+// exhausted.
+func (p *Permutation) Next() (int, bool) {
+	if p.done {
+		return 0, false
+	}
+	for {
+		if !p.begun {
+			p.begun = true
+			p.cur = p.first
+		} else {
+			p.cur = (p.a*p.cur + p.c) & (p.mod - 1)
+			if p.cur == p.first {
+				p.done = true
+				return 0, false
+			}
+		}
+		if p.cur < p.n {
+			return int(p.cur), true
+		}
+	}
+}
