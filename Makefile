@@ -1,0 +1,31 @@
+# Tier-1 flow: `make check` is what CI runs — build everything, run the full
+# test suite, then run the internal packages under the race detector (the
+# sharded parallel engine executes shards on concurrent goroutines, so -race
+# guards its worker pool, merge and result-collection paths).
+
+GO ?= go
+
+.PHONY: all build test race fuzz bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector multiplies runtime; -count=1 defeats the test cache so
+# the instrumented binaries actually run.
+race:
+	$(GO) test -race -count=1 ./internal/...
+
+# Short fuzz pass over the merge-ordering contract (FuzzShardMerge) and any
+# other fuzz targets; seeds alone run in `make test`.
+fuzz:
+	$(GO) test -run=Fuzz -fuzz=FuzzShardMerge -fuzztime=30s ./internal/simnet
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+check: build test race

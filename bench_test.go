@@ -11,6 +11,8 @@
 package timeouts
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -143,6 +145,63 @@ func BenchmarkTable3ZmapScans(b *testing.B) {
 		if sc.ProbesSent == 0 {
 			b.Fatal("no probes")
 		}
+	}
+}
+
+// BenchmarkParallelScan measures the sharded parallel scan engine against
+// the same workload as BenchmarkTable3ZmapScans: one full stateless scan of
+// a 96-block population per iteration, at 1 shard, 2 shards, and one shard
+// per CPU. The population is built once and shared (each shard gets its own
+// Model); the merged output is byte-identical across all variants, so the
+// sub-benchmarks differ only in execution strategy. Speedup over shards=1
+// requires a multi-core runner.
+func BenchmarkParallelScan(b *testing.B) {
+	pop := netmodel.New(netmodel.Config{Seed: 42, Blocks: 96})
+	src := ipaddr.MustParse("240.0.2.1")
+	cfg := zmapper.Config{
+		Src: src, Continent: ipmeta.NorthAmerica,
+		TargetN: pop.NumAddrs(), TargetAt: pop.AddrAt,
+		Duration: 10 * time.Minute, Seed: 42,
+	}
+	fabric := func(int) simnet.Fabric {
+		model := netmodel.NewModel(pop)
+		model.AddVantage(src, ipmeta.NorthAmerica)
+		return model
+	}
+	for _, shards := range []int{1, 2, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sc, err := zmapper.RunSharded(cfg, shards, fabric)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sc.ProbesSent == 0 {
+					b.Fatal("no probes")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSurvey is the survey-side counterpart: a 64-block,
+// 3-cycle survey through the sharded engine at increasing shard counts.
+func BenchmarkParallelSurvey(b *testing.B) {
+	pop := netmodel.New(netmodel.Config{Seed: 42, Blocks: 64})
+	cfg := survey.Config{Vantage: survey.VantageW, Blocks: pop.Blocks(), Cycles: 3, Seed: 42}
+	fabric := func(int) simnet.Fabric {
+		model := netmodel.NewModel(pop)
+		model.AddVantage(survey.VantageW.Addr, survey.VantageW.Continent)
+		return model
+	}
+	for _, shards := range []int{1, 2, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var mem survey.MemWriter
+				if _, err := survey.RunSharded(cfg, shards, fabric, &mem); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -5,14 +5,20 @@
 // Usage:
 //
 //	reproduce [-scale quick|default|full] [-exp id[,id...]] [-list] [-seed N]
+//	          [-parallel N]
 //
-// Without -exp, every experiment in the registry runs in paper order.
+// Without -exp, every experiment in the registry runs in paper order. With
+// -parallel N (N > 1) the shared survey and Zmap workloads run on the
+// sharded parallel engine; the deterministic merge keeps the datasets — and
+// therefore every reported number — byte-identical to the sequential run.
+// -parallel 0 selects one shard per CPU.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,8 +32,12 @@ func main() {
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		seed      = flag.Uint64("seed", 0, "override the population seed")
 		dataDir   = flag.String("data", "", "also export the figures' plottable series as CSV files into this directory")
+		parallel  = flag.Int("parallel", 1, "shard count for the survey/scan workloads (1 = sequential, 0 = one per CPU)")
 	)
 	flag.Parse()
+	if *parallel == 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	if *list {
 		for _, e := range experiments.Registry {
@@ -67,6 +77,7 @@ func main() {
 	}
 
 	lab := experiments.NewLab(scale)
+	lab.Parallel = *parallel
 	start := time.Now()
 	for _, e := range entries {
 		t0 := time.Now()

@@ -4,13 +4,20 @@
 // Usage:
 //
 //	surveyor -o survey.tosv [-blocks 512] [-cycles 24] [-seed 42]
-//	         [-vantage w|c|j|g] [-interval 11m] [-timeout 3s]
+//	         [-vantage w|c|j|g] [-interval 11m] [-timeout 3s] [-parallel N]
+//
+// With -parallel N (N > 1) the survey runs on the sharded parallel engine:
+// N contiguous shards of the block list are probed concurrently and the
+// record streams are merged deterministically, so the dataset is
+// byte-identical to the sequential run. -parallel 0 selects one shard per
+// CPU.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"timeouts/internal/netmodel"
@@ -29,8 +36,12 @@ func main() {
 		timeout  = flag.Duration("timeout", 3*time.Second, "matcher timeout")
 		format   = flag.String("format", "tosv", "output format: tosv (fixed binary), compact (varint), or csv")
 		catalog  = flag.String("catalog", "", "JSON AS-catalog file (default: built-in catalog)")
+		parallel = flag.Int("parallel", 1, "shard count for the parallel engine (1 = sequential, 0 = one per CPU)")
 	)
 	flag.Parse()
+	if *parallel == 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	var vp survey.Vantage
 	found := false
@@ -59,10 +70,6 @@ func main() {
 		}
 	}
 	pop := netmodel.New(netmodel.Config{Seed: *seed, Blocks: *blocks, Catalog: specs})
-	model := netmodel.NewModel(pop)
-	model.AddVantage(vp.Addr, vp.Continent)
-	sched := &simnet.Scheduler{}
-	net := simnet.NewNetwork(sched, model)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -91,14 +98,27 @@ func main() {
 		os.Exit(2)
 	}
 	start := time.Now()
-	st, err := survey.Run(net, survey.Config{
+	cfg := survey.Config{
 		Vantage:  vp,
 		Blocks:   pop.Blocks(),
 		Interval: *interval,
 		Cycles:   *cycles,
 		Timeout:  *timeout,
 		Seed:     *seed,
-	}, sink)
+	}
+	var st survey.Stats
+	if *parallel > 1 {
+		st, err = survey.RunSharded(cfg, *parallel, func(int) simnet.Fabric {
+			model := netmodel.NewModel(pop)
+			model.AddVantage(vp.Addr, vp.Continent)
+			return model
+		}, sink)
+	} else {
+		model := netmodel.NewModel(pop)
+		model.AddVantage(vp.Addr, vp.Continent)
+		net := simnet.NewNetwork(&simnet.Scheduler{}, model)
+		st, err = survey.Run(net, cfg, sink)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "surveyor:", err)
 		os.Exit(1)

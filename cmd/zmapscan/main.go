@@ -6,12 +6,20 @@
 // Usage:
 //
 //	zmapscan [-blocks 512] [-seed 42] [-scanseed 1] [-duration 90m] [-top 10]
+//	         [-parallel N]
+//
+// With -parallel N (N > 1) the scan runs on the sharded parallel engine: N
+// contiguous shards of the probe permutation execute concurrently and the
+// response streams are merged deterministically, so the output is
+// byte-identical to the sequential scan. -parallel 0 selects one shard per
+// CPU.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"timeouts/internal/core"
@@ -31,8 +39,12 @@ func main() {
 		duration = flag.Duration("duration", 90*time.Minute, "scan duration (simulated)")
 		top      = flag.Int("top", 10, "AS ranking size")
 		catalog  = flag.String("catalog", "", "JSON AS-catalog file (default: built-in catalog)")
+		parallel = flag.Int("parallel", 1, "shard count for the parallel engine (1 = sequential, 0 = one per CPU)")
 	)
 	flag.Parse()
+	if *parallel == 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	var specs []netmodel.ASSpec
 	if *catalog != "" {
@@ -49,18 +61,28 @@ func main() {
 		}
 	}
 	pop := netmodel.New(netmodel.Config{Seed: *seed, Blocks: *blocks, Catalog: specs})
-	model := netmodel.NewModel(pop)
 	src := ipaddr.MustParse("240.0.2.1")
-	model.AddVantage(src, ipmeta.NorthAmerica)
-	sched := &simnet.Scheduler{}
-	net := simnet.NewNetwork(sched, model)
-
-	start := time.Now()
-	sc, err := zmapper.Run(net, zmapper.Config{
+	cfg := zmapper.Config{
 		Src: src, Continent: ipmeta.NorthAmerica,
 		TargetN: pop.NumAddrs(), TargetAt: pop.AddrAt,
 		Duration: *duration, Seed: *scanseed,
-	})
+	}
+
+	start := time.Now()
+	var sc *zmapper.Scan
+	var err error
+	if *parallel > 1 {
+		sc, err = zmapper.RunSharded(cfg, *parallel, func(int) simnet.Fabric {
+			model := netmodel.NewModel(pop)
+			model.AddVantage(src, ipmeta.NorthAmerica)
+			return model
+		})
+	} else {
+		model := netmodel.NewModel(pop)
+		model.AddVantage(src, ipmeta.NorthAmerica)
+		net := simnet.NewNetwork(&simnet.Scheduler{}, model)
+		sc, err = zmapper.Run(net, cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zmapscan:", err)
 		os.Exit(1)

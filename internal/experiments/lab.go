@@ -81,6 +81,14 @@ func NewWorld(cfg netmodel.Config) *World {
 type Lab struct {
 	Scale Scale
 
+	// Parallel, when > 1, runs the survey and Zmap workloads on the
+	// sharded parallel engine with that many shards (zmapper.RunSharded,
+	// survey.RunSharded). The engine's ordered merge makes the datasets
+	// byte-identical to the sequential run, so every experiment in the
+	// registry works unchanged either way — parallelism is purely an
+	// execution-speed opt-in (cmd/reproduce's -parallel flag).
+	Parallel int
+
 	mu          sync.Mutex
 	surveyRecs  []survey.Record
 	surveyStats survey.Stats
@@ -95,6 +103,23 @@ func NewLab(s Scale) *Lab {
 	return &Lab{Scale: s, popCfg: netmodel.Config{Seed: s.Seed, Blocks: s.Blocks}}
 }
 
+// ShardFabric returns a per-shard fabric factory over a shared population:
+// each shard gets its own Model (mutable radio state and stats stay
+// shard-local) with every vantage registered, while the immutable
+// Population is shared and read concurrently.
+func ShardFabric(pop *netmodel.Population) func(int) simnet.Fabric {
+	return func(int) simnet.Fabric {
+		model := netmodel.NewModel(pop)
+		for _, v := range survey.Vantages {
+			model.AddVantage(v.Addr, v.Continent)
+		}
+		model.AddVantage(zmapSrc, ipmeta.NorthAmerica)
+		model.AddVantage(scamperSrc, ipmeta.NorthAmerica)
+		model.AddVantage(outageSrc, ipmeta.NorthAmerica)
+		return model
+	}
+}
+
 // PopConfig returns the lab's population config.
 func (l *Lab) PopConfig() netmodel.Config { return l.popCfg }
 
@@ -104,14 +129,25 @@ func (l *Lab) Survey() ([]survey.Record, survey.Stats) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.surveyRecs == nil {
-		w := NewWorld(l.popCfg)
-		var mem survey.MemWriter
-		st, err := survey.Run(w.Net, survey.Config{
+		var (
+			mem survey.MemWriter
+			st  survey.Stats
+			err error
+		)
+		cfg := survey.Config{
 			Vantage: survey.VantageW,
-			Blocks:  w.Pop.Blocks(),
 			Cycles:  l.Scale.SurveyCycles,
 			Seed:    l.Scale.Seed,
-		}, &mem)
+		}
+		if l.Parallel > 1 {
+			pop := netmodel.New(l.popCfg)
+			cfg.Blocks = pop.Blocks()
+			st, err = survey.RunSharded(cfg, l.Parallel, ShardFabric(pop), &mem)
+		} else {
+			w := NewWorld(l.popCfg)
+			cfg.Blocks = w.Pop.Blocks()
+			st, err = survey.Run(w.Net, cfg, &mem)
+		}
 		if err != nil {
 			panic("experiments: survey failed: " + err.Error())
 		}
@@ -150,19 +186,29 @@ func (l *Lab) Scans(n int) []*zmapper.Scan {
 	defer l.mu.Unlock()
 	for len(l.scans) < n {
 		i := len(l.scans)
-		w := NewWorld(l.popCfg)
 		// Scans a week apart, alternating start hours (12:07, 02:44, ...).
 		startHour := []float64{12.1, 2.7, 12.1, 13.9, 0.95, 12.0}[i%6]
 		start := simnet.Time(float64(i*7)*24*float64(time.Hour) + startHour*float64(time.Hour))
-		sc, err := zmapper.Run(w.Net, zmapper.Config{
+		var (
+			sc  *zmapper.Scan
+			err error
+		)
+		cfg := zmapper.Config{
 			Src:       zmapSrc,
 			Continent: ipmeta.NorthAmerica,
-			TargetN:   w.Pop.NumAddrs(),
-			TargetAt:  w.Pop.AddrAt,
 			Duration:  90 * time.Minute,
 			Start:     start,
 			Seed:      l.Scale.Seed + uint64(i)*1000003,
-		})
+		}
+		if l.Parallel > 1 {
+			pop := netmodel.New(l.popCfg)
+			cfg.TargetN, cfg.TargetAt = pop.NumAddrs(), pop.AddrAt
+			sc, err = zmapper.RunSharded(cfg, l.Parallel, ShardFabric(pop))
+		} else {
+			w := NewWorld(l.popCfg)
+			cfg.TargetN, cfg.TargetAt = w.Pop.NumAddrs(), w.Pop.AddrAt
+			sc, err = zmapper.Run(w.Net, cfg)
+		}
 		if err != nil {
 			panic("experiments: zmap scan failed: " + err.Error())
 		}

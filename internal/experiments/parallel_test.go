@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestParallelLabMatchesSequential runs the lab's shared workloads — the
+// survey dataset and the Zmap scans every experiment is built on — through
+// the sharded parallel engine and checks them against the sequential lab.
+// Byte-identical datasets here mean every experiment in the registry reports
+// the same numbers regardless of -parallel.
+func TestParallelLabMatchesSequential(t *testing.T) {
+	scale := Scale{Seed: 9, Blocks: 64, SurveyCycles: 2, ZmapScans: 1, SampleAddrs: 10, TrainPings: 10}
+	seq := NewLab(scale)
+	par := NewLab(scale)
+	par.Parallel = 4
+
+	seqRecs, seqStats := seq.Survey()
+	parRecs, parStats := par.Survey()
+	if parStats != seqStats {
+		t.Errorf("survey stats %+v, sequential %+v", parStats, seqStats)
+	}
+	if len(parRecs) != len(seqRecs) {
+		t.Fatalf("survey: %d records, sequential %d", len(parRecs), len(seqRecs))
+	}
+	for i := range seqRecs {
+		if parRecs[i] != seqRecs[i] {
+			t.Fatalf("survey record %d = %+v, sequential %+v", i, parRecs[i], seqRecs[i])
+		}
+	}
+
+	seqScans := seq.Scans(2)
+	parScans := par.Scans(2)
+	for k := range seqScans {
+		s, p := seqScans[k], parScans[k]
+		if p.ProbesSent != s.ProbesSent || p.PacketsReceived != s.PacketsReceived {
+			t.Errorf("scan %d: probes/packets %d/%d, sequential %d/%d",
+				k, p.ProbesSent, p.PacketsReceived, s.ProbesSent, s.PacketsReceived)
+		}
+		if len(p.Responses) != len(s.Responses) {
+			t.Fatalf("scan %d: %d responses, sequential %d", k, len(p.Responses), len(s.Responses))
+		}
+		for i := range s.Responses {
+			if p.Responses[i] != s.Responses[i] {
+				t.Fatalf("scan %d response %d = %+v, sequential %+v",
+					k, i, p.Responses[i], s.Responses[i])
+			}
+		}
+	}
+}

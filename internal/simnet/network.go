@@ -45,12 +45,25 @@ const (
 // For batched deliveries the tap is invoked once with the batch count.
 type Tap func(at Time, dir TapDirection, data []byte, count int)
 
+// DeliveryTag identifies one delivery by the probe that caused it: the
+// caller-assigned rank of the Send (see SetSendRank) and the delivery's
+// index within that Send's fabric response. Sharded drivers use the tag to
+// build the ShardKey under which a received record merges back into the
+// global stream.
+type DeliveryTag struct {
+	Rank  uint64
+	Index int
+}
+
 // Network connects probers to a Fabric through the scheduler.
 type Network struct {
 	sched   *Scheduler
 	fabric  Fabric
 	tap     Tap
 	probers map[ipaddr.Addr]Handler
+
+	sendRank uint64      // rank attached to deliveries of subsequent Sends
+	curTag   DeliveryTag // tag of the delivery currently being handled
 
 	// Stats counts traffic through the fabric.
 	Stats struct {
@@ -83,6 +96,16 @@ func (n *Network) DetachProber(addr ipaddr.Addr) { delete(n.probers, addr) }
 // SetTap installs (or, with nil, removes) the packet tap.
 func (n *Network) SetTap(t Tap) { n.tap = t }
 
+// SetSendRank sets the rank recorded on deliveries produced by subsequent
+// Send calls. Probers running as one shard of a sharded scan assign each
+// probe its global rank (its position in the full, unsharded probe order)
+// so that receive handlers can order records across shards.
+func (n *Network) SetSendRank(r uint64) { n.sendRank = r }
+
+// LastDeliveryTag returns the tag of the delivery whose handler (or tap) is
+// currently executing. It is only meaningful during such a callback.
+func (n *Network) LastDeliveryTag() DeliveryTag { return n.curTag }
+
 // Send injects a probe packet from the prober at `from` into the network at
 // the current simulation time. The fabric's deliveries are scheduled back to
 // the prober.
@@ -96,14 +119,16 @@ func (n *Network) Send(from ipaddr.Addr, pkt []byte) {
 	if n.tap != nil {
 		n.tap(at, TapSent, pkt, 1)
 	}
-	for _, d := range n.fabric.Respond(from, at, pkt) {
-		d := d
+	rank := n.sendRank
+	for di, d := range n.fabric.Respond(from, at, pkt) {
+		di, d := di, d
 		if d.Count == 0 {
 			d.Count = 1
 		}
 		n.Stats.DeliveriesReceived++
 		n.Stats.PacketsReceived += uint64(d.Count)
 		n.sched.At(at+d.Delay, func() {
+			n.curTag = DeliveryTag{Rank: rank, Index: di}
 			if n.tap != nil {
 				n.tap(n.sched.Now(), TapReceived, d.Data, d.Count)
 			}

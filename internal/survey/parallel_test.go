@@ -1,0 +1,182 @@
+package survey
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"timeouts/internal/ipmeta"
+	"timeouts/internal/netmodel"
+	"timeouts/internal/simnet"
+)
+
+// testCatalog mirrors the zmapper suite's second catalog: a small mixed
+// population with cellular, broadband, satellite and datacenter hosts, so
+// the equivalence matrix covers every behavior class the sharded engine
+// must keep shard-local.
+func testCatalog() []netmodel.ASSpec {
+	mk := func(asn uint32, owner string, typ ipmeta.AccessType, cont ipmeta.Continent) ipmeta.AS {
+		return ipmeta.AS{ASN: asn, Owner: owner, Type: typ, Continent: cont}
+	}
+	return []netmodel.ASSpec{
+		{AS: mk(64512, "TEST CELLULAR", ipmeta.Cellular, ipmeta.Asia),
+			Weight: 3, CellularFrac: 0.95, CongestionLevel: 0.5, Responsiveness: 0.3},
+		{AS: mk(64513, "TEST BROADBAND", ipmeta.Broadband, ipmeta.Europe),
+			Weight: 4, CongestionLevel: 0.6, Responsiveness: 0.5},
+		{AS: mk(64514, "TEST SATELLITE", ipmeta.Satellite, ipmeta.NorthAmerica),
+			Weight: 1, Responsiveness: 0.4, SatBaseMS: 500, SatSpreadMS: 60, SatQueueCapMS: 200},
+		{AS: mk(64515, "TEST DATACENTER", ipmeta.Datacenter, ipmeta.NorthAmerica),
+			Weight: 2, Responsiveness: 0.9},
+	}
+}
+
+func surveyFabric(pop *netmodel.Population, v Vantage) func(int) simnet.Fabric {
+	return func(int) simnet.Fabric {
+		model := netmodel.NewModel(pop)
+		model.AddVantage(v.Addr, v.Continent)
+		return model
+	}
+}
+
+// encode serializes a record stream in the binary dataset format, the form
+// in which byte-identity is promised.
+func encode(t *testing.T, seed uint64, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{Seed: seed, Vantage: 'w'})
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRunShardedMatchesSequential(t *testing.T) {
+	catalogs := []struct {
+		name    string
+		blocks  int
+		catalog []netmodel.ASSpec
+	}{
+		{name: "default", blocks: 64, catalog: nil},
+		{name: "mixed4", blocks: 32, catalog: testCatalog()},
+	}
+	for _, cat := range catalogs {
+		for _, seed := range []uint64{5, 21, 99} {
+			t.Run(fmt.Sprintf("%s/seed%d", cat.name, seed), func(t *testing.T) {
+				pop := netmodel.New(netmodel.Config{Seed: seed, Blocks: cat.blocks, Catalog: cat.catalog})
+				cfg := Config{
+					Vantage: VantageW,
+					Blocks:  pop.Blocks(),
+					Cycles:  3,
+					Seed:    seed,
+				}
+				fabric := surveyFabric(pop, VantageW)
+
+				var seqMem MemWriter
+				seqStats, err := Run(simnet.NewNetwork(&simnet.Scheduler{}, fabric(0)), cfg, &seqMem)
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if len(seqMem.Records) == 0 {
+					t.Fatal("sequential survey wrote no records; equivalence check is vacuous")
+				}
+				seqBytes := encode(t, seed, seqMem.Records)
+
+				for _, shards := range []int{1, 2, 4, 7} {
+					var parMem MemWriter
+					parStats, err := RunSharded(cfg, shards, fabric, &parMem)
+					if err != nil {
+						t.Fatalf("RunSharded(%d): %v", shards, err)
+					}
+					if parStats != seqStats {
+						t.Errorf("shards=%d: stats %+v, sequential %+v", shards, parStats, seqStats)
+					}
+					if len(parMem.Records) != len(seqMem.Records) {
+						t.Fatalf("shards=%d: %d records, sequential %d",
+							shards, len(parMem.Records), len(seqMem.Records))
+					}
+					parBytes := encode(t, seed, parMem.Records)
+					if !bytes.Equal(parBytes, seqBytes) {
+						for i := range seqMem.Records {
+							if parMem.Records[i] != seqMem.Records[i] {
+								t.Fatalf("shards=%d: record %d = %+v, sequential %+v",
+									shards, i, parMem.Records[i], seqMem.Records[i])
+							}
+						}
+						t.Fatalf("shards=%d: datasets differ but records match — encoder bug?", shards)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunShardedWritesDirectly checks that the merged stream reaches the
+// caller's RecordWriter (the path cmd/surveyor uses to stream to disk), not
+// only a MemWriter, and that the datasets are byte-identical end to end.
+func TestRunShardedWritesDirectly(t *testing.T) {
+	const seed = 11
+	pop := netmodel.New(netmodel.Config{Seed: seed, Blocks: 48})
+	cfg := Config{Vantage: VantageW, Blocks: pop.Blocks(), Cycles: 2, Seed: seed}
+	fabric := surveyFabric(pop, VantageW)
+
+	var seqBuf bytes.Buffer
+	seqW := NewWriter(&seqBuf, Header{Seed: seed, Vantage: 'w'})
+	if _, err := Run(simnet.NewNetwork(&simnet.Scheduler{}, fabric(0)), cfg, seqW); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := seqW.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	var parBuf bytes.Buffer
+	parW := NewWriter(&parBuf, Header{Seed: seed, Vantage: 'w'})
+	if _, err := RunSharded(cfg, 4, fabric, parW); err != nil {
+		t.Fatalf("RunSharded: %v", err)
+	}
+	if err := parW.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	if seqW.Count() == 0 {
+		t.Fatal("no records written")
+	}
+	if !bytes.Equal(parBuf.Bytes(), seqBuf.Bytes()) {
+		t.Fatalf("sharded dataset differs from sequential (%d vs %d bytes)",
+			parBuf.Len(), seqBuf.Len())
+	}
+}
+
+func TestRunShardedClampsShardCount(t *testing.T) {
+	// More shards than blocks must degrade to fewer shards, not produce
+	// empty-block surveys with divergent sweep schedules.
+	const seed = 13
+	pop := netmodel.New(netmodel.Config{Seed: seed, Blocks: 32, Catalog: testCatalog()})
+	cfg := Config{Vantage: VantageW, Blocks: pop.Blocks()[:3], Cycles: 2, Seed: seed}
+	fabric := surveyFabric(pop, VantageW)
+
+	var seqMem, parMem MemWriter
+	seqStats, err := Run(simnet.NewNetwork(&simnet.Scheduler{}, fabric(0)), cfg, &seqMem)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	parStats, err := RunSharded(cfg, 64, fabric, &parMem)
+	if err != nil {
+		t.Fatalf("RunSharded: %v", err)
+	}
+	if parStats != seqStats {
+		t.Errorf("stats %+v, sequential %+v", parStats, seqStats)
+	}
+	if len(parMem.Records) != len(seqMem.Records) {
+		t.Fatalf("%d records, sequential %d", len(parMem.Records), len(seqMem.Records))
+	}
+	for i := range seqMem.Records {
+		if parMem.Records[i] != seqMem.Records[i] {
+			t.Fatalf("record %d = %+v, sequential %+v", i, parMem.Records[i], seqMem.Records[i])
+		}
+	}
+}

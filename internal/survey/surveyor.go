@@ -2,6 +2,7 @@ package survey
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -111,6 +112,23 @@ func SlotOfOctet(o byte) int {
 	return int(o&1)*128 + int(o>>1)
 }
 
+// Record-stream merge phases. The sequential event loop breaks same-time
+// ties by insertion order; the surveyor inserts all slot events, then all
+// sweep events, and deliveries are created later as probes fire — so at any
+// instant, slot records precede sweep records precede delivery records.
+// ShardKeys rank those classes explicitly, which lets a sharded run
+// reconstruct the exact sequential record order (see simnet.ShardKey).
+const (
+	phaseSlot    = iota // force-expiry inside a send slot: (slot rank, global block)
+	phaseSweep          // scheduled sweep expiry: (send time, addr)
+	phaseDeliver        // received delivery: (probe rank, delivery index, record index)
+	phaseFinal          // post-run expiry sweep: (send time, addr)
+	phaseRest           // post-run residue younger than the timeout: (addr)
+)
+
+// endKeyTime orders post-run records after every scheduled event.
+const endKeyTime = simnet.Time(math.MaxInt64)
+
 // Run executes a survey: it attaches a prober to the network, probes every
 // address of every block once per cycle, writes the dataset to out, drains
 // the scheduler, and detaches. The scheduler is run to completion.
@@ -119,11 +137,121 @@ func Run(net *simnet.Network, cfg Config, out RecordWriter) (Stats, error) {
 	if len(cfg.Blocks) == 0 {
 		return Stats{}, fmt.Errorf("survey: no blocks to probe")
 	}
-	s := &surveyor{net: net, cfg: cfg, out: out, outstanding: make(map[ipaddr.Addr]simnet.Time)}
+	s := &surveyor{
+		net: net, cfg: cfg, out: out,
+		blockTotal:  len(cfg.Blocks),
+		outstanding: make(map[ipaddr.Addr]simnet.Time),
+	}
 	net.AttachProber(cfg.Vantage.Addr, s.receive)
 	defer net.DetachProber(cfg.Vantage.Addr)
 
-	sched := net.Scheduler()
+	s.scheduleAll()
+	net.Scheduler().Run()
+	s.expireAll()
+	if f, ok := out.(interface{ Flush() error }); ok {
+		if err := f.Flush(); err != nil {
+			return s.stats, err
+		}
+	}
+	if s.err != nil {
+		return s.stats, s.err
+	}
+	return s.stats, nil
+}
+
+// RunSharded executes the same survey as Run partitioned into `shards`
+// contiguous slices of the block list, each slice probed by its own
+// scheduler and network (built over fabric(shard)) on a bounded worker
+// pool. Every per-address interaction — probing, matching, timing out,
+// broadcast fan-in — stays within the shard that owns the address's /24, so
+// each shard reproduces its slice of the sequential run exactly; the
+// per-shard record streams are then merged by (timestamp, sequence) keys
+// and written to out in an order byte-identical to the sequential run.
+//
+// fabric is called once per shard, possibly concurrently; each call must
+// return a fabric not shared with any other shard, answering probes
+// identically regardless of shard (netmodel.Model instances over one shared
+// Population qualify).
+func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric, out RecordWriter) (Stats, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Blocks) == 0 {
+		return Stats{}, fmt.Errorf("survey: no blocks to probe")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(cfg.Blocks) {
+		shards = len(cfg.Blocks)
+	}
+	surveyors := make([]*surveyor, shards)
+	if err := simnet.RunShards(shards, 0, func(k int) error {
+		sched := &simnet.Scheduler{}
+		net := simnet.NewNetwork(sched, fabric(k))
+		lo, hi := simnet.ShardBounds(len(cfg.Blocks), shards, k)
+		scfg := cfg
+		scfg.Blocks = cfg.Blocks[lo:hi]
+		s := &surveyor{
+			net: net, cfg: scfg, tag: true,
+			blockOff: lo, blockTotal: len(cfg.Blocks),
+			outstanding: make(map[ipaddr.Addr]simnet.Time),
+		}
+		surveyors[k] = s
+		net.AttachProber(cfg.Vantage.Addr, s.receive)
+		s.scheduleAll()
+		sched.Run()
+		s.expireAll()
+		return nil
+	}); err != nil {
+		return Stats{}, err
+	}
+
+	var stats Stats
+	streams := make([][]simnet.Tagged[Record], shards)
+	for k, s := range surveyors {
+		stats.Probes += s.stats.Probes
+		stats.Matched += s.stats.Matched
+		stats.Timeouts += s.stats.Timeouts
+		stats.Unmatched += s.stats.Unmatched
+		stats.Errors += s.stats.Errors
+		stats.Dropped += s.stats.Dropped
+		streams[k] = s.tagged
+	}
+	var err error
+	for _, r := range simnet.MergeTagged(streams) {
+		if werr := out.Write(r); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if f, ok := out.(interface{ Flush() error }); ok {
+		if ferr := f.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return stats, err
+}
+
+// surveyor holds the run state of one survey (or one shard of one).
+type surveyor struct {
+	net         *simnet.Network
+	cfg         Config
+	out         RecordWriter
+	outstanding map[ipaddr.Addr]simnet.Time
+	stats       Stats
+	err         error
+
+	// Sharded-run state: blockOff is the global index of cfg.Blocks[0] in
+	// the full block list of blockTotal entries; with tag set, records are
+	// buffered with merge keys instead of being written to out.
+	blockOff   int
+	blockTotal int
+	tag        bool
+	tagged     []simnet.Tagged[Record]
+}
+
+// scheduleAll installs the survey's slot and sweep events on the scheduler.
+func (s *surveyor) scheduleAll() {
+	sched := s.net.Scheduler()
+	cfg := s.cfg
 	slotDur := cfg.Interval / 256
 	for cyc := 0; cyc < cfg.Cycles; cyc++ {
 		cyc := cyc
@@ -139,39 +267,21 @@ func Run(net *simnet.Network, cfg Config, out RecordWriter) (Stats, error) {
 	for t := cfg.Start + cfg.Sweep; t <= end+cfg.Timeout+2*cfg.Sweep; t += cfg.Sweep {
 		sched.At(t, s.sweep)
 	}
-	sched.Run()
-	s.expireAll()
-	if f, ok := out.(interface{ Flush() error }); ok {
-		if err := f.Flush(); err != nil {
-			return s.stats, err
-		}
-	}
-	if s.err != nil {
-		return s.stats, s.err
-	}
-	return s.stats, nil
-}
-
-// surveyor holds the run state of one survey.
-type surveyor struct {
-	net         *simnet.Network
-	cfg         Config
-	out         RecordWriter
-	outstanding map[ipaddr.Addr]simnet.Time
-	stats       Stats
-	err         error
 }
 
 // sendSlot probes the slot's last octet in every block.
 func (s *surveyor) sendSlot(cycle, slot int) {
 	// Invert SlotOfOctet: slots 0..127 carry even octets, 128..255 odd.
 	oct := byte(slot%128)<<1 | byte(slot/128)
-	for _, b := range s.cfg.Blocks {
+	slotRank := uint64(cycle)*256 + uint64(slot)
+	for bi, b := range s.cfg.Blocks {
 		dst := b.Addr(oct)
+		gbi := uint64(s.blockOff + bi)
 		// A still-outstanding probe (possible only in pathological
 		// configurations where Interval < Timeout) is force-expired first.
 		if send, ok := s.outstanding[dst]; ok {
-			s.record(Record{Type: RecTimeout, Addr: dst, When: TruncSecond(send)})
+			s.record(Record{Type: RecTimeout, Addr: dst, When: TruncSecond(send)},
+				simnet.ShardKey{At: s.net.Scheduler().Now(), Phase: phaseSlot, A: slotRank, B: gbi})
 			s.stats.Timeouts++
 			delete(s.outstanding, dst)
 		}
@@ -183,6 +293,10 @@ func (s *surveyor) sendSlot(cycle, slot int) {
 		now := s.net.Scheduler().Now()
 		s.outstanding[dst] = now
 		s.stats.Probes++
+		// The probe's global rank — its position in the full unsharded
+		// probe order — tags the deliveries it causes, so receive can order
+		// its records across shards.
+		s.net.SetSendRank(slotRank*uint64(s.blockTotal) + gbi)
 		s.net.Send(s.cfg.Vantage.Addr, wire.EncodeEcho(s.cfg.Vantage.Addr, dst, echo))
 	}
 }
@@ -207,6 +321,14 @@ func (s *surveyor) receive(at simnet.Time, data []byte, count int) {
 	if err != nil {
 		return // corrupt packets are dropped silently, like a kernel would
 	}
+	// All records of one delivery share its (probe rank, delivery index)
+	// key, ordered within the delivery by emission index.
+	dt := s.net.LastDeliveryTag()
+	recIdx := uint64(0)
+	emit := func(r Record) {
+		s.record(r, simnet.ShardKey{At: at, Phase: phaseDeliver, A: dt.Rank, B: uint64(dt.Index), C: recIdx})
+		recIdx++
+	}
 	switch {
 	case p.Err != nil:
 		dst, err := p.Err.QuotedDst()
@@ -217,13 +339,13 @@ func (s *surveyor) receive(at simnet.Time, data []byte, count int) {
 		// ignores error-answered probes (§3.1).
 		delete(s.outstanding, dst)
 		s.stats.Errors++
-		s.record(Record{Type: RecError, Addr: dst, When: TruncSecond(at)})
+		emit(Record{Type: RecError, Addr: dst, When: TruncSecond(at)})
 	case p.Echo != nil && p.Echo.Type == wire.ICMPTypeEchoReply:
 		src := p.IP.Src
 		if send, ok := s.outstanding[src]; ok {
 			delete(s.outstanding, src)
 			s.stats.Matched++
-			s.record(Record{
+			emit(Record{
 				Type: RecMatched, Addr: src,
 				When: TruncMicro(send), RTT: TruncMicro(at - send),
 			})
@@ -234,7 +356,7 @@ func (s *surveyor) receive(at simnet.Time, data []byte, count int) {
 			// request already timed out — are unmatched. Identical packets
 			// arriving together are run-length encoded in the RTT field.
 			s.stats.Unmatched += uint64(count)
-			s.record(Record{
+			emit(Record{
 				Type: RecUnmatched, Addr: src,
 				When: TruncSecond(at), RTT: time.Duration(count),
 			})
@@ -244,6 +366,12 @@ func (s *surveyor) receive(at simnet.Time, data []byte, count int) {
 
 // sweep expires outstanding probes older than the timeout.
 func (s *surveyor) sweep() {
+	s.sweepPhase(phaseSweep, s.net.Scheduler().Now())
+}
+
+// sweepPhase expires outstanding probes older than the timeout, keying the
+// records at the given phase and merge time.
+func (s *surveyor) sweepPhase(phase uint8, keyAt simnet.Time) {
 	now := s.net.Scheduler().Now()
 	var expired []ipaddr.Addr
 	for a, send := range s.outstanding {
@@ -251,7 +379,9 @@ func (s *surveyor) sweep() {
 			expired = append(expired, a)
 		}
 	}
-	// Deterministic record order regardless of map iteration.
+	// Deterministic record order regardless of map iteration. The (send
+	// time, addr) order is also the merge key, so K shard streams — each
+	// sorted this way — interleave back into the global sorted order.
 	sort.Slice(expired, func(i, j int) bool {
 		if s.outstanding[expired[i]] != s.outstanding[expired[j]] {
 			return s.outstanding[expired[i]] < s.outstanding[expired[j]]
@@ -259,7 +389,8 @@ func (s *surveyor) sweep() {
 		return expired[i] < expired[j]
 	})
 	for _, a := range expired {
-		s.record(Record{Type: RecTimeout, Addr: a, When: TruncSecond(s.outstanding[a])})
+		s.record(Record{Type: RecTimeout, Addr: a, When: TruncSecond(s.outstanding[a])},
+			simnet.ShardKey{At: keyAt, Phase: phase, A: uint64(s.outstanding[a]), B: uint64(a)})
 		s.stats.Timeouts++
 		delete(s.outstanding, a)
 	}
@@ -267,7 +398,7 @@ func (s *surveyor) sweep() {
 
 // expireAll times out whatever remains after the run.
 func (s *surveyor) expireAll() {
-	s.sweep()
+	s.sweepPhase(phaseFinal, endKeyTime)
 	if len(s.outstanding) > 0 {
 		// Remaining entries are younger than the timeout; expire them too —
 		// the survey is over and they will never be matched.
@@ -277,15 +408,21 @@ func (s *surveyor) expireAll() {
 		}
 		sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
 		for _, a := range rest {
-			s.record(Record{Type: RecTimeout, Addr: a, When: TruncSecond(s.outstanding[a])})
+			s.record(Record{Type: RecTimeout, Addr: a, When: TruncSecond(s.outstanding[a])},
+				simnet.ShardKey{At: endKeyTime, Phase: phaseRest, A: uint64(a)})
 			s.stats.Timeouts++
 			delete(s.outstanding, a)
 		}
 	}
 }
 
-// record writes one record, latching the first write error.
-func (s *surveyor) record(r Record) {
+// record emits one record: in a sharded run it is buffered with its merge
+// key; otherwise it is written to out, latching the first write error.
+func (s *surveyor) record(r Record, key simnet.ShardKey) {
+	if s.tag {
+		s.tagged = append(s.tagged, simnet.Tagged[Record]{Key: key, Rec: r})
+		return
+	}
 	if s.err != nil {
 		return
 	}

@@ -23,8 +23,10 @@ type Config struct {
 	TargetN  int
 	TargetAt func(int) ipaddr.Addr
 	// Duration is the span the probes are spread over; the paper's scans
-	// took 10.5 hours. Zero means 10.5 h scaled makes no sense for small
-	// populations, so zero selects one probe per 100 µs.
+	// took 10.5 hours. The paper's span scaled down to a small synthetic
+	// population would collapse to almost nothing, so zero instead selects
+	// a fixed probe rate of one probe per DefaultProbeGap (100 µs), i.e.
+	// Duration = TargetN * 100 µs.
 	Duration time.Duration
 	// Start is the simulation time the scan begins.
 	Start simnet.Time
@@ -58,20 +60,45 @@ type Scan struct {
 	PacketsReceived uint64
 }
 
-// Run executes a scan: probes every target once in permuted order, spreads
-// probes evenly over the duration, collects responses until Drain after the
-// last probe, and drains the scheduler.
-func Run(net *simnet.Network, cfg Config) (*Scan, error) {
+// DefaultProbeGap is the probe spacing selected when Config.Duration is
+// zero: one probe every 100 µs.
+const DefaultProbeGap = 100 * time.Microsecond
+
+// DefaultDrain is the post-scan collection window selected when
+// Config.Drain is zero; the paper's modified setup captured responses
+// "indefinitely" with tcpdump, so the default is generous.
+const DefaultDrain = 15 * time.Minute
+
+// withDefaults validates the config and fills zero fields.
+func (cfg Config) withDefaults() (Config, error) {
 	if cfg.TargetN <= 0 || cfg.TargetAt == nil {
-		return nil, fmt.Errorf("zmapper: no targets")
+		return cfg, fmt.Errorf("zmapper: no targets")
 	}
 	if cfg.Duration == 0 {
-		cfg.Duration = time.Duration(cfg.TargetN) * 100 * time.Microsecond
+		cfg.Duration = time.Duration(cfg.TargetN) * DefaultProbeGap
 	}
 	if cfg.Drain == 0 {
-		cfg.Drain = 15 * time.Minute
+		cfg.Drain = DefaultDrain
 	}
-	sc := &Scan{Cfg: cfg}
+	return cfg, nil
+}
+
+// rangeResult is the output of one shard's probe range.
+type rangeResult struct {
+	responses []Response
+	keys      []simnet.ShardKey // parallel to responses; nil unless tagged
+	probes    uint64
+	packets   uint64
+}
+
+// runRange drives the probes at permutation positions [lo, hi) on the given
+// network, scheduling them at the same absolute times the full sequential
+// scan would use, and collects the range's responses. With tag set, each
+// response also records the ShardKey — (arrival time, global probe rank,
+// delivery index) — under which it merges back into the sequential order.
+// The config must already have defaults applied.
+func runRange(net *simnet.Network, cfg Config, lo, hi int, tag bool) *rangeResult {
+	res := &rangeResult{}
 	sched := net.Scheduler()
 
 	collecting := true
@@ -79,7 +106,7 @@ func Run(net *simnet.Network, cfg Config) (*Scan, error) {
 		if !collecting {
 			return
 		}
-		sc.PacketsReceived += uint64(count)
+		res.packets += uint64(count)
 		p, err := wire.Decode(data)
 		if err != nil || p.Echo == nil || p.Echo.Type != wire.ICMPTypeEchoReply {
 			return
@@ -90,11 +117,15 @@ func Run(net *simnet.Network, cfg Config) (*Scan, error) {
 		}
 		// Record one response per delivery; duplicate bursts add no RTT
 		// information to a stateless scanner.
-		sc.Responses = append(sc.Responses, Response{
+		res.responses = append(res.responses, Response{
 			Dst: zp.Dst,
 			Src: p.IP.Src,
 			RTT: time.Duration(at) - time.Duration(zp.SendTime),
 		})
+		if tag {
+			dt := net.LastDeliveryTag()
+			res.keys = append(res.keys, simnet.ShardKey{At: at, A: dt.Rank, B: uint64(dt.Index)})
+		}
 	})
 	defer net.DetachProber(cfg.Src)
 
@@ -106,9 +137,13 @@ func Run(net *simnet.Network, cfg Config) (*Scan, error) {
 		if !ok {
 			break
 		}
-		dst := cfg.TargetAt(idx)
-		at := cfg.Start + simnet.Time(i)*gap
+		pos := i
 		i++
+		if pos < lo || pos >= hi {
+			continue
+		}
+		dst := cfg.TargetAt(idx)
+		at := cfg.Start + simnet.Time(pos)*gap
 		sched.At(at, func() {
 			now := sched.Now()
 			echo := &wire.ICMPEcho{
@@ -117,13 +152,75 @@ func Run(net *simnet.Network, cfg Config) (*Scan, error) {
 				Seq:     0,
 				Payload: wire.ZmapPayload{Dst: dst, SendTime: time.Duration(now)}.Encode(),
 			}
-			sc.ProbesSent++
+			res.probes++
+			net.SetSendRank(uint64(pos))
 			net.Send(cfg.Src, wire.EncodeEcho(cfg.Src, dst, echo))
 		})
 	}
 	stop := cfg.Start + cfg.Duration + cfg.Drain
 	sched.At(stop, func() { collecting = false })
 	sched.Run()
+	return res
+}
+
+// Run executes a scan: probes every target once in permuted order, spreads
+// probes evenly over the duration, collects responses until Drain after the
+// last probe, and drains the scheduler.
+func Run(net *simnet.Network, cfg Config) (*Scan, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := runRange(net, cfg, 0, cfg.TargetN, false)
+	return &Scan{Cfg: cfg, Responses: r.responses, ProbesSent: r.probes, PacketsReceived: r.packets}, nil
+}
+
+// RunSharded executes the same scan as Run partitioned into `shards`
+// contiguous slices of the probe permutation, each slice driven by its own
+// scheduler and network (built over fabric(shard)) on a bounded worker pool.
+// Per-shard response streams are merged by (arrival time, probe rank,
+// delivery index), which reconstructs the sequential event-loop order, so
+// the result is byte-identical to Run for any shard count — provided
+// fabric() returns fabrics that answer a probe identically regardless of
+// which shard sends it (true of netmodel.Model instances sharing one
+// Population, whose per-address behavior is a pure function of seed,
+// address and time).
+//
+// fabric is called once per shard, possibly concurrently; each call must
+// return a fabric not shared with any other shard.
+func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric) (*Scan, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > cfg.TargetN {
+		shards = cfg.TargetN
+	}
+	results := make([]*rangeResult, shards)
+	if err := simnet.RunShards(shards, 0, func(k int) error {
+		sched := &simnet.Scheduler{}
+		net := simnet.NewNetwork(sched, fabric(k))
+		lo, hi := simnet.ShardBounds(cfg.TargetN, shards, k)
+		results[k] = runRange(net, cfg, lo, hi, true)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sc := &Scan{Cfg: cfg}
+	streams := make([][]simnet.Tagged[Response], shards)
+	for k, r := range results {
+		sc.ProbesSent += r.probes
+		sc.PacketsReceived += r.packets
+		tagged := make([]simnet.Tagged[Response], len(r.responses))
+		for i, resp := range r.responses {
+			tagged[i] = simnet.Tagged[Response]{Key: r.keys[i], Rec: resp}
+		}
+		streams[k] = tagged
+	}
+	sc.Responses = simnet.MergeTagged(streams)
 	return sc, nil
 }
 
