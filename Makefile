@@ -5,27 +5,42 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench check
+.PHONY: all build vet test race fuzz fuzz-smoke bench check ci
 
 all: check
 
 build:
 	$(GO) build ./...
 
+vet:
+	$(GO) vet ./...
+
 test:
 	$(GO) test ./...
 
 # The race detector multiplies runtime; -count=1 defeats the test cache so
-# the instrumented binaries actually run.
+# the instrumented binaries actually run. The race surface is the sharded
+# engine (simnet worker pool + merge), the parallel per-address matcher pass
+# (core), and the survey plumbing that streams shard merges into writers.
 race:
-	$(GO) test -race -count=1 ./internal/...
+	$(GO) test -race -count=1 ./internal/simnet ./internal/core ./internal/survey
 
-# Short fuzz pass over the merge-ordering contract (FuzzShardMerge) and any
-# other fuzz targets; seeds alone run in `make test`.
+# Short fuzz pass over the merge-ordering contract (FuzzShardMerge) and the
+# P² quantile invariants (FuzzP2AgainstExact); seeds alone run in `make test`.
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzShardMerge -fuzztime=30s ./internal/simnet
+	$(GO) test -run=Fuzz -fuzz=FuzzP2AgainstExact -fuzztime=30s ./internal/stats
+
+# Faster fuzz smoke for CI: same targets, 10 s each.
+fuzz-smoke:
+	$(GO) test -run=Fuzz -fuzz=FuzzShardMerge -fuzztime=10s ./internal/simnet
+	$(GO) test -run=Fuzz -fuzz=FuzzP2AgainstExact -fuzztime=10s ./internal/stats
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 check: build test race
+
+# The CI pipeline: build, vet, full tests, race pass on the concurrent
+# packages, then a short fuzz smoke of both fuzz targets.
+ci: build vet test race fuzz-smoke

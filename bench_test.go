@@ -11,6 +11,7 @@
 package timeouts
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sync"
@@ -449,6 +450,62 @@ func BenchmarkAblationVantageConsistency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		l.AblVantage()
 	}
+}
+
+// BenchmarkStreamingMatch compares the two full-pipeline paths over the same
+// serialized dataset: streaming the records straight off the reader into a
+// core.StreamMatcher vs materializing them and running the in-memory
+// matcher. The B/op gap is the point — the streaming path allocates
+// O(addresses) state while the materializing path's allocations grow with
+// the record count.
+func BenchmarkStreamingMatch(b *testing.B) {
+	l := lab(b)
+	recs, _ := l.Survey()
+	var buf bytes.Buffer
+	w := survey.NewWriter(&buf, survey.Header{Seed: l.Scale.Seed, Vantage: 'w'})
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	opt := core.MatchOptionsForCycles(l.Scale.SurveyCycles)
+
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src, _, err := survey.OpenSource(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := core.NewStreamMatcher(opt)
+			if err := m.Consume(src); err != nil {
+				b.Fatal(err)
+			}
+			if m.Finalize().BuildTable1().NaiveAddrs == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	})
+	b.Run("materialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src, _, err := survey.OpenSource(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rs, err := survey.DrainSource(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if core.Match(rs, opt).BuildTable1().NaiveAddrs == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	})
 }
 
 func BenchmarkStreamingAggregation(b *testing.B) {

@@ -4,114 +4,82 @@
 //
 // Usage:
 //
-//	analyze survey.tosv [-cycles N] [-naive]
+//	analyze survey.tosv [-cycles N] [-naive] [-stream]
+//
+// With -stream the full pipeline runs in bounded memory: records stream out
+// of the dataset reader straight into a core.StreamMatcher, which keeps only
+// per-address open state, so memory is O(addresses) rather than O(records).
+// At simulation scale (per-address streams within the exact-quantile buffer)
+// the streaming report is byte-identical to the in-memory one; beyond that
+// the per-address quantiles are P² estimates.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"time"
 
 	"timeouts/internal/core"
 	"timeouts/internal/survey"
 )
 
-// readAnyFormat sniffs the dataset format (fixed binary, compact, or CSV)
-// and loads the records.
-func readAnyFormat(f io.Reader) ([]survey.Record, survey.Header, error) {
-	br := bufio.NewReaderSize(f, 1<<16)
-	magic, err := br.Peek(4)
-	if err != nil {
-		return nil, survey.Header{}, fmt.Errorf("reading dataset: %w", err)
-	}
-	switch string(magic) {
-	case "TOSV":
-		r, err := survey.NewReader(br)
-		if err != nil {
-			return nil, survey.Header{}, err
-		}
-		recs, err := r.ReadAll()
-		return recs, r.Header(), err
-	case "TOSC":
-		r, err := survey.NewCompactReader(br)
-		if err != nil {
-			return nil, survey.Header{}, err
-		}
-		recs, err := r.ReadAll()
-		return recs, r.Header(), err
-	case "type":
-		recs, err := survey.ReadCSV(br)
-		return recs, survey.Header{Vantage: '?'}, err
-	default:
-		return nil, survey.Header{}, survey.ErrBadFormat
-	}
-}
-
 func main() {
 	var (
 		cycles = flag.Int("cycles", 0, "survey rounds (tunes the broadcast filter threshold; 0 = paper defaults)")
 		naive  = flag.Bool("naive", false, "skip filtering (the paper's 'naive matching')")
-		stream = flag.Bool("stream", false, "bounded-memory streaming aggregation (survey-detected view only)")
+		stream = flag.Bool("stream", false, "bounded-memory streaming pipeline (O(addresses) memory)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: analyze [flags] survey.tosv")
+	args := flag.Args()
+	if len(args) > 1 {
+		// Accept flags after the dataset path too: analyze survey.tosv -cycles 24.
+		flag.CommandLine.Parse(args[1:])
+		args = append([]string{args[0]}, flag.CommandLine.Args()...)
+	}
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: analyze [flags] survey.tosv [flags]")
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
+	f, err := os.Open(args[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
 	defer f.Close()
-	recs, hdr, err := readAnyFormat(f)
+
+	src, hdr, err := survey.OpenSource(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
-	}
-	fmt.Printf("dataset: %d records, vantage %c, seed %d\n", len(recs), hdr.Vantage, hdr.Seed)
-
-	if *stream {
-		q, err := core.StreamAggregate(core.NewSliceSource(recs))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "analyze:", err)
-			os.Exit(1)
-		}
-		matrix := core.TimeoutMatrix(q)
-		fmt.Printf("\nTable 2 (streaming, survey-detected only, %d addresses):\n%s",
-			len(q), matrix.FormatSeconds())
-		return
 	}
 
 	opt := core.Options{}
 	if *cycles > 0 {
 		opt = core.MatchOptionsForCycles(*cycles)
 	}
-	res := core.Match(recs, opt)
 
-	t1 := res.BuildTable1()
-	fmt.Printf("\nTable 1 — matching and filtering:\n%s", t1.Format())
-
-	samples := res.Samples(!*naive)
-	q := core.PerAddressQuantiles(samples)
-	matrix := core.TimeoutMatrix(q)
-	mode := "filtered"
-	if *naive {
-		mode = "naive"
+	var (
+		analysis core.Analysis
+		records  uint64
+	)
+	if *stream {
+		m := core.NewStreamMatcher(opt)
+		if err := m.Consume(src); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		records = m.Records()
+		analysis = m.Finalize()
+	} else {
+		recs, err := survey.DrainSource(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		records = uint64(len(recs))
+		analysis = core.Match(recs, opt)
 	}
-	fmt.Printf("\nTable 2 — minimum timeout matrix (%s, %d addresses):\n%s",
-		mode, len(q), matrix.FormatSeconds())
 
-	fmt.Printf("\nheadline: %.1f%% of addresses see >5%% of pings exceed 5s; 98/98 needs %s; 99/99 needs %s\n",
-		100*core.FracAddrsAbove(q, 95, 5*time.Second),
-		matrix.At(98, 98).Round(time.Second), matrix.At(99, 99).Round(time.Second))
-
-	if !*naive {
-		bc := res.BroadcastResponders()
-		dup := res.DuplicateResponders()
-		fmt.Printf("filtered: %d broadcast responders, %d duplicate responders\n", len(bc), len(dup))
-	}
+	fmt.Printf("dataset: %d records, vantage %c, seed %d\n", records, hdr.Vantage, hdr.Seed)
+	fmt.Print(core.RenderReport(analysis, *naive))
 }

@@ -5,13 +5,16 @@
 // Usage:
 //
 //	reproduce [-scale quick|default|full] [-exp id[,id...]] [-list] [-seed N]
-//	          [-parallel N]
+//	          [-parallel N] [-stream]
 //
 // Without -exp, every experiment in the registry runs in paper order. With
 // -parallel N (N > 1) the shared survey and Zmap workloads run on the
 // sharded parallel engine; the deterministic merge keeps the datasets — and
 // therefore every reported number — byte-identical to the sequential run.
-// -parallel 0 selects one shard per CPU.
+// -parallel 0 selects one shard per CPU. With -stream the shared per-address
+// quantiles come from the bounded-memory streaming pipeline (the survey
+// probes straight into a core.StreamMatcher, no intermediate dataset); at
+// simulation scale the results are identical to the in-memory matcher.
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "override the population seed")
 		dataDir   = flag.String("data", "", "also export the figures' plottable series as CSV files into this directory")
 		parallel  = flag.Int("parallel", 1, "shard count for the survey/scan workloads (1 = sequential, 0 = one per CPU)")
+		stream    = flag.Bool("stream", false, "bounded-memory streaming pipeline for the shared quantiles")
 	)
 	flag.Parse()
 	if *parallel == 0 {
@@ -78,6 +82,7 @@ func main() {
 
 	lab := experiments.NewLab(scale)
 	lab.Parallel = *parallel
+	lab.Stream = *stream
 	start := time.Now()
 	for _, e := range entries {
 		t0 := time.Now()

@@ -79,7 +79,7 @@ func main() {
 	hdr := survey.Header{Seed: *seed, Vantage: vp.Name}
 	var (
 		sink    survey.RecordWriter
-		csvRecs *survey.MemWriter
+		flush   func() error
 		records func() uint64
 	)
 	switch *format {
@@ -90,9 +90,8 @@ func main() {
 		w := survey.NewCompactWriter(f, hdr)
 		sink, records = w, w.Count
 	case "csv":
-		csvRecs = &survey.MemWriter{}
-		sink = csvRecs
-		records = func() uint64 { return uint64(len(csvRecs.Records)) }
+		w := survey.NewCSVWriter(f)
+		sink, flush, records = w, w.Flush, w.Count
 	default:
 		fmt.Fprintf(os.Stderr, "surveyor: unknown format %q\n", *format)
 		os.Exit(2)
@@ -123,8 +122,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "surveyor:", err)
 		os.Exit(1)
 	}
-	if csvRecs != nil {
-		if err := survey.WriteCSV(f, csvRecs.Records); err != nil {
+	if flush != nil {
+		if err := flush(); err != nil {
 			fmt.Fprintln(os.Stderr, "surveyor:", err)
 			os.Exit(1)
 		}

@@ -263,8 +263,14 @@ func matchAddress(st *addrState, r *AddressResult, opt Options) {
 		var lastLat time.Duration
 		pi := 0
 		for _, um := range st.unmatched {
-			// Advance to the last probe sent at or before the arrival.
-			for pi < len(st.probes) && st.probes[pi].send <= um.at {
+			// Advance to the last probe sent strictly before the arrival.
+			// The boundary must be strict: record times are truncated (to
+			// seconds for timeout/unmatched records), so a response can land
+			// exactly on a later probe's recorded send instant. Attributing
+			// it to that just-sent probe would manufacture a zero-latency
+			// "delayed" sample and miscount duplicates — the response
+			// belongs to the earlier timed-out probe.
+			for pi < len(st.probes) && st.probes[pi].send < um.at {
 				pi++
 			}
 			if pi == 0 {

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/stats"
+)
+
+// Analysis is the read side common to the in-memory (Result) and streaming
+// (StreamResult) pipelines: everything cmd/analyze's report needs. Having
+// one renderer over this interface is what makes "streaming output is
+// byte-identical to in-memory output" a checkable property rather than a
+// formatting accident.
+type Analysis interface {
+	BuildTable1() Table1
+	AddressQuantiles(filtered bool) map[ipaddr.Addr]stats.Quantiles
+	BroadcastResponders() []ipaddr.Addr
+	DuplicateResponders() []ipaddr.Addr
+}
+
+// AddressQuantiles returns the per-address percentile vectors of the
+// matched result — PerAddressQuantiles over Samples — making Result satisfy
+// Analysis.
+func (r *Result) AddressQuantiles(filtered bool) map[ipaddr.Addr]stats.Quantiles {
+	return PerAddressQuantiles(r.Samples(filtered))
+}
+
+// RenderReport renders the full analysis report — Table 1, the Table 2
+// minimum-timeout matrix, the paper's headline numbers, and the filter
+// accounting — identically for both pipelines. With naive=true the matrix is
+// computed over unfiltered samples and the filter accounting is omitted.
+func RenderReport(a Analysis, naive bool) string {
+	var b strings.Builder
+
+	t1 := a.BuildTable1()
+	fmt.Fprintf(&b, "\nTable 1 — matching and filtering:\n%s", t1.Format())
+
+	q := a.AddressQuantiles(!naive)
+	matrix := TimeoutMatrix(q)
+	mode := "filtered"
+	if naive {
+		mode = "naive"
+	}
+	fmt.Fprintf(&b, "\nTable 2 — minimum timeout matrix (%s, %d addresses):\n%s",
+		mode, len(q), matrix.FormatSeconds())
+
+	fmt.Fprintf(&b, "\nheadline: %.1f%% of addresses see >5%% of pings exceed 5s; 98/98 needs %s; 99/99 needs %s\n",
+		100*FracAddrsAbove(q, 95, 5*time.Second),
+		matrix.At(98, 98).Round(time.Second), matrix.At(99, 99).Round(time.Second))
+
+	if !naive {
+		bc := a.BroadcastResponders()
+		dup := a.DuplicateResponders()
+		fmt.Fprintf(&b, "filtered: %d broadcast responders, %d duplicate responders\n", len(bc), len(dup))
+	}
+	return b.String()
+}

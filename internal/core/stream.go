@@ -9,11 +9,10 @@ import (
 	"timeouts/internal/survey"
 )
 
-// RecordSource is anything that yields survey records one at a time —
-// both survey dataset readers satisfy it.
-type RecordSource interface {
-	Read() (survey.Record, error)
-}
+// RecordSource is anything that yields survey records one at a time — an
+// alias of survey.RecordSource, which all dataset readers satisfy. The
+// streaming analyzers (StreamMatcher, StreamAggregate) consume it.
+type RecordSource = survey.RecordSource
 
 // StreamAggregate consumes a dataset in one pass and maintains *streaming*
 // per-address percentile estimates (P² estimators) over the survey-detected
@@ -52,26 +51,9 @@ func StreamAggregate(src RecordSource) (map[ipaddr.Addr]stats.Quantiles, error) 
 	return out, nil
 }
 
-// sliceSource adapts an in-memory record slice to RecordSource, for tests
-// and for analyses that already hold the records.
-type sliceSource struct {
-	recs []survey.Record
-	i    int
-}
-
-// NewSliceSource wraps records as a RecordSource.
+// NewSliceSource wraps records as a RecordSource (survey.NewSliceSource).
 func NewSliceSource(recs []survey.Record) RecordSource {
-	return &sliceSource{recs: recs}
-}
-
-// Read implements RecordSource.
-func (s *sliceSource) Read() (survey.Record, error) {
-	if s.i >= len(s.recs) {
-		return survey.Record{}, io.EOF
-	}
-	r := s.recs[s.i]
-	s.i++
-	return r, nil
+	return survey.NewSliceSource(recs)
 }
 
 // StreamedMatrixError quantifies how far the streaming matrix sits from the

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/stats"
+	"timeouts/internal/survey"
+)
+
+// StreamMatcher is the bounded-memory counterpart of Match: it consumes a
+// survey record stream incrementally and keeps only per-address *open*
+// state — the last two probes (the only ones a future unmatched response
+// can still be attributed to), the broadcast-filter EWMA, and a hybrid
+// exact/P² quantile sketch (stats.StreamingQuantiles) over the address's
+// latency samples. Closed probe state is evicted as the stream advances, so
+// memory is O(addresses), independent of the record count — the property
+// that lets the paper's §3.3–§4.1 pipeline run over ISI-scale datasets
+// (9.64 billion responses) that Match cannot hold.
+//
+// StreamMatcher implements survey.RecordWriter, so a survey can probe
+// straight into the analyzer — survey.Run / survey.RunSharded with the
+// matcher as the output sink — with no intermediate dataset at all.
+//
+// Equivalence with Match: StreamMatcher assumes records arrive in dataset
+// emission order (the order Run/RunSharded produce: per address, probe
+// records in send order, and every unmatched response after the record of
+// the newest probe sent before it — guaranteed whenever the probing
+// interval exceeds the matcher timeout plus two sweeps, as in every ISI
+// configuration). Under that ordering it reproduces Match's per-address
+// results exactly, and at simulation scale — per-address streams no longer
+// than the exact-buffer cap of stats.StreamingQuantiles — its tables are
+// byte-identical to the in-memory pipeline's. Beyond the cap the quantiles
+// graduate to P² estimates and the results become approximations whose
+// error abl-streaming and TestP2AgainstExact quantify.
+type StreamMatcher struct {
+	opt     Options
+	addrs   map[ipaddr.Addr]*streamAddr
+	records uint64
+}
+
+// streamAddr is the per-address open state — O(1) regardless of how many
+// records the address contributes.
+type streamAddr struct {
+	est       *stats.StreamingQuantiles // matched + delayed latency samples
+	matched   uint64
+	delayed   uint64
+	probes    int
+	packets   uint64
+	maxResp   int
+	open      [2]openProbe // ring of the last two probes, open[nOpen-1] newest
+	nOpen     int
+	ew        stats.EWMA
+	lastRound int64
+	lastLat   time.Duration
+	errorSeen bool
+}
+
+// openProbe is one not-yet-evicted probe.
+type openProbe struct {
+	send     time.Duration
+	matched  bool
+	consumed bool
+	resp     int
+}
+
+// NewStreamMatcher creates a streaming matcher; zero Options select the
+// paper's settings, as with Match.
+func NewStreamMatcher(opt Options) *StreamMatcher {
+	opt = opt.withDefaults()
+	return &StreamMatcher{opt: opt, addrs: make(map[ipaddr.Addr]*streamAddr)}
+}
+
+// Records returns how many records have been consumed.
+func (m *StreamMatcher) Records() uint64 { return m.records }
+
+// Addresses returns how many addresses currently hold open state.
+func (m *StreamMatcher) Addresses() int { return len(m.addrs) }
+
+// Write implements survey.RecordWriter, folding one record into the match
+// state; it never returns an error.
+func (m *StreamMatcher) Write(rec survey.Record) error {
+	m.Observe(rec)
+	return nil
+}
+
+// get returns (creating if needed) the address's open state.
+func (m *StreamMatcher) get(a ipaddr.Addr) *streamAddr {
+	st := m.addrs[a]
+	if st == nil {
+		st = &streamAddr{est: stats.NewStreamingQuantiles(), ew: stats.EWMA{Alpha: m.opt.BroadcastAlpha}, lastRound: -10}
+		m.addrs[a] = st
+	}
+	return st
+}
+
+// evict seals the oldest open probe into the address summary.
+func (st *streamAddr) evict() {
+	p := st.open[0]
+	if p.resp > st.maxResp {
+		st.maxResp = p.resp
+	}
+	st.packets += uint64(p.resp)
+	st.open[0] = st.open[1]
+	st.nOpen--
+}
+
+// pushProbe opens a new probe, evicting the oldest if two are already open.
+func (st *streamAddr) pushProbe(p openProbe) {
+	if st.nOpen == 2 {
+		st.evict()
+	}
+	st.open[st.nOpen] = p
+	st.nOpen++
+	st.probes++
+}
+
+// Observe folds one record into the match state.
+func (m *StreamMatcher) Observe(rec survey.Record) {
+	m.records++
+	switch rec.Type {
+	case survey.RecMatched:
+		st := m.get(rec.Addr)
+		st.pushProbe(openProbe{send: rec.When, matched: true, resp: 1})
+		st.matched++
+		st.est.Add(rec.RTT)
+	case survey.RecTimeout:
+		st := m.get(rec.Addr)
+		st.pushProbe(openProbe{send: rec.When})
+	case survey.RecUnmatched:
+		st := m.get(rec.Addr)
+		count := int(rec.RTT)
+		if count < 1 {
+			count = 1
+		}
+		// Attribute to the newest open probe sent strictly before the
+		// arrival — the same (fixed) boundary Match uses. Record times are
+		// truncated, so the newest probe's recorded send can postdate the
+		// response's recorded arrival; then the response belongs to the
+		// probe before it. Responses preceding every known probe are stray
+		// traffic and dropped, as in Match.
+		for i := st.nOpen - 1; i >= 0; i-- {
+			p := &st.open[i]
+			if p.send >= rec.When {
+				continue
+			}
+			p.resp += count
+			if !p.matched && !p.consumed {
+				p.consumed = true
+				lat := rec.When - p.send
+				st.delayed++
+				st.est.Add(lat)
+				// Broadcast persistence filter (§3.3.1), streamed: the
+				// unmatched records of one address arrive in arrival order,
+				// which is the order Match's sorted pass sees them in.
+				if lat >= m.opt.BroadcastMinLat {
+					round := int64(rec.When / m.opt.Interval)
+					d := lat - st.lastLat
+					if d < 0 {
+						d = -d
+					}
+					if round == st.lastRound+1 && d <= m.opt.BroadcastTol {
+						st.ew.Observe(1)
+					} else {
+						st.ew.Observe(0)
+					}
+					st.lastRound, st.lastLat = round, lat
+				}
+			}
+			break
+		}
+	case survey.RecError:
+		m.get(rec.Addr).errorSeen = true
+	}
+}
+
+// Consume drains a RecordSource into the matcher, stopping at io.EOF or the
+// first error.
+func (m *StreamMatcher) Consume(src survey.RecordSource) error {
+	for {
+		rec, err := src.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		m.Observe(rec)
+	}
+}
+
+// StreamAddressResult is the per-address outcome of streaming matching: the
+// same accounting AddressResult carries, with the raw sample slices replaced
+// by counts and a bounded quantile sketch.
+type StreamAddressResult struct {
+	// Matched and Delayed count the survey-detected and recovered samples.
+	Matched, Delayed uint64
+	// Probes counts echo requests sent to the address.
+	Probes int
+	// MaxResponses is the largest number of responses attributed to a
+	// single request.
+	MaxResponses int
+	// Broadcast, Duplicate and ErrorSeen mirror AddressResult's filters.
+	Broadcast, Duplicate, ErrorSeen bool
+
+	packets uint64
+	est     *stats.StreamingQuantiles
+}
+
+// Discarded reports whether the filters remove this address.
+func (a *StreamAddressResult) Discarded() bool { return a.Broadcast || a.Duplicate || a.ErrorSeen }
+
+// ResponsePackets counts all response packets attributed to the address.
+func (a *StreamAddressResult) ResponsePackets() uint64 { return a.packets }
+
+// Quantiles returns the address's latency percentile vector: exact for
+// streams within the buffer cap, P² estimates beyond.
+func (a *StreamAddressResult) Quantiles() stats.Quantiles { return a.est.Quantiles() }
+
+// StreamResult is the outcome of the streaming pipeline over one dataset.
+type StreamResult struct {
+	Opt     Options
+	Addr    map[ipaddr.Addr]*StreamAddressResult
+	Records uint64
+}
+
+// Finalize seals all remaining open state and returns the result. The
+// matcher's per-address state is consumed; further Observe calls start a
+// fresh accumulation.
+func (m *StreamMatcher) Finalize() *StreamResult {
+	res := &StreamResult{Opt: m.opt, Addr: make(map[ipaddr.Addr]*StreamAddressResult, len(m.addrs)), Records: m.records}
+	for a, st := range m.addrs {
+		for st.nOpen > 0 {
+			st.evict()
+		}
+		res.Addr[a] = &StreamAddressResult{
+			Matched:      st.matched,
+			Delayed:      st.delayed,
+			Probes:       st.probes,
+			MaxResponses: st.maxResp,
+			Broadcast:    st.ew.Max() > m.opt.BroadcastMark,
+			Duplicate:    st.maxResp > m.opt.DuplicateMax,
+			ErrorSeen:    st.errorSeen,
+			packets:      st.packets,
+			est:          st.est,
+		}
+	}
+	m.addrs = make(map[ipaddr.Addr]*streamAddr)
+	m.records = 0
+	return res
+}
+
+// BuildTable1 computes the Table 1 accounting from a streaming result,
+// mirroring Result.BuildTable1.
+func (r *StreamResult) BuildTable1() Table1 {
+	var t Table1
+	for _, ar := range r.Addr {
+		if ar.Matched > 0 {
+			t.SurveyPackets += ar.Matched
+			t.SurveyAddrs++
+		}
+		if ar.Matched+ar.Delayed > 0 {
+			t.NaivePackets += ar.Matched + ar.Delayed
+			t.NaiveAddrs++
+		}
+		switch {
+		case ar.Broadcast:
+			t.BroadcastPackets += ar.packets
+			t.BroadcastAddrs++
+		case ar.Duplicate:
+			t.DuplicatePackets += ar.packets
+			t.DuplicateAddrs++
+		}
+		if !ar.Discarded() && ar.Matched+ar.Delayed > 0 {
+			t.CombinedPackets += ar.Matched + ar.Delayed
+			t.CombinedAddrs++
+		}
+	}
+	return t
+}
+
+// AddressQuantiles returns the per-address percentile vectors. With
+// filtered=true, broadcast, duplicate and error-tainted addresses are
+// discarded — the view the rest of the analysis runs on; with
+// filtered=false it is the paper's naive matching.
+func (r *StreamResult) AddressQuantiles(filtered bool) map[ipaddr.Addr]stats.Quantiles {
+	out := make(map[ipaddr.Addr]stats.Quantiles, len(r.Addr))
+	for a, ar := range r.Addr {
+		if filtered && ar.Discarded() {
+			continue
+		}
+		if ar.Matched+ar.Delayed == 0 {
+			continue
+		}
+		out[a] = ar.est.Quantiles()
+	}
+	return out
+}
+
+// BroadcastResponders lists addresses the EWMA filter marked.
+func (r *StreamResult) BroadcastResponders() []ipaddr.Addr {
+	var out []ipaddr.Addr
+	for a, ar := range r.Addr {
+		if ar.Broadcast {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DuplicateResponders lists addresses exceeding the duplicate threshold and
+// not already marked broadcast, as Result.DuplicateResponders does.
+func (r *StreamResult) DuplicateResponders() []ipaddr.Addr {
+	var out []ipaddr.Addr
+	for a, ar := range r.Addr {
+		if ar.Duplicate && !ar.Broadcast {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

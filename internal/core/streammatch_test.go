@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/survey"
+)
+
+// TestMatchBoundaryResponseOnProbeInstant is the regression test for the
+// attribution boundary: record times are truncated (to seconds for timeout
+// and unmatched records), so a delayed response can carry the same recorded
+// time as a later probe's send. The response must attribute to the earlier,
+// timed-out probe — attributing it to the probe "sent" at the same instant
+// would manufacture a zero-latency delayed sample.
+func TestMatchBoundaryResponseOnProbeInstant(t *testing.T) {
+	var b recBuilder
+	b.timeout(addrA, 0).
+		timeout(addrA, 660*time.Second).
+		unmatched(addrA, 660*time.Second, 1)
+	res := Match(b.recs, Options{})
+	ar := res.Addr[addrA]
+	if len(ar.Delayed) != 1 || ar.Delayed[0] != 660*time.Second {
+		t.Fatalf("delayed = %v, want [11m0s] (attributed to the earlier probe)", ar.Delayed)
+	}
+	for _, d := range ar.Delayed {
+		if d == 0 {
+			t.Fatal("zero-latency sample manufactured at the truncation boundary")
+		}
+	}
+
+	// The streaming matcher must take the same branch.
+	m := NewStreamMatcher(Options{})
+	for _, rec := range b.recs {
+		m.Observe(rec)
+	}
+	sr := m.Finalize()
+	sar := sr.Addr[addrA]
+	if sar.Delayed != 1 {
+		t.Fatalf("streaming delayed = %d, want 1", sar.Delayed)
+	}
+	if q := sar.Quantiles(); q.P50 != 660*time.Second {
+		t.Errorf("streaming sample = %v, want 11m0s", q.P50)
+	}
+}
+
+// streamEquivalent runs both pipelines over one record stream and fails the
+// test if any observable disagrees. The stream must be in emission order
+// (the order the surveyor writes), which is all StreamMatcher assumes.
+func streamEquivalent(t *testing.T, recs []survey.Record, opt Options) {
+	t.Helper()
+	res := Match(recs, opt)
+	m := NewStreamMatcher(opt)
+	if err := m.Consume(survey.NewSliceSource(recs)); err != nil {
+		t.Fatalf("Consume: %v", err)
+	}
+	sr := m.Finalize()
+
+	if got, want := RenderReport(sr, false), RenderReport(res, false); got != want {
+		t.Errorf("filtered reports differ:\nstreaming:\n%s\nin-memory:\n%s", got, want)
+	}
+	if got, want := RenderReport(sr, true), RenderReport(res, true); got != want {
+		t.Errorf("naive reports differ:\nstreaming:\n%s\nin-memory:\n%s", got, want)
+	}
+	if len(sr.Addr) != len(res.Addr) {
+		t.Fatalf("address counts differ: %d vs %d", len(sr.Addr), len(res.Addr))
+	}
+	for a, ar := range res.Addr {
+		sar := sr.Addr[a]
+		if sar == nil {
+			t.Fatalf("address %s missing from streaming result", a)
+		}
+		if sar.Matched != uint64(len(ar.Matched)) || sar.Delayed != uint64(len(ar.Delayed)) ||
+			sar.Probes != ar.Probes || sar.MaxResponses != ar.MaxResponses ||
+			sar.Broadcast != ar.Broadcast || sar.Duplicate != ar.Duplicate ||
+			sar.ErrorSeen != ar.ErrorSeen || sar.ResponsePackets() != ar.packets {
+			t.Fatalf("address %s differs:\nstreaming %+v\nin-memory matched=%d delayed=%d probes=%d maxResp=%d bc=%v dup=%v err=%v packets=%d",
+				a, sar, len(ar.Matched), len(ar.Delayed), ar.Probes, ar.MaxResponses,
+				ar.Broadcast, ar.Duplicate, ar.ErrorSeen, ar.packets)
+		}
+	}
+}
+
+// TestStreamMatcherEquivalentToMatch exercises every record class — matched,
+// recovered delayed, duplicates past the filter threshold, broadcast-looking
+// periodicity, errors, stray responses — and requires the streaming pipeline
+// to agree with the in-memory one observable-for-observable, including the
+// rendered reports byte-for-byte.
+func TestStreamMatcherEquivalentToMatch(t *testing.T) {
+	interval := 660 * time.Second
+	var b recBuilder
+	for i := 0; i < 64; i++ {
+		a := ipaddr.Addr(0x02000000 + uint32(i*11))
+		for r := 0; r < 30; r++ {
+			base := time.Duration(r) * interval
+			switch i % 6 {
+			case 0: // always answers in time
+				b.matched(a, base, time.Duration(90+i+r)*time.Millisecond)
+			case 1: // genuinely slow: varying delayed latencies
+				b.timeout(a, base)
+				b.unmatched(a, base+time.Duration(8+(r*13)%50)*time.Second, 1)
+			case 2: // broadcast responder: stable half-interval latency
+				b.timeout(a, base)
+				b.unmatched(a, base+330*time.Second, 1)
+			case 3: // duplicate responder
+				b.matched(a, base, 100*time.Millisecond)
+				b.unmatched(a, base+2*time.Second, 6)
+			case 4: // error-tainted, then ordinary traffic
+				if r == 0 {
+					b.errorRec(a, base)
+				}
+				b.matched(a, base, 120*time.Millisecond)
+			default: // mixes: matched rounds with an occasional late extra
+				b.matched(a, base, 150*time.Millisecond)
+				if r%5 == 2 {
+					b.unmatched(a, base+4*time.Second, 2)
+				}
+			}
+		}
+	}
+	// Stray response before any probe, and a response landing exactly on a
+	// later probe's recorded send.
+	stray := ipaddr.Addr(0x03000001)
+	b.unmatched(stray, 5*time.Second, 1)
+	b.timeout(stray, 10*time.Second)
+	b.timeout(stray, 10*time.Second+interval)
+	b.unmatched(stray, 10*time.Second+interval, 1)
+
+	streamEquivalent(t, b.recs, Options{})
+	streamEquivalent(t, b.recs, MatchOptionsForCycles(30))
+}
+
+// TestStreamMatcherBoundedState verifies the eviction policy: per address,
+// only the last two probes stay open no matter how many records flow by, and
+// Finalize resets the matcher.
+func TestStreamMatcherBoundedState(t *testing.T) {
+	m := NewStreamMatcher(Options{})
+	for r := 0; r < 10000; r++ {
+		m.Observe(survey.Record{
+			Type: survey.RecTimeout, Addr: addrA,
+			When: survey.TruncSecond(time.Duration(r) * 660 * time.Second),
+		})
+	}
+	if m.Addresses() != 1 {
+		t.Fatalf("addresses = %d", m.Addresses())
+	}
+	if m.Records() != 10000 {
+		t.Fatalf("records = %d", m.Records())
+	}
+	sr := m.Finalize()
+	if sr.Addr[addrA].Probes != 10000 {
+		t.Errorf("probes = %d", sr.Addr[addrA].Probes)
+	}
+	if m.Addresses() != 0 || m.Records() != 0 {
+		t.Error("Finalize did not reset the matcher")
+	}
+}

@@ -175,29 +175,45 @@ func (l *Lab) AblVantage() Report {
 	}
 }
 
-// AblStreaming — the bounded-memory path: per-address P² estimators vs the
-// exact survey-detected aggregation.
+// AblStreaming — equivalence check for the bounded-memory pipeline: the
+// full report (Table 1, the Table 2 matrix, the headline numbers, the filter
+// accounting) rendered from the streaming pipeline — survey probed straight
+// into a core.StreamMatcher with no intermediate dataset — byte-compared
+// against the same report rendered from the in-memory matcher over the
+// materialized dataset. At simulation scale (per-address streams within the
+// exact-quantile buffer cap) the two must be byte-identical; beyond the cap
+// the streaming quantiles graduate to P² estimates and the check instead
+// quantifies the worst matrix cell error of the approximation.
 func (l *Lab) AblStreaming() Report {
 	recs, _ := l.Survey()
-	streamQ, err := core.StreamAggregate(core.NewSliceSource(recs))
-	if err != nil {
-		panic("experiments: streaming aggregation failed: " + err.Error())
-	}
-	exactQ := core.PerAddressQuantiles(l.Match().SurveyDetected())
-	exactM := core.TimeoutMatrix(exactQ)
-	streamM := core.TimeoutMatrix(streamQ)
-	worst := core.StreamedMatrixError(exactM, streamM, 50*time.Millisecond)
+	exact := core.Match(recs, core.MatchOptionsForCycles(l.Scale.SurveyCycles))
+	sres := l.StreamMatch()
+
+	exactRep := core.RenderReport(exact, false)
+	streamRep := core.RenderReport(sres, false)
+	identical := exactRep == streamRep
+
 	var b strings.Builder
-	fmt.Fprintf(&b, "addresses: exact %d, streaming %d\n", len(exactQ), len(streamQ))
-	fmt.Fprintf(&b, "exact   95/95 %s   99/99 %s\n", fmtDur(exactM.At(95, 95)), fmtDur(exactM.At(99, 99)))
-	fmt.Fprintf(&b, "stream  95/95 %s   99/99 %s\n", fmtDur(streamM.At(95, 95)), fmtDur(streamM.At(99, 99)))
-	fmt.Fprintf(&b, "worst relative cell error: %.1f%%\n", 100*worst)
+	fmt.Fprintf(&b, "in-memory: %d records materialized -> %d addresses\n", len(recs), len(exact.Addr))
+	fmt.Fprintf(&b, "streaming: %d records probed straight into the matcher -> %d addresses\n",
+		sres.Records, len(sres.Addr))
+	measured := "byte-identical"
+	if identical {
+		fmt.Fprintf(&b, "full reports byte-identical: yes (%d bytes)\n", len(exactRep))
+	} else {
+		exactM := core.TimeoutMatrix(exact.AddressQuantiles(true))
+		streamM := core.TimeoutMatrix(sres.AddressQuantiles(true))
+		worst := core.StreamedMatrixError(exactM, streamM, 50*time.Millisecond)
+		fmt.Fprintf(&b, "reports differ: per-address streams exceed the exact-quantile cap, so the\n")
+		fmt.Fprintf(&b, "streaming quantiles are P² estimates; worst relative matrix cell error: %.2f%%\n", 100*worst)
+		measured = fmt.Sprintf("P² approximation, worst cell error %s", fmtPct(worst))
+	}
 	return Report{
 		ID:    "abl-streaming",
-		Title: "Ablation: O(addresses)-memory streaming aggregation vs exact",
+		Title: "Ablation: streaming pipeline equivalence vs in-memory",
 		Body:  b.String(),
 		Metrics: []Metric{
-			{"worst matrix cell error of the P2 streaming path", "small", fmtPct(worst)},
+			{"streaming vs in-memory report", "byte-identical at simulation scale", measured},
 		},
 	}
 }

@@ -89,10 +89,18 @@ type Lab struct {
 	// execution-speed opt-in (cmd/reproduce's -parallel flag).
 	Parallel int
 
+	// Stream routes Quantiles through the bounded-memory streaming pipeline
+	// (StreamMatch) instead of the in-memory matcher. At simulation scale
+	// the two are byte-identical (abl-streaming checks this), so Stream is,
+	// like Parallel, purely an execution-strategy opt-in (cmd/reproduce's
+	// -stream flag).
+	Stream bool
+
 	mu          sync.Mutex
 	surveyRecs  []survey.Record
 	surveyStats survey.Stats
 	match       *core.Result
+	streamRes   *core.StreamResult
 	quantiles   map[ipaddr.Addr]stats.Quantiles // filtered, combined samples
 	scans       []*zmapper.Scan
 	popCfg      netmodel.Config
@@ -167,9 +175,52 @@ func (l *Lab) Match() *core.Result {
 	return l.match
 }
 
+// StreamMatch returns the memoized streaming-pipeline result. The survey
+// probes straight into a core.StreamMatcher — under -parallel the sharded
+// merge is streamed record-by-record into the analyzer — so no intermediate
+// dataset is ever materialized; the workload and seed match Survey()'s, so
+// the record stream the matcher sees is the same one Match() consumes.
+func (l *Lab) StreamMatch() *core.StreamResult {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.streamRes == nil {
+		m := core.NewStreamMatcher(core.MatchOptionsForCycles(l.Scale.SurveyCycles))
+		cfg := survey.Config{
+			Vantage: survey.VantageW,
+			Cycles:  l.Scale.SurveyCycles,
+			Seed:    l.Scale.Seed,
+		}
+		var err error
+		if l.Parallel > 1 {
+			pop := netmodel.New(l.popCfg)
+			cfg.Blocks = pop.Blocks()
+			_, err = survey.RunSharded(cfg, l.Parallel, ShardFabric(pop), m)
+		} else {
+			w := NewWorld(l.popCfg)
+			cfg.Blocks = w.Pop.Blocks()
+			_, err = survey.Run(w.Net, cfg, m)
+		}
+		if err != nil {
+			panic("experiments: streaming survey failed: " + err.Error())
+		}
+		l.streamRes = m.Finalize()
+	}
+	return l.streamRes
+}
+
 // Quantiles returns the memoized per-address percentile vectors over the
-// filtered, combined (survey + delayed) samples.
+// filtered, combined (survey + delayed) samples — computed by the in-memory
+// matcher, or by the streaming pipeline when Stream is set.
 func (l *Lab) Quantiles() map[ipaddr.Addr]stats.Quantiles {
+	if l.Stream {
+		r := l.StreamMatch()
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.quantiles == nil {
+			l.quantiles = r.AddressQuantiles(true)
+		}
+		return l.quantiles
+	}
 	m := l.Match()
 	l.mu.Lock()
 	defer l.mu.Unlock()

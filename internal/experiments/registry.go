@@ -52,7 +52,7 @@ var Registry = []Entry{
 	{"abl-timeout", "Ablation: prober timeout clipping", (*Lab).AblTimeout},
 	{"abl-scale", "Ablation: sample-count sensitivity of Table 2", (*Lab).AblScale},
 	{"abl-vantage", "Ablation: vantage-point consistency (§5.2)", (*Lab).AblVantage},
-	{"abl-streaming", "Ablation: streaming (P²) aggregation vs exact", (*Lab).AblStreaming},
+	{"abl-streaming", "Ablation: streaming pipeline equivalence vs in-memory", (*Lab).AblStreaming},
 }
 
 // Find returns the registry entry with the given id.

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"timeouts/internal/core"
+	"timeouts/internal/netmodel"
+	"timeouts/internal/survey"
+)
+
+// TestStreamingPipelineEquivalence is the acceptance check for the streaming
+// pipeline: for two population seeds, run a real (sharded) survey, serialize
+// the dataset in both binary formats, and require that streaming each
+// serialized dataset through core.StreamMatcher renders a report
+// byte-identical to the in-memory pipeline's. The scale keeps per-address
+// streams inside the exact-quantile buffer, where equivalence must be exact.
+func TestStreamingPipelineEquivalence(t *testing.T) {
+	for _, seed := range []uint64{42, 1337} {
+		cfg := netmodel.Config{Seed: seed, Blocks: 96}
+		pop := netmodel.New(cfg)
+		scfg := survey.Config{
+			Vantage: survey.VantageW,
+			Blocks:  pop.Blocks(),
+			Cycles:  8,
+			Seed:    seed,
+		}
+		var mem survey.MemWriter
+		if _, err := survey.RunSharded(scfg, 3, ShardFabric(pop), &mem); err != nil {
+			t.Fatalf("seed %d: survey: %v", seed, err)
+		}
+		opt := core.MatchOptionsForCycles(scfg.Cycles)
+		want := core.RenderReport(core.Match(mem.Records, opt), false)
+
+		// Through each serialized dataset format.
+		hdr := survey.Header{Seed: seed, Vantage: 'w'}
+		var fixed, compact bytes.Buffer
+		fw := survey.NewWriter(&fixed, hdr)
+		cw := survey.NewCompactWriter(&compact, hdr)
+		for _, r := range mem.Records {
+			if fw.Write(r) != nil || cw.Write(r) != nil {
+				t.Fatal("write failed")
+			}
+		}
+		if fw.Flush() != nil || cw.Flush() != nil {
+			t.Fatal("flush failed")
+		}
+		for name, buf := range map[string]*bytes.Buffer{"fixed": &fixed, "compact": &compact} {
+			src, _, err := survey.OpenSource(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("seed %d: OpenSource(%s): %v", seed, name, err)
+			}
+			m := core.NewStreamMatcher(opt)
+			if err := m.Consume(src); err != nil {
+				t.Fatalf("seed %d: consuming %s: %v", seed, name, err)
+			}
+			if got := core.RenderReport(m.Finalize(), false); got != want {
+				t.Errorf("seed %d: streaming report over %s differs from in-memory:\n--- streaming ---\n%s--- in-memory ---\n%s",
+					seed, name, got, want)
+			}
+		}
+
+		// And with no dataset at all: the survey probing straight into the
+		// matcher, sharded, exactly as Lab.StreamMatch plumbs it.
+		m := core.NewStreamMatcher(opt)
+		if _, err := survey.RunSharded(scfg, 3, ShardFabric(pop), m); err != nil {
+			t.Fatalf("seed %d: direct streaming survey: %v", seed, err)
+		}
+		if got := core.RenderReport(m.Finalize(), false); got != want {
+			t.Errorf("seed %d: direct-plumbed streaming report differs from in-memory", seed)
+		}
+	}
+}
+
+// TestLabStreamQuantiles verifies the -stream lab path yields the same
+// quantiles the in-memory path memoizes.
+func TestLabStreamQuantiles(t *testing.T) {
+	scale := Quick
+	scale.Blocks = 64
+	scale.SurveyCycles = 6
+
+	inMem := NewLab(scale)
+	streamed := NewLab(scale)
+	streamed.Stream = true
+	streamed.Parallel = 2
+
+	qi := inMem.Quantiles()
+	qs := streamed.Quantiles()
+	if len(qi) != len(qs) {
+		t.Fatalf("address counts differ: %d vs %d", len(qi), len(qs))
+	}
+	for a, v := range qi {
+		if qs[a] != v {
+			t.Fatalf("address %s: streaming %+v != in-memory %+v", a, qs[a], v)
+		}
+	}
+}

@@ -99,9 +99,16 @@ func MergeTagged[R any](streams [][]Tagged[R]) []R {
 		total += len(s)
 	}
 	out := make([]R, 0, total)
-	if total == 0 {
-		return out
-	}
+	MergeTaggedFunc(streams, func(r R) { out = append(out, r) })
+	return out
+}
+
+// MergeTaggedFunc is MergeTagged without the output slice: it yields each
+// record to fn in global key order. Consumers that stream the merge — a
+// dataset writer, or a StreamMatcher-style analyzer fed straight from a
+// sharded run — avoid materializing the merged stream entirely, leaving the
+// per-shard buffers as the only O(records) state of a sharded run.
+func MergeTaggedFunc[R any](streams [][]Tagged[R], fn func(R)) {
 	pos := make([]int, len(streams))
 	h := make(mergeHeap[R], 0, len(streams))
 	for i, s := range streams {
@@ -113,7 +120,7 @@ func MergeTagged[R any](streams [][]Tagged[R]) []R {
 	for h.Len() > 0 {
 		it := h[0]
 		s := streams[it.stream]
-		out = append(out, s[pos[it.stream]].Rec)
+		fn(s[pos[it.stream]].Rec)
 		pos[it.stream]++
 		if p := pos[it.stream]; p < len(s) {
 			h[0] = mergeItem[R]{key: s[p].Key, stream: it.stream}
@@ -122,7 +129,6 @@ func MergeTagged[R any](streams [][]Tagged[R]) []R {
 			heap.Pop(&h)
 		}
 	}
-	return out
 }
 
 // ShardBounds returns the half-open range [lo, hi) of the k-th of `shards`

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCDFThinningBounds is the regression test for the thinning stride: a
+// truncated n/maxPoints stride let curves come out at nearly twice the
+// requested size (e.g. n = 2*maxPoints-1 gave stride 1 and n points). The
+// thinned curve must stay within maxPoints (+1 for the closing point) and
+// always retain the first and last samples.
+func TestCDFThinningBounds(t *testing.T) {
+	cases := []struct{ n, maxPoints int }{
+		{199, 100}, // the old stride-1 blowup: 199 points for a 100-point request
+		{200, 100},
+		{201, 100},
+		{1000, 64},
+		{101, 100},
+		{100, 100},
+		{5, 100}, // fewer samples than points: keep everything
+		{1, 4},
+		{64, 1},
+	}
+	for _, c := range cases {
+		samples := make([]time.Duration, c.n)
+		for i := range samples {
+			// Unsorted distinct values; CDF sorts in place.
+			samples[i] = time.Duration((i*7919)%c.n+1) * time.Millisecond
+		}
+		out := CDF(samples, c.maxPoints)
+		if len(out) == 0 {
+			t.Fatalf("n=%d max=%d: empty curve", c.n, c.maxPoints)
+		}
+		if len(out) > c.maxPoints+1 {
+			t.Errorf("n=%d max=%d: %d points, want <= %d", c.n, c.maxPoints, len(out), c.maxPoints+1)
+		}
+		if out[0].Value != time.Millisecond || out[0].Frac != 1/float64(c.n) {
+			t.Errorf("n=%d max=%d: first point %v/%v, want minimum sample at frac 1/n",
+				c.n, c.maxPoints, out[0].Value, out[0].Frac)
+		}
+		last := out[len(out)-1]
+		if last.Value != time.Duration(c.n)*time.Millisecond || last.Frac != 1 {
+			t.Errorf("n=%d max=%d: last point %v/%v, want maximum sample at frac 1",
+				c.n, c.maxPoints, last.Value, last.Frac)
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i].Value < out[i-1].Value || out[i].Frac <= out[i-1].Frac {
+				t.Fatalf("n=%d max=%d: curve not monotone at %d", c.n, c.maxPoints, i)
+			}
+		}
+	}
+}
+
+// TestCDFUnthinned pins the maxPoints<=0 behavior: every sample is a point.
+func TestCDFUnthinned(t *testing.T) {
+	samples := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	out := CDF(samples, 0)
+	if len(out) != 3 {
+		t.Fatalf("points = %d", len(out))
+	}
+	for i, want := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		if out[i].Value != want {
+			t.Errorf("point %d = %v", i, out[i].Value)
+		}
+	}
+}

@@ -42,9 +42,13 @@ func NewP2Quantile(p float64) *P2Quantile {
 func (e *P2Quantile) Add(x float64) {
 	e.n++
 	if len(e.initial) < 5 {
-		e.initial = append(e.initial, x)
+		// Keep the small-sample buffer sorted on insertion so Value() reads
+		// it directly instead of copying and re-sorting on every call.
+		i := sort.SearchFloat64s(e.initial, x)
+		e.initial = append(e.initial, 0)
+		copy(e.initial[i+1:], e.initial[i:])
+		e.initial[i] = x
 		if len(e.initial) == 5 {
-			sort.Float64s(e.initial)
 			for i := 0; i < 5; i++ {
 				e.q[i] = e.initial[i]
 				e.pos[i] = float64(i + 1)
@@ -97,16 +101,30 @@ func (e *P2Quantile) Add(x float64) {
 	}
 }
 
-// parabolic is the piecewise-parabolic (P²) height prediction.
+// parabolic is the piecewise-parabolic (P²) height prediction. The
+// adjustment rule only moves a marker when its gap to the neighbor in the
+// move direction exceeds one, which keeps positions distinct; the guards
+// make that robustness explicit rather than letting a coincident pair turn
+// the prediction into NaN and poison every later estimate.
 func (e *P2Quantile) parabolic(i int, s float64) float64 {
-	return e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
-		((e.pos[i]-e.pos[i-1]+s)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
-			(e.pos[i+1]-e.pos[i]-s)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+	outer := e.pos[i+1] - e.pos[i-1]
+	right := e.pos[i+1] - e.pos[i]
+	left := e.pos[i] - e.pos[i-1]
+	if outer == 0 || right == 0 || left == 0 {
+		return e.q[i]
+	}
+	return e.q[i] + s/outer*
+		((left+s)*(e.q[i+1]-e.q[i])/right+
+			(right-s)*(e.q[i]-e.q[i-1])/left)
 }
 
-// linear is the fallback linear prediction.
+// linear is the fallback linear prediction, with the same degenerate-gap
+// guard as parabolic.
 func (e *P2Quantile) linear(i int, s float64) float64 {
 	j := i + int(s)
+	if e.pos[j] == e.pos[i] {
+		return e.q[i]
+	}
 	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
 }
 
@@ -120,9 +138,8 @@ func (e *P2Quantile) Value() float64 {
 		return math.NaN()
 	}
 	if len(e.initial) < 5 {
-		s := append([]float64(nil), e.initial...)
-		sort.Float64s(s)
-		return PercentileFloat(s, e.p*100)
+		// initial is kept sorted by Add; no copy or re-sort needed.
+		return PercentileFloat(e.initial, e.p*100)
 	}
 	return e.q[2]
 }

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+// FuzzP2AgainstExact feeds arbitrary byte-derived streams through P²
+// estimators and checks the invariants that the hardened implementation must
+// never lose: estimates are always finite, bracketed by the observed
+// min/max, exact at small n, and — for the hybrid StreamingQuantiles —
+// exactly equal to the nearest-rank quantiles while the stream is within the
+// exact-buffer cap (the property the streaming pipeline's byte-equivalence
+// rests on).
+func FuzzP2AgainstExact(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 1, 255, 1, 255, 1, 255, 1, 255, 1, 255, 1})
+	f.Add(func() []byte {
+		// A long stream to push past the buffer cap.
+		b := make([]byte, 400)
+		for i := range b {
+			b[i] = byte((i * 97) % 251)
+		}
+		return b
+	}())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		// Decode the bytes as a stream of skewed positive values: two bytes
+		// per sample, squared to stretch the tail.
+		var vals []float64
+		for i := 0; i+1 < len(data); i += 2 {
+			v := float64(binary.LittleEndian.Uint16(data[i:]))
+			vals = append(vals, v*v/1000+0.001)
+		}
+
+		for _, p := range []float64{1, 50, 95, 99} {
+			e := NewP2Quantile(p)
+			min, max := math.Inf(1), math.Inf(-1)
+			for i, v := range vals {
+				e.Add(v)
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+				got := e.Value()
+				if math.IsNaN(got) || math.IsInf(got, 0) {
+					t.Fatalf("p%v: non-finite estimate %v after %d samples", p, got, i+1)
+				}
+				if got < min || got > max {
+					t.Fatalf("p%v: estimate %v outside observed [%v, %v]", p, got, min, max)
+				}
+			}
+			// Below five samples the estimator is in its exact small-sample
+			// regime (at n=5 the markers initialize and the estimate becomes
+			// the middle marker — the P² approximation proper).
+			if len(vals) < 5 {
+				s := append([]float64(nil), vals...)
+				sort.Float64s(s)
+				if got, want := e.Value(), PercentileFloat(s, p); got != want {
+					t.Fatalf("p%v: small-sample estimate %v != exact %v", p, got, want)
+				}
+			}
+		}
+
+		// Constant streams must be reproduced exactly at any length.
+		c := NewP2Quantile(95)
+		for range vals {
+			c.Add(7.5)
+		}
+		if got := c.Value(); got != 7.5 {
+			t.Fatalf("constant stream: estimate %v != 7.5", got)
+		}
+
+		// Hybrid: exactly nearest-rank within the buffer cap.
+		durs := make([]time.Duration, 0, len(vals))
+		s := NewStreamingQuantiles()
+		for i, v := range vals {
+			if i == streamBufferCap {
+				break
+			}
+			d := time.Duration(v * float64(time.Millisecond))
+			durs = append(durs, d)
+			s.Add(d)
+		}
+		if len(durs) > 0 {
+			exact := ComputeQuantiles(append([]time.Duration(nil), durs...))
+			if got := s.Quantiles(); got != exact {
+				t.Fatalf("streaming quantiles %+v != exact %+v at n=%d (within buffer cap)",
+					got, exact, len(durs))
+			}
+		}
+	})
+}

@@ -126,7 +126,11 @@ func CDF(samples []time.Duration, maxPoints int) []CDFPoint {
 	n := len(samples)
 	stride := 1
 	if maxPoints > 0 && n > maxPoints {
-		stride = n / maxPoints
+		// Round the stride up: a truncated n/maxPoints understates the step
+		// (e.g. n = 2*maxPoints-1 gives stride 1) and the curve comes out
+		// nearly twice the requested size. Ceiling division caps the thinned
+		// curve at maxPoints points before the closing point.
+		stride = (n + maxPoints - 1) / maxPoints
 	}
 	var out []CDFPoint
 	for i := 0; i < n; i += stride {

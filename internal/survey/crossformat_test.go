@@ -1,0 +1,138 @@
+package survey
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"timeouts/internal/ipaddr"
+)
+
+// genEmissionStream builds a random record stream obeying the surveyor's
+// emission conventions: matched records carry microsecond-truncated times
+// and RTTs, timeout/unmatched records second-truncated times, and unmatched
+// records carry the *batch count* in the RTT field — the convention all
+// three formats must round-trip bit-for-bit.
+func genEmissionStream(rng *rand.Rand, n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		addr := ipaddr.Addr(0x01000000 + uint32(rng.Intn(1<<20)))
+		when := time.Duration(rng.Int63n(int64(14 * 24 * time.Hour)))
+		switch rng.Intn(4) {
+		case 0:
+			recs[i] = Record{Type: RecMatched, Addr: addr,
+				When: TruncMicro(when), RTT: TruncMicro(time.Duration(rng.Int63n(int64(200 * time.Second))))}
+		case 1:
+			recs[i] = Record{Type: RecTimeout, Addr: addr, When: TruncSecond(when)}
+		case 2:
+			recs[i] = Record{Type: RecUnmatched, Addr: addr,
+				When: TruncSecond(when), RTT: time.Duration(1 + rng.Intn(200))}
+		default:
+			recs[i] = Record{Type: RecError, Addr: addr, When: TruncSecond(when)}
+		}
+	}
+	return recs
+}
+
+// TestCrossFormatRoundTrip writes the same record stream through all three
+// dataset formats and reads each back through OpenSource, requiring
+// record-for-record agreement — including the unmatched batch-count-in-RTT
+// convention, which the compact format stores as a raw uvarint and CSV as a
+// raw integer column.
+func TestCrossFormatRoundTrip(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		recs := genEmissionStream(rng, 500+rng.Intn(500))
+		hdr := Header{Seed: uint64(seed), Vantage: 'w'}
+
+		var fixed, compact, csvBuf bytes.Buffer
+		fw := NewWriter(&fixed, hdr)
+		cw := NewCompactWriter(&compact, hdr)
+		xw := NewCSVWriter(&csvBuf)
+		for _, r := range recs {
+			if fw.Write(r) != nil || cw.Write(r) != nil || xw.Write(r) != nil {
+				t.Fatal("write failed")
+			}
+		}
+		if fw.Flush() != nil || cw.Flush() != nil || xw.Flush() != nil {
+			t.Fatal("flush failed")
+		}
+
+		decoded := map[string][]Record{}
+		for name, buf := range map[string]*bytes.Buffer{
+			"fixed": &fixed, "compact": &compact, "csv": &csvBuf,
+		} {
+			src, gotHdr, err := OpenSource(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("seed %d: OpenSource(%s): %v", seed, name, err)
+			}
+			if name != "csv" && (gotHdr.Seed != hdr.Seed || gotHdr.Vantage != hdr.Vantage) {
+				t.Errorf("seed %d: %s header = %+v", seed, name, gotHdr)
+			}
+			got, err := DrainSource(src)
+			if err != nil {
+				t.Fatalf("seed %d: draining %s: %v", seed, name, err)
+			}
+			decoded[name] = got
+		}
+
+		for name, got := range decoded {
+			if len(got) != len(recs) {
+				t.Fatalf("seed %d: %s decoded %d records, want %d", seed, name, len(got), len(recs))
+			}
+			for i := range recs {
+				if got[i] != recs[i] {
+					t.Fatalf("seed %d: %s record %d: %+v != %+v", seed, name, i, got[i], recs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCopyConvertsFormats pins the streaming format converter: fixed binary
+// to compact via Copy, then back, without materializing the dataset.
+func TestCopyConvertsFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	recs := genEmissionStream(rng, 300)
+	hdr := Header{Seed: 3, Vantage: 'c'}
+
+	var fixed bytes.Buffer
+	fw := NewWriter(&fixed, hdr)
+	for _, r := range recs {
+		if err := fw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	src, gotHdr, err := OpenSource(bytes.NewReader(fixed.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compact bytes.Buffer
+	cw := NewCompactWriter(&compact, gotHdr)
+	n, err := Copy(cw, src)
+	if err != nil || cw.Flush() != nil {
+		t.Fatalf("Copy: n=%d err=%v", n, err)
+	}
+	if n != uint64(len(recs)) {
+		t.Fatalf("copied %d records, want %d", n, len(recs))
+	}
+
+	back, _, err := OpenSource(bytes.NewReader(compact.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DrainSource(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}

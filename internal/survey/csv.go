@@ -16,27 +16,78 @@ import (
 //	type,addr,when_ns,rtt_ns
 //
 // where type is one of matched/timeout/unmatched/error, addr is dotted
-// quad, and rtt_ns carries the RTT for matched records and the run-length
-// count for unmatched batches.
+// quad, and when_ns is the record time in nanoseconds. The rtt_ns column
+// reuses the Record.RTT convention of the binary formats: for matched
+// records it carries the RTT in nanoseconds; for unmatched records it
+// carries the *batch count* as a raw integer (NOT nanoseconds — the same
+// count-in-RTT convention the compact format stores as a raw uvarint), and
+// it is 0 for timeout/error rows. The cross-format round-trip test pins all
+// three formats to this convention.
+
+// CSVWriter streams records as CSV rows, emitting the header row before the
+// first record. It implements RecordWriter, so surveys can write CSV
+// datasets without materializing the record stream.
+type CSVWriter struct {
+	cw      *csv.Writer
+	row     [4]string
+	count   uint64
+	started bool
+}
+
+// NewCSVWriter creates a streaming CSV dataset writer.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w)}
+}
+
+func (w *CSVWriter) writeHeader() error {
+	w.started = true
+	if err := w.cw.Write([]string{"type", "addr", "when_ns", "rtt_ns"}); err != nil {
+		return fmt.Errorf("survey: writing csv header: %w", err)
+	}
+	return nil
+}
+
+// Write implements RecordWriter.
+func (w *CSVWriter) Write(r Record) error {
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	w.row[0] = r.Type.String()
+	w.row[1] = r.Addr.String()
+	w.row[2] = strconv.FormatInt(int64(r.When), 10)
+	w.row[3] = strconv.FormatInt(int64(r.RTT), 10)
+	w.count++
+	if err := w.cw.Write(w.row[:]); err != nil {
+		return fmt.Errorf("survey: writing csv row: %w", err)
+	}
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *CSVWriter) Count() uint64 { return w.count }
+
+// Flush flushes buffered rows (emitting the header if nothing was written).
+func (w *CSVWriter) Flush() error {
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	w.cw.Flush()
+	return w.cw.Error()
+}
 
 // WriteCSV streams records as CSV rows (with a header row).
 func WriteCSV(w io.Writer, recs []Record) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"type", "addr", "when_ns", "rtt_ns"}); err != nil {
-		return fmt.Errorf("survey: writing csv header: %w", err)
-	}
-	row := make([]string, 4)
+	cw := NewCSVWriter(w)
 	for _, r := range recs {
-		row[0] = r.Type.String()
-		row[1] = r.Addr.String()
-		row[2] = strconv.FormatInt(int64(r.When), 10)
-		row[3] = strconv.FormatInt(int64(r.RTT), 10)
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("survey: writing csv row: %w", err)
+		if err := cw.Write(r); err != nil {
+			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return cw.Flush()
 }
 
 // typeByName inverts RecordType.String.
@@ -47,10 +98,18 @@ var typeByName = map[string]RecordType{
 	"error":     RecError,
 }
 
-// ReadCSV parses a CSV dataset written by WriteCSV.
-func ReadCSV(r io.Reader) ([]Record, error) {
+// CSVReader streams records from a CSV dataset written by WriteCSV /
+// CSVWriter. It implements RecordSource.
+type CSVReader struct {
+	cr   *csv.Reader
+	line int
+}
+
+// NewCSVReader opens a CSV dataset, consuming and validating its header row.
+func NewCSVReader(r io.Reader) (*CSVReader, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 4
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("survey: reading csv header: %w", err)
@@ -58,34 +117,46 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 	if header[0] != "type" {
 		return nil, fmt.Errorf("survey: unexpected csv header %q", header)
 	}
-	var out []Record
-	for line := 2; ; line++ {
-		row, err := cr.Read()
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
-			return nil, fmt.Errorf("survey: reading csv: %w", err)
-		}
-		typ, ok := typeByName[row[0]]
-		if !ok {
-			return nil, fmt.Errorf("survey: csv line %d: unknown record type %q", line, row[0])
-		}
-		addr, err := ipaddr.Parse(row[1])
-		if err != nil {
-			return nil, fmt.Errorf("survey: csv line %d: %w", line, err)
-		}
-		when, err := strconv.ParseInt(row[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("survey: csv line %d: bad when: %w", line, err)
-		}
-		rtt, err := strconv.ParseInt(row[3], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("survey: csv line %d: bad rtt: %w", line, err)
-		}
-		out = append(out, Record{
-			Type: typ, Addr: addr,
-			When: time.Duration(when), RTT: time.Duration(rtt),
-		})
+	return &CSVReader{cr: cr, line: 1}, nil
+}
+
+// Read returns the next record, or io.EOF at end of dataset.
+func (r *CSVReader) Read() (Record, error) {
+	row, err := r.cr.Read()
+	if err == io.EOF {
+		return Record{}, io.EOF
 	}
+	if err != nil {
+		return Record{}, fmt.Errorf("survey: reading csv: %w", err)
+	}
+	r.line++
+	typ, ok := typeByName[row[0]]
+	if !ok {
+		return Record{}, fmt.Errorf("survey: csv line %d: unknown record type %q", r.line, row[0])
+	}
+	addr, err := ipaddr.Parse(row[1])
+	if err != nil {
+		return Record{}, fmt.Errorf("survey: csv line %d: %w", r.line, err)
+	}
+	when, err := strconv.ParseInt(row[2], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("survey: csv line %d: bad when: %w", r.line, err)
+	}
+	rtt, err := strconv.ParseInt(row[3], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("survey: csv line %d: bad rtt: %w", r.line, err)
+	}
+	return Record{
+		Type: typ, Addr: addr,
+		When: time.Duration(when), RTT: time.Duration(rtt),
+	}, nil
+}
+
+// ReadCSV parses a CSV dataset written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr, err := NewCSVReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return DrainSource(cr)
 }

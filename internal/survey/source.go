@@ -1,0 +1,111 @@
+package survey
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// RecordSource is the read side of the streaming analysis pipeline: anything
+// that yields survey records one at a time, returning io.EOF at end of
+// stream. All three dataset readers (fixed binary, compact, CSV) satisfy it,
+// as does SliceSource for records already in memory. Consumers that process
+// records through a RecordSource — rather than materializing a []Record —
+// run in memory bounded by their own per-address state, not by the dataset
+// size, which is what lets the analysis scale toward the paper's 9.64
+// billion-response surveys.
+type RecordSource interface {
+	Read() (Record, error)
+}
+
+// SliceSource adapts an in-memory record slice to RecordSource, for tests
+// and for analyses that already hold the records.
+type SliceSource struct {
+	recs []Record
+	i    int
+}
+
+// NewSliceSource wraps records as a RecordSource.
+func NewSliceSource(recs []Record) *SliceSource {
+	return &SliceSource{recs: recs}
+}
+
+// Read implements RecordSource.
+func (s *SliceSource) Read() (Record, error) {
+	if s.i >= len(s.recs) {
+		return Record{}, io.EOF
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, nil
+}
+
+// OpenSource sniffs the dataset format behind r — fixed binary ("TOSV"),
+// varint-compact ("TOSC"), or CSV (header row starting "type") — and returns
+// a streaming RecordSource positioned at the first record, plus the dataset
+// header (CSV carries none; its header is zero except Vantage '?'). Unlike
+// the ReadAll paths, nothing beyond the reader's buffer is materialized.
+func OpenSource(r io.Reader) (RecordSource, Header, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, Header{}, fmt.Errorf("survey: sniffing dataset format: %w", err)
+	}
+	switch string(magic) {
+	case formatMagic:
+		rd, err := NewReader(br)
+		if err != nil {
+			return nil, Header{}, err
+		}
+		return rd, rd.Header(), nil
+	case compactMagic:
+		rd, err := NewCompactReader(br)
+		if err != nil {
+			return nil, Header{}, err
+		}
+		return rd, rd.Header(), nil
+	case "type":
+		rd, err := NewCSVReader(br)
+		if err != nil {
+			return nil, Header{}, err
+		}
+		return rd, Header{Vantage: '?'}, nil
+	default:
+		return nil, Header{}, ErrBadFormat
+	}
+}
+
+// DrainSource reads a source to EOF, materializing the records — the bridge
+// from the streaming readers to the in-memory analyses.
+func DrainSource(src RecordSource) ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := src.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Copy streams every record from src to dst, returning the record count —
+// format conversion without materializing the dataset.
+func Copy(dst RecordWriter, src RecordSource) (uint64, error) {
+	var n uint64
+	for {
+		rec, err := src.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := dst.Write(rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

@@ -216,12 +216,16 @@ func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric, ou
 		stats.Dropped += s.stats.Dropped
 		streams[k] = s.tagged
 	}
+	// The merge is streamed record-by-record into the writer: no merged
+	// intermediate slice exists, so a bounded-memory sink (a dataset writer,
+	// or core.StreamMatcher consuming the survey directly) sees the records
+	// flow straight out of the per-shard buffers in sequential order.
 	var err error
-	for _, r := range simnet.MergeTagged(streams) {
+	simnet.MergeTaggedFunc(streams, func(r Record) {
 		if werr := out.Write(r); werr != nil && err == nil {
 			err = werr
 		}
-	}
+	})
 	if f, ok := out.(interface{ Flush() error }); ok {
 		if ferr := f.Flush(); ferr != nil && err == nil {
 			err = ferr

@@ -189,9 +189,26 @@ func Run(net *simnet.Network, cfg Config) (*Scan, error) {
 // fabric is called once per shard, possibly concurrently; each call must
 // return a fabric not shared with any other shard.
 func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric) (*Scan, error) {
-	cfg, err := cfg.withDefaults()
+	sc := &Scan{}
+	probes, packets, err := RunShardedInto(cfg, shards, fabric, func(r Response) {
+		sc.Responses = append(sc.Responses, r)
+	})
 	if err != nil {
 		return nil, err
+	}
+	cfg, _ = cfg.withDefaults()
+	sc.Cfg, sc.ProbesSent, sc.PacketsReceived = cfg, probes, packets
+	return sc, nil
+}
+
+// RunShardedInto is RunSharded with a streaming sink: merged responses are
+// yielded to fn in the sequential scan order instead of being materialized
+// into a Scan, so an incremental analyzer consumes them straight out of the
+// per-shard buffers. It returns the probe and received-packet counters.
+func RunShardedInto(cfg Config, shards int, fabric func(shard int) simnet.Fabric, fn func(Response)) (probes, packets uint64, err error) {
+	cfg, err = cfg.withDefaults()
+	if err != nil {
+		return 0, 0, err
 	}
 	if shards < 1 {
 		shards = 1
@@ -207,21 +224,20 @@ func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric) (*
 		results[k] = runRange(net, cfg, lo, hi, true)
 		return nil
 	}); err != nil {
-		return nil, err
+		return 0, 0, err
 	}
-	sc := &Scan{Cfg: cfg}
 	streams := make([][]simnet.Tagged[Response], shards)
 	for k, r := range results {
-		sc.ProbesSent += r.probes
-		sc.PacketsReceived += r.packets
+		probes += r.probes
+		packets += r.packets
 		tagged := make([]simnet.Tagged[Response], len(r.responses))
 		for i, resp := range r.responses {
 			tagged[i] = simnet.Tagged[Response]{Key: r.keys[i], Rec: resp}
 		}
 		streams[k] = tagged
 	}
-	sc.Responses = simnet.MergeTagged(streams)
-	return sc, nil
+	simnet.MergeTaggedFunc(streams, fn)
+	return probes, packets, nil
 }
 
 // SelfResponses returns, per probed address that answered from its own
