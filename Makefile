@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke bench check ci
+.PHONY: all build vet test race fuzz fuzz-smoke chaos bench check ci
 
 all: check
 
@@ -25,16 +25,29 @@ test:
 race:
 	$(GO) test -race -count=1 ./internal/simnet ./internal/core ./internal/survey
 
-# Short fuzz pass over the merge-ordering contract (FuzzShardMerge) and the
-# P² quantile invariants (FuzzP2AgainstExact); seeds alone run in `make test`.
+# Short fuzz pass over the merge-ordering contract (FuzzShardMerge), the P²
+# quantile invariants (FuzzP2AgainstExact), and the dataset readers
+# (FuzzOpenSource strict+lenient over all three formats, FuzzCompactReader
+# on the varint decoder); seeds alone run in `make test`.
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzShardMerge -fuzztime=30s ./internal/simnet
 	$(GO) test -run=Fuzz -fuzz=FuzzP2AgainstExact -fuzztime=30s ./internal/stats
+	$(GO) test -run=Fuzz -fuzz=FuzzOpenSource -fuzztime=30s ./internal/survey
+	$(GO) test -run=Fuzz -fuzz=FuzzCompactReader -fuzztime=30s ./internal/survey
 
 # Faster fuzz smoke for CI: same targets, 10 s each.
 fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzShardMerge -fuzztime=10s ./internal/simnet
 	$(GO) test -run=Fuzz -fuzz=FuzzP2AgainstExact -fuzztime=10s ./internal/stats
+	$(GO) test -run=Fuzz -fuzz=FuzzOpenSource -fuzztime=10s ./internal/survey
+	$(GO) test -run=Fuzz -fuzz=FuzzCompactReader -fuzztime=10s ./internal/survey
+
+# The chaos suite: every fault-injection test (TestChaos*) under the race
+# detector — fault-off byte-identity, fixed-seed fault determinism,
+# sequential/sharded fault equivalence, shard-panic recovery, and lenient
+# reads of corrupted datasets.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/simnet ./internal/survey ./internal/zmapper ./internal/scamper
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -42,5 +55,6 @@ bench:
 check: build test race
 
 # The CI pipeline: build, vet, full tests, race pass on the concurrent
-# packages, then a short fuzz smoke of both fuzz targets.
-ci: build vet test race fuzz-smoke
+# packages, the fault-injection suite under -race, then a short fuzz smoke
+# of every fuzz target.
+ci: build vet test race chaos fuzz-smoke

@@ -37,15 +37,57 @@ var (
 	benchLab *experiments.Lab
 )
 
+// The benchmark helpers run after lab() has already built and memoized every
+// workload, so the error returns cannot fire; treat them as fatal anyway.
+func benchSurvey(b *testing.B, l *experiments.Lab) []survey.Record {
+	recs, _, err := l.Survey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return recs
+}
+
+func benchMatch(b *testing.B, l *experiments.Lab) *core.Result {
+	m, err := l.Match()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchQuantiles(b *testing.B, l *experiments.Lab) map[ipaddr.Addr]stats.Quantiles {
+	q, err := l.Quantiles()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+func benchLabScans(b *testing.B, l *experiments.Lab, n int) []*zmapper.Scan {
+	scans, err := l.Scans(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return scans
+}
+
 // lab returns the shared Quick-scale lab, building its survey and scans on
 // first use so individual benchmarks time only their own analysis.
 func lab(b *testing.B) *experiments.Lab {
 	labOnce.Do(func() {
 		benchLab = experiments.NewLab(experiments.Quick)
-		benchLab.Survey()
-		benchLab.Match()
-		benchLab.Quantiles()
-		benchLab.Scans(benchLab.Scale.ZmapScans)
+		if _, _, err := benchLab.Survey(); err != nil {
+			panic(err)
+		}
+		if _, err := benchLab.Match(); err != nil {
+			panic(err)
+		}
+		if _, err := benchLab.Quantiles(); err != nil {
+			panic(err)
+		}
+		if _, err := benchLab.Scans(benchLab.Scale.ZmapScans); err != nil {
+			panic(err)
+		}
 	})
 	return benchLab
 }
@@ -53,7 +95,7 @@ func lab(b *testing.B) *experiments.Lab {
 // --- one benchmark per paper table/figure ---
 
 func BenchmarkFig1SurveyDetectedCDF(b *testing.B) {
-	m := lab(b).Match()
+	m := benchMatch(b, lab(b))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := core.PerAddressQuantiles(m.SurveyDetected())
@@ -62,7 +104,7 @@ func BenchmarkFig1SurveyDetectedCDF(b *testing.B) {
 }
 
 func BenchmarkFig2BroadcastLastOctets(b *testing.B) {
-	sc := lab(b).Scans(1)[0]
+	sc := benchLabScans(b, lab(b), 1)[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sc.Broadcast()
@@ -70,7 +112,7 @@ func BenchmarkFig2BroadcastLastOctets(b *testing.B) {
 }
 
 func BenchmarkFig3UnmatchedLastOctets(b *testing.B) {
-	recs, _ := lab(b).Survey()
+	recs := benchSurvey(b, lab(b))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.UnmatchedLastOctets(recs)
@@ -87,7 +129,7 @@ func BenchmarkFig4FalseMatchScenario(b *testing.B) {
 }
 
 func BenchmarkFig5DuplicateCCDF(b *testing.B) {
-	m := lab(b).Match()
+	m := benchMatch(b, lab(b))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.DuplicateCCDF()
@@ -96,7 +138,7 @@ func BenchmarkFig5DuplicateCCDF(b *testing.B) {
 
 func BenchmarkTable1MatchingPipeline(b *testing.B) {
 	l := lab(b)
-	recs, _ := l.Survey()
+	recs := benchSurvey(b, l)
 	opt := core.MatchOptionsForCycles(l.Scale.SurveyCycles)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -106,7 +148,7 @@ func BenchmarkTable1MatchingPipeline(b *testing.B) {
 }
 
 func BenchmarkFig6FilteringEffect(b *testing.B) {
-	m := lab(b).Match()
+	m := benchMatch(b, lab(b))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.PerAddressQuantiles(m.Samples(false))
@@ -115,7 +157,7 @@ func BenchmarkFig6FilteringEffect(b *testing.B) {
 }
 
 func BenchmarkTable2TimeoutMatrix(b *testing.B) {
-	q := lab(b).Quantiles()
+	q := benchQuantiles(b, lab(b))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := core.TimeoutMatrix(q)
@@ -207,7 +249,7 @@ func BenchmarkParallelSurvey(b *testing.B) {
 }
 
 func BenchmarkFig7ZmapRTTCDF(b *testing.B) {
-	scans := lab(b).Scans(lab(b).Scale.ZmapScans)
+	scans := benchLabScans(b, lab(b), lab(b).Scale.ZmapScans)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, sc := range scans {
@@ -243,7 +285,7 @@ func BenchmarkFig10ProtocolComparison(b *testing.B) {
 
 func BenchmarkFig11SatelliteScatter(b *testing.B) {
 	l := lab(b)
-	q := l.Quantiles()
+	q := benchQuantiles(b, l)
 	db := l.DB()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -254,7 +296,7 @@ func BenchmarkFig11SatelliteScatter(b *testing.B) {
 
 func benchScans(b *testing.B) ([]map[ipaddr.Addr]time.Duration, *ipmeta.DB) {
 	l := lab(b)
-	scans := l.Scans(3)
+	scans := benchLabScans(b, l, 3)
 	out := make([]map[ipaddr.Addr]time.Duration, len(scans))
 	for i, sc := range scans {
 		out[i] = sc.SelfResponses()
@@ -332,7 +374,7 @@ func BenchmarkOutageFalseLossSweep(b *testing.B) {
 
 func BenchmarkAblationBroadcastFilterAlpha(b *testing.B) {
 	l := lab(b)
-	recs, _ := l.Survey()
+	recs := benchSurvey(b, l)
 	base := core.MatchOptionsForCycles(l.Scale.SurveyCycles)
 	for i := 0; i < b.N; i++ {
 		for _, alpha := range []float64{0.005, 0.01, 0.05} {
@@ -345,7 +387,7 @@ func BenchmarkAblationBroadcastFilterAlpha(b *testing.B) {
 
 func BenchmarkAblationDuplicateThreshold(b *testing.B) {
 	l := lab(b)
-	recs, _ := l.Survey()
+	recs := benchSurvey(b, l)
 	for i := 0; i < b.N; i++ {
 		for _, maxDup := range []int{2, 4, 16} {
 			opt := core.MatchOptionsForCycles(l.Scale.SurveyCycles)
@@ -460,7 +502,7 @@ func BenchmarkAblationVantageConsistency(b *testing.B) {
 // the record count.
 func BenchmarkStreamingMatch(b *testing.B) {
 	l := lab(b)
-	recs, _ := l.Survey()
+	recs := benchSurvey(b, l)
 	var buf bytes.Buffer
 	w := survey.NewWriter(&buf, survey.Header{Seed: l.Scale.Seed, Vantage: 'w'})
 	for _, r := range recs {
@@ -510,7 +552,7 @@ func BenchmarkStreamingMatch(b *testing.B) {
 
 func BenchmarkStreamingAggregation(b *testing.B) {
 	l := lab(b)
-	recs, _ := l.Survey()
+	recs := benchSurvey(b, l)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.StreamAggregate(core.NewSliceSource(recs)); err != nil {

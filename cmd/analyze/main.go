@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	analyze survey.tosv [-cycles N] [-naive] [-stream]
+//	analyze survey.tosv [-cycles N] [-naive] [-stream] [-lenient] [-max-skip F]
 //
 // With -stream the full pipeline runs in bounded memory: records stream out
 // of the dataset reader straight into a core.StreamMatcher, which keeps only
@@ -12,6 +12,16 @@
 // At simulation scale (per-address streams within the exact-quantile buffer)
 // the streaming report is byte-identical to the in-memory one; beyond that
 // the per-address quantiles are P² estimates.
+//
+// With -lenient, corrupt records are skipped and counted per cause instead
+// of aborting the run: CSV resynchronizes at the next row, the fixed binary
+// format at the next record stride, and the compact format (whose varint
+// encoding cannot be resynced) keeps everything read before the first bad
+// record. The per-cause skip counts are reported on stderr. -max-skip sets
+// the error budget: if the skipped fraction of the dataset exceeds it, the
+// run fails (exit 1) after printing the report, so batch pipelines notice
+// datasets too damaged to trust. Without -lenient the first corrupt record
+// is fatal.
 package main
 
 import (
@@ -25,9 +35,11 @@ import (
 
 func main() {
 	var (
-		cycles = flag.Int("cycles", 0, "survey rounds (tunes the broadcast filter threshold; 0 = paper defaults)")
-		naive  = flag.Bool("naive", false, "skip filtering (the paper's 'naive matching')")
-		stream = flag.Bool("stream", false, "bounded-memory streaming pipeline (O(addresses) memory)")
+		cycles  = flag.Int("cycles", 0, "survey rounds (tunes the broadcast filter threshold; 0 = paper defaults)")
+		naive   = flag.Bool("naive", false, "skip filtering (the paper's 'naive matching')")
+		stream  = flag.Bool("stream", false, "bounded-memory streaming pipeline (O(addresses) memory)")
+		lenient = flag.Bool("lenient", false, "skip corrupt records (counted per cause) instead of failing fast")
+		maxSkip = flag.Float64("max-skip", 0.05, "with -lenient: fail if more than this fraction of records is skipped")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -47,7 +59,17 @@ func main() {
 	}
 	defer f.Close()
 
-	src, hdr, err := survey.OpenSource(f)
+	var (
+		src  survey.RecordSource
+		stat survey.StatSource
+		hdr  survey.Header
+	)
+	if *lenient {
+		stat, hdr, err = survey.OpenSourceLenient(f)
+		src = stat
+	} else {
+		src, hdr, err = survey.OpenSource(f)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
@@ -82,4 +104,16 @@ func main() {
 
 	fmt.Printf("dataset: %d records, vantage %c, seed %d\n", records, hdr.Vantage, hdr.Seed)
 	fmt.Print(core.RenderReport(analysis, *naive))
+
+	if stat != nil {
+		rs := stat.Stats()
+		fmt.Fprintln(os.Stderr, "analyze: lenient read:", rs)
+		total := rs.Records + rs.Skipped()
+		if total > 0 {
+			if frac := float64(rs.Skipped()) / float64(total); frac > *maxSkip {
+				fmt.Fprintf(os.Stderr, "analyze: skipped fraction %.4f exceeds error budget %.4f\n", frac, *maxSkip)
+				os.Exit(1)
+			}
+		}
+	}
 }

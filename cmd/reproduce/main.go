@@ -86,7 +86,11 @@ func main() {
 	start := time.Now()
 	for _, e := range entries {
 		t0 := time.Now()
-		rep := e.Run(lab)
+		rep, err := e.Run(lab)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
 		fmt.Println(rep.Format())
 		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}

@@ -5,12 +5,22 @@
 //
 //	surveyor -o survey.tosv [-blocks 512] [-cycles 24] [-seed 42]
 //	         [-vantage w|c|j|g] [-interval 11m] [-timeout 3s] [-parallel N]
+//	         [-fault-seed N] [-fault-corrupt F] [-fault-truncate F]
+//	         [-fault-dup F] [-fault-data F]
 //
 // With -parallel N (N > 1) the survey runs on the sharded parallel engine:
 // N contiguous shards of the block list are probed concurrently and the
 // record streams are merged deterministically, so the dataset is
 // byte-identical to the sequential run. -parallel 0 selects one shard per
 // CPU.
+//
+// The -fault-* flags drive the deterministic fault-injection layer: the
+// wire rates corrupt, truncate or duplicate in-flight packets inside the
+// simulation (the prober counts and skips undecodable packets), and
+// -fault-data flips bits in the written dataset (per-byte probability), for
+// exercising cmd/analyze -lenient. All faults are a pure function of
+// -fault-seed, so a faulted run is exactly reproducible; with every rate at
+// zero the output is byte-identical to a run without these flags.
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 	"runtime"
 	"time"
 
+	"timeouts/internal/faults"
 	"timeouts/internal/netmodel"
 	"timeouts/internal/simnet"
 	"timeouts/internal/survey"
@@ -37,6 +48,12 @@ func main() {
 		format   = flag.String("format", "tosv", "output format: tosv (fixed binary), compact (varint), or csv")
 		catalog  = flag.String("catalog", "", "JSON AS-catalog file (default: built-in catalog)")
 		parallel = flag.Int("parallel", 1, "shard count for the parallel engine (1 = sequential, 0 = one per CPU)")
+
+		faultSeed     = flag.Uint64("fault-seed", 1, "fault-injection seed (faults are a pure function of it)")
+		faultCorrupt  = flag.Float64("fault-corrupt", 0, "wire fault rate: bit-flip a delivered packet")
+		faultTruncate = flag.Float64("fault-truncate", 0, "wire fault rate: truncate a delivered packet")
+		faultDup      = flag.Float64("fault-dup", 0, "wire fault rate: duplicate a delivered packet")
+		faultData     = flag.Float64("fault-data", 0, "dataset fault rate: per-byte bit-flip probability in the written file")
 	)
 	flag.Parse()
 	if *parallel == 0 {
@@ -71,11 +88,25 @@ func main() {
 	}
 	pop := netmodel.New(netmodel.Config{Seed: *seed, Blocks: *blocks, Catalog: specs})
 
+	var plan *faults.Plan
+	if *faultCorrupt > 0 || *faultTruncate > 0 || *faultDup > 0 || *faultData > 0 {
+		plan = &faults.Plan{
+			Seed: *faultSeed,
+			Wire: faults.WireConfig{
+				CorruptRate:   *faultCorrupt,
+				TruncateRate:  *faultTruncate,
+				DuplicateRate: *faultDup,
+			},
+			Data: faults.DataConfig{FlipRate: *faultData},
+		}
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "surveyor:", err)
 		os.Exit(1)
 	}
+	sink0 := plan.CorruptWriter(f)
 	hdr := survey.Header{Seed: *seed, Vantage: vp.Name}
 	var (
 		sink    survey.RecordWriter
@@ -84,13 +115,13 @@ func main() {
 	)
 	switch *format {
 	case "tosv":
-		w := survey.NewWriter(f, hdr)
+		w := survey.NewWriter(sink0, hdr)
 		sink, records = w, w.Count
 	case "compact":
-		w := survey.NewCompactWriter(f, hdr)
+		w := survey.NewCompactWriter(sink0, hdr)
 		sink, records = w, w.Count
 	case "csv":
-		w := survey.NewCSVWriter(f)
+		w := survey.NewCSVWriter(sink0)
 		sink, flush, records = w, w.Flush, w.Count
 	default:
 		fmt.Fprintf(os.Stderr, "surveyor: unknown format %q\n", *format)
@@ -104,6 +135,7 @@ func main() {
 		Cycles:   *cycles,
 		Timeout:  *timeout,
 		Seed:     *seed,
+		Faults:   plan,
 	}
 	var st survey.Stats
 	if *parallel > 1 {
@@ -136,5 +168,8 @@ func main() {
 		*blocks, *cycles, vp.Name, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("probes=%d matched=%d (%.1f%%) timeouts=%d unmatched=%d errors=%d\n",
 		st.Probes, st.Matched, 100*st.ResponseRate(), st.Timeouts, st.Unmatched, st.Errors)
+	if plan != nil {
+		fmt.Printf("faults: seed=%d corrupt packets skipped=%d\n", plan.Seed, st.CorruptPackets)
+	}
 	fmt.Printf("dataset: %s (%d records, %s format)\n", *out, records(), *format)
 }

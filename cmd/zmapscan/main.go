@@ -6,13 +6,20 @@
 // Usage:
 //
 //	zmapscan [-blocks 512] [-seed 42] [-scanseed 1] [-duration 90m] [-top 10]
-//	         [-parallel N]
+//	         [-parallel N] [-fault-seed N] [-fault-corrupt F]
+//	         [-fault-truncate F] [-fault-dup F]
 //
 // With -parallel N (N > 1) the scan runs on the sharded parallel engine: N
 // contiguous shards of the probe permutation execute concurrently and the
 // response streams are merged deterministically, so the output is
 // byte-identical to the sequential scan. -parallel 0 selects one shard per
 // CPU.
+//
+// The -fault-* flags drive the deterministic fault-injection layer: matching
+// rates of in-flight packets are bit-flipped, truncated or duplicated inside
+// the simulation, and the scanner counts-and-skips whatever no longer
+// decodes. Faults are a pure function of -fault-seed; with every rate at
+// zero the scan is byte-identical to one without these flags.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"timeouts/internal/core"
+	"timeouts/internal/faults"
 	"timeouts/internal/ipaddr"
 	"timeouts/internal/ipmeta"
 	"timeouts/internal/netmodel"
@@ -40,6 +48,11 @@ func main() {
 		top      = flag.Int("top", 10, "AS ranking size")
 		catalog  = flag.String("catalog", "", "JSON AS-catalog file (default: built-in catalog)")
 		parallel = flag.Int("parallel", 1, "shard count for the parallel engine (1 = sequential, 0 = one per CPU)")
+
+		faultSeed     = flag.Uint64("fault-seed", 1, "fault-injection seed (faults are a pure function of it)")
+		faultCorrupt  = flag.Float64("fault-corrupt", 0, "wire fault rate: bit-flip a delivered packet")
+		faultTruncate = flag.Float64("fault-truncate", 0, "wire fault rate: truncate a delivered packet")
+		faultDup      = flag.Float64("fault-dup", 0, "wire fault rate: duplicate a delivered packet")
 	)
 	flag.Parse()
 	if *parallel == 0 {
@@ -61,11 +74,23 @@ func main() {
 		}
 	}
 	pop := netmodel.New(netmodel.Config{Seed: *seed, Blocks: *blocks, Catalog: specs})
+	var plan *faults.Plan
+	if *faultCorrupt > 0 || *faultTruncate > 0 || *faultDup > 0 {
+		plan = &faults.Plan{
+			Seed: *faultSeed,
+			Wire: faults.WireConfig{
+				CorruptRate:   *faultCorrupt,
+				TruncateRate:  *faultTruncate,
+				DuplicateRate: *faultDup,
+			},
+		}
+	}
 	src := ipaddr.MustParse("240.0.2.1")
 	cfg := zmapper.Config{
 		Src: src, Continent: ipmeta.NorthAmerica,
 		TargetN: pop.NumAddrs(), TargetAt: pop.AddrAt,
 		Duration: *duration, Seed: *scanseed,
+		Faults: plan,
 	}
 
 	start := time.Now()
@@ -90,6 +115,9 @@ func main() {
 	rtts := sc.RTTPercentiles()
 	fmt.Printf("scanned %d addresses in %v (wall), %d responders\n",
 		sc.ProbesSent, time.Since(start).Round(time.Millisecond), len(rtts))
+	if plan != nil {
+		fmt.Printf("faults: seed=%d corrupt packets skipped=%d\n", plan.Seed, sc.CorruptPackets)
+	}
 	if len(rtts) == 0 {
 		return
 	}

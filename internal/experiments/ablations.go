@@ -18,7 +18,7 @@ import (
 // study's premise made operational: the 3-second convention clips the
 // distribution, and recovering the clipped mass is what the paper's
 // matching technique is for.
-func (l *Lab) AblTimeout() Report {
+func (l *Lab) AblTimeout() (Report, error) {
 	blocks := l.Scale.Blocks / 2
 	cycles := l.Scale.SurveyCycles
 	if cycles > 16 {
@@ -43,7 +43,7 @@ func (l *Lab) AblTimeout() Report {
 			Seed:    l.Scale.Seed,
 		}, &mem)
 		if err != nil {
-			panic("experiments: abl-timeout survey failed: " + err.Error())
+			return Report{}, fmt.Errorf("experiments: abl-timeout survey failed: %w", err)
 		}
 		res := core.Match(mem.Records, core.MatchOptionsForCycles(cycles))
 		q := core.PerAddressQuantiles(res.SurveyDetected())
@@ -79,7 +79,7 @@ func (l *Lab) AblTimeout() Report {
 		Metrics: []Metric{
 			{"95/95 visible at 3s vs 60s prober timeout", "clipped below 3s vs ~5s", gain},
 		},
-	}
+	}, nil
 }
 
 // AblScale — how the Table 2 cells depend on per-address sample count.
@@ -90,7 +90,7 @@ func (l *Lab) AblTimeout() Report {
 // The extreme Table 2 cells therefore first grow with depth (more addresses
 // catch an episode at all) and then settle as the estimator sharpens. This
 // ablation quantifies that so readers can interpret the scaled numbers.
-func (l *Lab) AblScale() Report {
+func (l *Lab) AblScale() (Report, error) {
 	blocks := l.Scale.Blocks / 2
 	var b strings.Builder
 	fmt.Fprintf(&b, "%8s %12s %12s %12s %12s\n", "cycles", "50/50", "95/95", "98/98", "99/99")
@@ -105,7 +105,7 @@ func (l *Lab) AblScale() Report {
 			Cycles:  cyc,
 			Seed:    l.Scale.Seed,
 		}, &mem); err != nil {
-			panic("experiments: abl-scale survey failed: " + err.Error())
+			return Report{}, fmt.Errorf("experiments: abl-scale survey failed: %w", err)
 		}
 		res := core.Match(mem.Records, core.MatchOptionsForCycles(cyc))
 		q := core.PerAddressQuantiles(res.Samples(true))
@@ -121,13 +121,13 @@ func (l *Lab) AblScale() Report {
 		Metrics: []Metric{
 			{"99/99 across sample depths", "paper: 145s at ~1800 samples/addr", fmtDur(last.At(99, 99)) + " at the deepest run here"},
 		},
-	}
+	}, nil
 }
 
 // AblVantage — §5.2: is the high latency an artifact of one vantage point?
 // Survey the same population from all four vantages and compare the key
 // statistics.
-func (l *Lab) AblVantage() Report {
+func (l *Lab) AblVantage() (Report, error) {
 	blocks := l.Scale.Blocks / 2
 	cycles := l.Scale.SurveyCycles
 	if cycles > 16 {
@@ -146,7 +146,7 @@ func (l *Lab) AblVantage() Report {
 			Seed:    l.Scale.Seed,
 		}, &mem)
 		if err != nil {
-			panic("experiments: abl-vantage survey failed: " + err.Error())
+			return Report{}, fmt.Errorf("experiments: abl-vantage survey (vantage %c) failed: %w", vp.Name, err)
 		}
 		res := core.Match(mem.Records, core.MatchOptionsForCycles(cycles))
 		q := core.PerAddressQuantiles(res.Samples(true))
@@ -172,7 +172,7 @@ func (l *Lab) AblVantage() Report {
 		Metrics: []Metric{
 			{"95/95 across the four vantages", "consistent", fmt.Sprintf("%s..%s", fmtDur(min), fmtDur(max))},
 		},
-	}
+	}, nil
 }
 
 // AblStreaming — equivalence check for the bounded-memory pipeline: the
@@ -184,10 +184,16 @@ func (l *Lab) AblVantage() Report {
 // exact-quantile buffer cap) the two must be byte-identical; beyond the cap
 // the streaming quantiles graduate to P² estimates and the check instead
 // quantifies the worst matrix cell error of the approximation.
-func (l *Lab) AblStreaming() Report {
-	recs, _ := l.Survey()
+func (l *Lab) AblStreaming() (Report, error) {
+	recs, _, err := l.Survey()
+	if err != nil {
+		return Report{}, err
+	}
 	exact := core.Match(recs, core.MatchOptionsForCycles(l.Scale.SurveyCycles))
-	sres := l.StreamMatch()
+	sres, err := l.StreamMatch()
+	if err != nil {
+		return Report{}, err
+	}
 
 	exactRep := core.RenderReport(exact, false)
 	streamRep := core.RenderReport(sres, false)
@@ -215,5 +221,5 @@ func (l *Lab) AblStreaming() Report {
 		Metrics: []Metric{
 			{"streaming vs in-memory report", "byte-identical at simulation scale", measured},
 		},
-	}
+	}, nil
 }

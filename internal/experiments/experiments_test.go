@@ -12,14 +12,44 @@ import (
 	"timeouts/internal/ipaddr"
 	"timeouts/internal/netmodel"
 	"timeouts/internal/stats"
+	"timeouts/internal/zmapper"
 )
 
 // testLab is shared by the integration tests; Quick scale, memoized, so the
 // survey and scans run once for the whole package.
 var testLab = NewLab(Quick)
 
+// mustQuantiles, mustMatch and mustScans unwrap the lab accessors' error
+// returns for tests, where a workload failure is simply fatal.
+func mustQuantiles(t *testing.T, l *Lab) map[ipaddr.Addr]stats.Quantiles {
+	t.Helper()
+	q, err := l.Quantiles()
+	if err != nil {
+		t.Fatalf("Quantiles: %v", err)
+	}
+	return q
+}
+
+func mustMatch(t *testing.T, l *Lab) *core.Result {
+	t.Helper()
+	m, err := l.Match()
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	return m
+}
+
+func mustScans(t *testing.T, l *Lab, n int) []*zmapper.Scan {
+	t.Helper()
+	scans, err := l.Scans(n)
+	if err != nil {
+		t.Fatalf("Scans(%d): %v", n, err)
+	}
+	return scans
+}
+
 func TestHeadlineTimeoutMatrix(t *testing.T) {
-	q := testLab.Quantiles()
+	q := mustQuantiles(t, testLab)
 	if len(q) < 5000 {
 		t.Fatalf("only %d addresses with samples", len(q))
 	}
@@ -45,7 +75,7 @@ func TestHeadlineTimeoutMatrix(t *testing.T) {
 }
 
 func TestZmapTurtleShareStable(t *testing.T) {
-	scans := testLab.Scans(2)
+	scans := mustScans(t, testLab, 2)
 	var shares []float64
 	for _, sc := range scans {
 		rtts := sc.RTTPercentiles()
@@ -68,7 +98,11 @@ func TestZmapTurtleShareStable(t *testing.T) {
 }
 
 func TestTurtleASRankingIsCellular(t *testing.T) {
-	rows := core.RankASes(testLab.turtleScans(2), testLab.DB(), core.TurtleThreshold, 10)
+	turtles, err := testLab.turtleScans(2)
+	if err != nil {
+		t.Fatalf("turtleScans: %v", err)
+	}
+	rows := core.RankASes(turtles, testLab.DB(), core.TurtleThreshold, 10)
 	if len(rows) < 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -81,12 +115,12 @@ func TestTurtleASRankingIsCellular(t *testing.T) {
 }
 
 func TestBroadcastFilterAgainstZmapTruth(t *testing.T) {
-	m := testLab.Match()
+	m := mustMatch(t, testLab)
 	flagged := m.BroadcastResponders()
 	if len(flagged) == 0 {
 		t.Fatal("filter flagged nothing")
 	}
-	truth := testLab.Scans(1)[0].Broadcast().Responders
+	truth := mustScans(t, testLab, 1)[0].Broadcast().Responders
 	if len(truth) == 0 {
 		t.Fatal("Zmap found no broadcast responders")
 	}
@@ -104,7 +138,7 @@ func TestBroadcastFilterAgainstZmapTruth(t *testing.T) {
 }
 
 func TestFilteringRemovesFalseLatencyBumps(t *testing.T) {
-	m := testLab.Match()
+	m := mustMatch(t, testLab)
 	naive := m.Samples(false)
 	filtered := m.Samples(true)
 	if len(filtered) >= len(naive) {
@@ -134,7 +168,10 @@ func TestFilteringRemovesFalseLatencyBumps(t *testing.T) {
 }
 
 func TestFirstPingExperimentShape(t *testing.T) {
-	trains, _ := testLab.firstPingTrains()
+	trains, _, err := testLab.firstPingTrains()
+	if err != nil {
+		t.Fatalf("firstPingTrains: %v", err)
+	}
 	if len(trains) < 50 {
 		t.Skipf("only %d screened trains", len(trains))
 	}
@@ -158,7 +195,7 @@ func TestFirstPingExperimentShape(t *testing.T) {
 }
 
 func TestSatelliteIsolation(t *testing.T) {
-	pts := core.SatelliteScatter(testLab.Quantiles(), testLab.DB(), 300*time.Millisecond)
+	pts := core.SatelliteScatter(mustQuantiles(t, testLab), testLab.DB(), 300*time.Millisecond)
 	sum := core.SummarizeSatellites(pts)
 	if sum.SatAddrs == 0 {
 		t.Skip("no satellite addresses at this scale")
@@ -174,7 +211,7 @@ func TestSatelliteIsolation(t *testing.T) {
 func TestScanInventoryGrowth(t *testing.T) {
 	// Later scans see at least as many responders as early ones (late
 	// joiners), and the spread stays modest.
-	scans := testLab.Scans(3)
+	scans := mustScans(t, testLab, 3)
 	n0 := len(scans[0].SelfResponses())
 	n2 := len(scans[2].SelfResponses())
 	if n2 < n0 {
@@ -188,8 +225,11 @@ func TestScanInventoryGrowth(t *testing.T) {
 func TestWorldDeterminism(t *testing.T) {
 	l1 := NewLab(Scale{Seed: 9, Blocks: 64, SurveyCycles: 2, ZmapScans: 1, SampleAddrs: 10, TrainPings: 10})
 	l2 := NewLab(Scale{Seed: 9, Blocks: 64, SurveyCycles: 2, ZmapScans: 1, SampleAddrs: 10, TrainPings: 10})
-	r1, s1 := l1.Survey()
-	r2, s2 := l2.Survey()
+	r1, s1, err1 := l1.Survey()
+	r2, s2, err2 := l2.Survey()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("survey failed: %v / %v", err1, err2)
+	}
 	if s1 != s2 || len(r1) != len(r2) {
 		t.Fatal("labs with equal scales diverge")
 	}
@@ -249,7 +289,10 @@ func TestRegistryRunsEverything(t *testing.T) {
 	for _, e := range Registry {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			rep := e.Run(tiny)
+			rep, err := e.Run(tiny)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
 			if rep.ID != e.ID {
 				t.Errorf("report id %q != registry id %q", rep.ID, e.ID)
 			}

@@ -38,13 +38,20 @@ func (l *Lab) ExportData(dir string) error {
 	w := &csvDir{dir: dir}
 
 	// fig1 / fig6: percentile CDFs.
-	m := l.Match()
+	m, err := l.Match()
+	if err != nil {
+		return err
+	}
 	w.percentileCDF("fig1_cdf.csv", core.PerAddressQuantiles(m.SurveyDetected()))
 	w.percentileCDF("fig6_naive_cdf.csv", core.PerAddressQuantiles(m.Samples(false)))
 	w.percentileCDF("fig6_filtered_cdf.csv", core.PerAddressQuantiles(m.Samples(true)))
 
 	// fig2: Zmap broadcast destination octets.
-	bf := l.Scans(1)[0].Broadcast()
+	oneScan, err := l.Scans(1)
+	if err != nil {
+		return err
+	}
+	bf := oneScan[0].Broadcast()
 	w.write("fig2_octets.csv", []string{"octet", "count"}, func(emit func(...string)) {
 		for o := 0; o < 256; o++ {
 			emit(strconv.Itoa(o), strconv.Itoa(bf.ProbedBroadcast[o]))
@@ -52,7 +59,10 @@ func (l *Lab) ExportData(dir string) error {
 	})
 
 	// fig3: unmatched responses by preceding probe octet.
-	recs, _ := l.Survey()
+	recs, _, err := l.Survey()
+	if err != nil {
+		return err
+	}
 	hist := core.UnmatchedLastOctets(recs)
 	w.write("fig3_octets.csv", []string{"octet", "count"}, func(emit func(...string)) {
 		for o := 0; o < 256; o++ {
@@ -68,7 +78,11 @@ func (l *Lab) ExportData(dir string) error {
 	})
 
 	// fig7: per-scan RTT CDFs (thinned).
-	for i, sc := range l.Scans(l.Scale.ZmapScans) {
+	allScans, err := l.Scans(l.Scale.ZmapScans)
+	if err != nil {
+		return err
+	}
+	for i, sc := range allScans {
 		i := i
 		pts := stats.CDF(sc.RTTPercentiles(), 400)
 		w.append("fig7_cdf.csv", []string{"scan", "rtt_s", "frac"}, func(emit func(...string)) {
@@ -79,7 +93,10 @@ func (l *Lab) ExportData(dir string) error {
 	}
 
 	// fig11: satellite scatter.
-	q := l.Quantiles()
+	q, err := l.Quantiles()
+	if err != nil {
+		return err
+	}
 	pts := core.SatelliteScatter(q, l.DB(), 300*time.Millisecond)
 	w.write("fig11_scatter.csv", []string{"p1_s", "p99_s", "satellite", "asn"}, func(emit func(...string)) {
 		for _, p := range pts {
@@ -88,7 +105,10 @@ func (l *Lab) ExportData(dir string) error {
 	})
 
 	// fig12/13/14: first-ping analyses.
-	trains, _ := l.firstPingTrains()
+	trains, _, err := l.firstPingTrains()
+	if err != nil {
+		return err
+	}
 	fa := core.AnalyzeFirstPing(trains)
 	deltas := append([]time.Duration(nil), fa.Delta12...)
 	w.durationCDF("fig12_delta.csv", "delta_s", deltas)

@@ -17,7 +17,7 @@ import (
 // Each year gets one survey against a population whose cellular prevalence
 // and buffered-outage rates scale up over time; vantage points rotate
 // through ISI's w/c/j/g. Two surveys reproduce the broken "j"/"g" outliers.
-func (l *Lab) Fig9() Report {
+func (l *Lab) Fig9() (Report, error) {
 	years := []int{2006, 2007, 2008, 2009, 2010, 2011, 2012, 2013, 2014, 2015}
 	// Smaller per-survey workload: the series needs trend shape, not depth.
 	blocks := l.Scale.Blocks / 2
@@ -54,7 +54,7 @@ func (l *Lab) Fig9() Report {
 			ResponseDropRate: drop,
 		}, &mem)
 		if err != nil {
-			panic("experiments: fig9 survey failed: " + err.Error())
+			return Report{}, fmt.Errorf("experiments: fig9 survey (year %d) failed: %w", year, err)
 		}
 		res := core.Match(mem.Records, core.MatchOptionsForCycles(cycles))
 		q := core.PerAddressQuantiles(res.Samples(true))
@@ -95,5 +95,5 @@ func (l *Lab) Fig9() Report {
 			{"normal survey response rate", "~20%", fmtPct(points[len(points)-1].ResponseRate)},
 			{"broken vantage survey response rate", "0.02-0.2%", fmt.Sprintf("%.3f%%", 100*brokenRate)},
 		},
-	}
+	}, nil
 }

@@ -133,7 +133,7 @@ func (l *Lab) PopConfig() netmodel.Config { return l.popCfg }
 
 // Survey returns the lab's memoized survey dataset (records and stats),
 // running the survey on first use.
-func (l *Lab) Survey() ([]survey.Record, survey.Stats) {
+func (l *Lab) Survey() ([]survey.Record, survey.Stats, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.surveyRecs == nil {
@@ -157,22 +157,25 @@ func (l *Lab) Survey() ([]survey.Record, survey.Stats) {
 			st, err = survey.Run(w.Net, cfg, &mem)
 		}
 		if err != nil {
-			panic("experiments: survey failed: " + err.Error())
+			return nil, survey.Stats{}, fmt.Errorf("experiments: survey failed: %w", err)
 		}
 		l.surveyRecs, l.surveyStats = mem.Records, st
 	}
-	return l.surveyRecs, l.surveyStats
+	return l.surveyRecs, l.surveyStats, nil
 }
 
 // Match returns the memoized matching/filtering result over the survey.
-func (l *Lab) Match() *core.Result {
-	recs, _ := l.Survey()
+func (l *Lab) Match() (*core.Result, error) {
+	recs, _, err := l.Survey()
+	if err != nil {
+		return nil, err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.match == nil {
 		l.match = core.Match(recs, core.MatchOptionsForCycles(l.Scale.SurveyCycles))
 	}
-	return l.match
+	return l.match, nil
 }
 
 // StreamMatch returns the memoized streaming-pipeline result. The survey
@@ -180,7 +183,7 @@ func (l *Lab) Match() *core.Result {
 // merge is streamed record-by-record into the analyzer — so no intermediate
 // dataset is ever materialized; the workload and seed match Survey()'s, so
 // the record stream the matcher sees is the same one Match() consumes.
-func (l *Lab) StreamMatch() *core.StreamResult {
+func (l *Lab) StreamMatch() (*core.StreamResult, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.streamRes == nil {
@@ -201,38 +204,44 @@ func (l *Lab) StreamMatch() *core.StreamResult {
 			_, err = survey.Run(w.Net, cfg, m)
 		}
 		if err != nil {
-			panic("experiments: streaming survey failed: " + err.Error())
+			return nil, fmt.Errorf("experiments: streaming survey failed: %w", err)
 		}
 		l.streamRes = m.Finalize()
 	}
-	return l.streamRes
+	return l.streamRes, nil
 }
 
 // Quantiles returns the memoized per-address percentile vectors over the
 // filtered, combined (survey + delayed) samples — computed by the in-memory
 // matcher, or by the streaming pipeline when Stream is set.
-func (l *Lab) Quantiles() map[ipaddr.Addr]stats.Quantiles {
+func (l *Lab) Quantiles() (map[ipaddr.Addr]stats.Quantiles, error) {
 	if l.Stream {
-		r := l.StreamMatch()
+		r, err := l.StreamMatch()
+		if err != nil {
+			return nil, err
+		}
 		l.mu.Lock()
 		defer l.mu.Unlock()
 		if l.quantiles == nil {
 			l.quantiles = r.AddressQuantiles(true)
 		}
-		return l.quantiles
+		return l.quantiles, nil
 	}
-	m := l.Match()
+	m, err := l.Match()
+	if err != nil {
+		return nil, err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.quantiles == nil {
 		l.quantiles = core.PerAddressQuantiles(m.Samples(true))
 	}
-	return l.quantiles
+	return l.quantiles, nil
 }
 
 // Scans returns at least n memoized Zmap scans, started days apart at
 // varying times of day like the paper's Table 3 schedule.
-func (l *Lab) Scans(n int) []*zmapper.Scan {
+func (l *Lab) Scans(n int) ([]*zmapper.Scan, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for len(l.scans) < n {
@@ -261,11 +270,11 @@ func (l *Lab) Scans(n int) []*zmapper.Scan {
 			sc, err = zmapper.Run(w.Net, cfg)
 		}
 		if err != nil {
-			panic("experiments: zmap scan failed: " + err.Error())
+			return nil, fmt.Errorf("experiments: zmap scan failed: %w", err)
 		}
 		l.scans = append(l.scans, sc)
 	}
-	return l.scans[:n]
+	return l.scans[:n], nil
 }
 
 // DB builds the metadata database for the lab's population.

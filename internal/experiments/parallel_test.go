@@ -13,8 +13,14 @@ func TestParallelLabMatchesSequential(t *testing.T) {
 	par := NewLab(scale)
 	par.Parallel = 4
 
-	seqRecs, seqStats := seq.Survey()
-	parRecs, parStats := par.Survey()
+	seqRecs, seqStats, err := seq.Survey()
+	if err != nil {
+		t.Fatalf("sequential survey: %v", err)
+	}
+	parRecs, parStats, err := par.Survey()
+	if err != nil {
+		t.Fatalf("parallel survey: %v", err)
+	}
 	if parStats != seqStats {
 		t.Errorf("survey stats %+v, sequential %+v", parStats, seqStats)
 	}
@@ -27,8 +33,14 @@ func TestParallelLabMatchesSequential(t *testing.T) {
 		}
 	}
 
-	seqScans := seq.Scans(2)
-	parScans := par.Scans(2)
+	seqScans, err := seq.Scans(2)
+	if err != nil {
+		t.Fatalf("sequential scans: %v", err)
+	}
+	parScans, err := par.Scans(2)
+	if err != nil {
+		t.Fatalf("parallel scans: %v", err)
+	}
 	for k := range seqScans {
 		s, p := seqScans[k], parScans[k]
 		if p.ProbesSent != s.ProbesSent || p.PacketsReceived != s.PacketsReceived {

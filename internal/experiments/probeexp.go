@@ -52,8 +52,12 @@ func toTrain(rs []scamper.ProbeResult) []core.TrainSample {
 // Fig8 — re-probing addresses that showed >=5% of pings above 100 s in the
 // survey: extreme latency is time-varying, but a meaningful share still
 // shows >100 s tails under scamper.
-func (l *Lab) Fig8() Report {
-	samples := l.Match().Samples(true)
+func (l *Lab) Fig8() (Report, error) {
+	m, err := l.Match()
+	if err != nil {
+		return Report{}, err
+	}
+	samples := m.Samples(true)
 	pick := func(minFrac float64) []ipaddr.Addr {
 		var out []ipaddr.Addr
 		for _, a := range sortedAddrs(samples) {
@@ -141,13 +145,16 @@ func (l *Lab) Fig8() Report {
 			{"median 95th pctile on re-probe (lower than survey)", "7.3s", fmtDur(medP95)},
 			{"addresses still with 1% of pings >100s", "17%", fmtPct(frac)},
 		},
-	}
+	}, nil
 }
 
 // Fig10 — the protocol-equality triplets: 3 ICMP, then 3 UDP 20 minutes
 // later, then 3 TCP ACK 20 minutes after that, to high-latency addresses.
-func (l *Lab) Fig10() Report {
-	q := l.Quantiles()
+func (l *Lab) Fig10() (Report, error) {
+	q, err := l.Quantiles()
+	if err != nil {
+		return Report{}, err
+	}
 	// "High-latency": union of the top 5% by median, 80th, 90th, 95th.
 	var candidates []ipaddr.Addr
 	for _, level := range []float64{50, 80, 90, 95} {
@@ -297,13 +304,16 @@ func (l *Lab) Fig10() Report {
 			{"first probe of triplet slower than rest", "yes, all protocols", fmt.Sprintf("icmp %s vs %s", med(dists[scamper.ICMP].seq0).Round(time.Millisecond), med(dists[scamper.ICMP].rest).Round(time.Millisecond))},
 			{"firewall RST mode", "~200ms, same TTL per /24", med(fwRTTs).Round(time.Millisecond).String()},
 		},
-	}
+	}, nil
 }
 
 // firstPingTrains runs the §6.3 protocol: screen with 2 pings 5 s apart,
 // wait ~80 s, then a 10-ping train at 1 s spacing.
-func (l *Lab) firstPingTrains() (map[ipaddr.Addr][]core.TrainSample, int) {
-	q := l.Quantiles()
+func (l *Lab) firstPingTrains() (map[ipaddr.Addr][]core.TrainSample, int, error) {
+	q, err := l.Quantiles()
+	if err != nil {
+		return nil, 0, err
+	}
 	var candidates []ipaddr.Addr
 	for _, a := range sortedAddrs(q) {
 		if q[a].P50 >= time.Second {
@@ -346,13 +356,16 @@ func (l *Lab) firstPingTrains() (map[ipaddr.Addr][]core.TrainSample, int) {
 		}
 		trains[a] = toTrain(train)
 	}
-	return trains, screened
+	return trains, screened, nil
 }
 
 // Fig12 — RTT1-RTT2: for wake-up addresses both responses arrive together,
 // so the difference is the probe spacing.
-func (l *Lab) Fig12() Report {
-	trains, _ := l.firstPingTrains()
+func (l *Lab) Fig12() (Report, error) {
+	trains, _, err := l.firstPingTrains()
+	if err != nil {
+		return Report{}, err
+	}
 	fa := core.AnalyzeFirstPing(trains)
 	var b strings.Builder
 	fmt.Fprintf(&b, "addresses with trains: %d; classes: ", len(trains))
@@ -384,17 +397,20 @@ func (l *Lab) Fig12() Report {
 			{"share of classified addrs with RTT1 > max(rest)", "~2/3 (51,646/74,430)", fmtPct(fa.FracAboveMax())},
 			{"typical RTT1-RTT2 for wake-up addresses", "~1s (the probe spacing)", med12.Round(10 * time.Millisecond).String()},
 		},
-	}
+	}, nil
 }
 
 // Fig13 — wake-up duration: RTT1 - min(rest), typically 0.5-4 s.
-func (l *Lab) Fig13() Report {
-	trains, _ := l.firstPingTrains()
+func (l *Lab) Fig13() (Report, error) {
+	trains, _, err := l.firstPingTrains()
+	if err != nil {
+		return Report{}, err
+	}
 	fa := core.AnalyzeFirstPing(trains)
 	var b strings.Builder
 	if len(fa.WakeEstimates) == 0 {
 		b.WriteString("no wake estimates\n")
-		return Report{ID: "fig13", Title: "Wake-up duration", Body: b.String()}
+		return Report{ID: "fig13", Title: "Wake-up duration", Body: b.String()}, nil
 	}
 	ws := append([]time.Duration(nil), fa.WakeEstimates...)
 	stats.SortDurations(ws)
@@ -412,12 +428,15 @@ func (l *Lab) Fig13() Report {
 			{"90th percentile wake-up estimate", "<4s", p90.Round(10 * time.Millisecond).String()},
 			{"estimates above 8.5s", "2%", fmtPct(over85)},
 		},
-	}
+	}, nil
 }
 
 // Fig14 — first-ping behavior clusters by /24.
-func (l *Lab) Fig14() Report {
-	trains, _ := l.firstPingTrains()
+func (l *Lab) Fig14() (Report, error) {
+	trains, _, err := l.firstPingTrains()
+	if err != nil {
+		return Report{}, err
+	}
 	fa := core.AnalyzeFirstPing(trains)
 	var shares []float64
 	for _, p := range fa.PrefixShare {
@@ -449,12 +468,15 @@ func (l *Lab) Fig14() Report {
 		Metrics: []Metric{
 			{"prefixes where most addresses show the first-ping drop", "most prefixes", fmtPct(frac)},
 		},
-	}
+	}, nil
 }
 
 // Tab7 — the latency/loss patterns around >100 s responses.
-func (l *Lab) Tab7() Report {
-	q := l.Quantiles()
+func (l *Lab) Tab7() (Report, error) {
+	q, err := l.Quantiles()
+	if err != nil {
+		return Report{}, err
+	}
 	var candidates []ipaddr.Addr
 	for _, a := range sortedAddrs(q) {
 		if q[a].P99 >= 100*time.Second {
@@ -489,7 +511,7 @@ func (l *Lab) Tab7() Report {
 			{"most >100s pings are in sustained episodes", "2994 of 5149", fmt.Sprintf("%d of %d", sustainedPings, totalPings(pc))},
 			{"loss-then-decay is the most common event type", "81 events", fmt.Sprintf("%d events", lossDecayEvents)},
 		},
-	}
+	}, nil
 }
 
 func totalEvents(pc core.PatternCounts) int {
@@ -511,14 +533,21 @@ func totalPings(pc core.PatternCounts) int {
 // Rec60 — the paper's closing recommendation quantified: a 60 s timeout
 // covers 98/98 comfortably, and retried pings are correlated with the
 // original, so retries cannot substitute for longer timeouts.
-func (l *Lab) Rec60() Report {
-	q := l.Quantiles()
+func (l *Lab) Rec60() (Report, error) {
+	q, err := l.Quantiles()
+	if err != nil {
+		return Report{}, err
+	}
 	matrix := core.TimeoutMatrix(q)
 	cover9898 := matrix.At(98, 98)
 
 	// Retry-correlation probe: short trains at 3 s spacing on a sample of
 	// responsive addresses.
-	samples := l.Match().Samples(true)
+	m, err := l.Match()
+	if err != nil {
+		return Report{}, err
+	}
+	samples := m.Samples(true)
 	targets := sampleEvery(sortedAddrs(samples), l.Scale.SampleAddrs*2)
 	w := NewWorld(l.popCfg)
 	pr := scamper.New(w.Net, scamperSrc, ipmeta.NorthAmerica)
@@ -550,5 +579,5 @@ func (l *Lab) Rec60() Report {
 			{"60s covers 98% of pings from 98% of addresses", "yes (41s needed)", fmt.Sprintf("%v (%s needed)", cover9898 <= 60*time.Second, fmtDur(cover9898))},
 			{"retry slowness lift over independence", ">>1x", fmt.Sprintf("%.1fx", lift)},
 		},
-	}
+	}, nil
 }

@@ -14,11 +14,13 @@ import (
 	"timeouts/internal/stats"
 )
 
-// Entry names one runnable experiment.
+// Entry names one runnable experiment. Run returns an error — rather than
+// panicking — when the underlying workload (survey, scan, probing) fails, so
+// cmd/reproduce can exit with a message instead of a stack trace.
 type Entry struct {
 	ID    string
 	Title string
-	Run   func(*Lab) Report
+	Run   func(*Lab) (Report, error)
 }
 
 // Registry lists every reproduced table and figure, in paper order, plus
@@ -69,8 +71,11 @@ func Find(id string) (Entry, bool) {
 // its own probes repeatedly "responds" with a latency of half the probing
 // interval, because its broadcast replies are matched to its timed-out
 // direct probes.
-func (l *Lab) Fig4() Report {
-	m := l.Match()
+func (l *Lab) Fig4() (Report, error) {
+	m, err := l.Match()
+	if err != nil {
+		return Report{}, err
+	}
 	half := 330 * time.Second // half of the 11-minute interval
 	tol := 5 * time.Second
 	demo := ipaddr.Addr(0)
@@ -125,15 +130,18 @@ func (l *Lab) Fig4() Report {
 			{"false latencies cluster at interval fractions (330s)", "yes (Figure 6a bumps)", fmt.Sprintf("%d addresses", nearHalf)},
 			{"share of them caught by the EWMA filter", "97.7%", fmtPct(caught)},
 		},
-	}
+	}, nil
 }
 
 // Outage — the paper's motivation quantified: false loss and false outage
 // rates of timeout-based detectors against a population with no real
 // outages, as a function of the probe timeout.
-func (l *Lab) Outage() Report {
+func (l *Lab) Outage() (Report, error) {
 	// Monitor a mixed sample: mostly ordinary hosts plus the slow tail.
-	q := l.Quantiles()
+	q, err := l.Quantiles()
+	if err != nil {
+		return Report{}, err
+	}
 	all := sortedAddrs(q)
 	targets := sampleEvery(all, l.Scale.SampleAddrs)
 	var slow []ipaddr.Addr
@@ -231,15 +239,22 @@ func (l *Lab) Outage() Report {
 			{"false loss on slow hosts, 3s vs 60s timeout", "5%+ at 5s timeout for 5% of addrs", improvement},
 			{"listen-long rescues rounds a fixed timeout loses", "the paper's §7 recommendation", fmt.Sprintf("%d rounds rescued", tcpLate)},
 		},
-	}
+	}, nil
 }
 
 // AblFilter — sweep the broadcast filter's EWMA alpha and mark threshold,
 // measuring detection and collateral damage against the Zmap-identified
 // broadcast responder ground truth (the paper's own validation, §3.3.1).
-func (l *Lab) AblFilter() Report {
-	recs, _ := l.Survey()
-	truth := l.Scans(1)[0].Broadcast().Responders
+func (l *Lab) AblFilter() (Report, error) {
+	recs, _, err := l.Survey()
+	if err != nil {
+		return Report{}, err
+	}
+	scans, err := l.Scans(1)
+	if err != nil {
+		return Report{}, err
+	}
+	truth := scans[0].Broadcast().Responders
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "%8s %8s %12s %12s %12s\n", "alpha", "mark", "flagged", "recall", "collateral")
@@ -299,14 +314,17 @@ func (l *Lab) AblFilter() Report {
 		Metrics: []Metric{
 			{"detection at the paper's settings", "97.7%", fmtPct(baseRecall)},
 		},
-	}
+	}, nil
 }
 
 // AblDup — sweep the duplicate-filter threshold: the paper chose 4 so that
 // a duplicated direct response plus a duplicated broadcast response is not
 // discarded.
-func (l *Lab) AblDup() Report {
-	recs, _ := l.Survey()
+func (l *Lab) AblDup() (Report, error) {
+	recs, _, err := l.Survey()
+	if err != nil {
+		return Report{}, err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%10s %14s %16s\n", "threshold", "addrs dropped", "packets dropped")
 	var at4 uint64
@@ -327,7 +345,7 @@ func (l *Lab) AblDup() Report {
 		Metrics: []Metric{
 			{"addresses discarded at threshold 4", "20,736 (at Internet scale)", fmt.Sprintf("%d", at4)},
 		},
-	}
+	}, nil
 }
 
 // popProfileCounts is a convenience for tests: class counts in the lab's

@@ -84,8 +84,14 @@ func TestLabStreamQuantiles(t *testing.T) {
 	streamed.Stream = true
 	streamed.Parallel = 2
 
-	qi := inMem.Quantiles()
-	qs := streamed.Quantiles()
+	qi, err := inMem.Quantiles()
+	if err != nil {
+		t.Fatalf("in-memory quantiles: %v", err)
+	}
+	qs, err := streamed.Quantiles()
+	if err != nil {
+		t.Fatalf("streaming quantiles: %v", err)
+	}
 	if len(qi) != len(qs) {
 		t.Fatalf("address counts differ: %d vs %d", len(qi), len(qs))
 	}

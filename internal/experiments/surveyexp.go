@@ -13,8 +13,11 @@ import (
 // Fig1 — CDF of per-address percentile latency over survey-detected
 // responses only: the distribution is clipped near the 3 s prober timeout,
 // with a small tail of late matches from sweep granularity.
-func (l *Lab) Fig1() Report {
-	m := l.Match()
+func (l *Lab) Fig1() (Report, error) {
+	m, err := l.Match()
+	if err != nil {
+		return Report{}, err
+	}
 	q := core.PerAddressQuantiles(m.SurveyDetected())
 	var b strings.Builder
 	cdfs := core.PercentileCDF(q, 0)
@@ -32,14 +35,17 @@ func (l *Lab) Fig1() Report {
 			{"95th pctile of per-address 95th pctile (clipped)", "2.85s (<3s)", fmtDur(p9595)},
 			{"addresses whose 99th pctile exceeds the 3s timeout", "small tail (matches to ~7s)", fmtPct(over3)},
 		},
-	}
+	}, nil
 }
 
 // Fig3 — histogram of unmatched responses by the last octet most recently
 // probed in the responder's /24: spikes at broadcast-like octets over a flat
 // genuine-delay residue.
-func (l *Lab) Fig3() Report {
-	recs, _ := l.Survey()
+func (l *Lab) Fig3() (Report, error) {
+	recs, _, err := l.Survey()
+	if err != nil {
+		return Report{}, err
+	}
 	hist := core.UnmatchedLastOctets(recs)
 	var bcast, plain uint64
 	var nb int
@@ -70,13 +76,16 @@ func (l *Lab) Fig3() Report {
 			{"spike-to-flat ratio (255/0/127/128 vs other octets)", "large spikes over flat floor", fmt.Sprintf("%.0fx", ratio)},
 			{"unmatched responses spread across ALL octets (genuine delay)", "~10M of ~44M", fmt.Sprintf("%d of %d", plain, plain+bcast)},
 		},
-	}
+	}, nil
 }
 
 // Fig5 — CCDF of the maximum responses per single echo request, over
 // addresses that ever sent more than two.
-func (l *Lab) Fig5() Report {
-	m := l.Match()
+func (l *Lab) Fig5() (Report, error) {
+	m, err := l.Match()
+	if err != nil {
+		return Report{}, err
+	}
 	ccdf := m.DuplicateCCDF()
 	var total, over1000 int
 	var max float64
@@ -113,12 +122,15 @@ func (l *Lab) Fig5() Report {
 			{"duplicating addresses with >=1000 responses/request", "0.7%", fmtPct(frac1000)},
 			{"largest observed responses to one request", "~11M in 11 minutes", fmt.Sprintf("%.0f", max)},
 		},
-	}
+	}, nil
 }
 
 // Tab1 — packet/address accounting through matching and filtering.
-func (l *Lab) Tab1() Report {
-	m := l.Match()
+func (l *Lab) Tab1() (Report, error) {
+	m, err := l.Match()
+	if err != nil {
+		return Report{}, err
+	}
 	t := m.BuildTable1()
 	naiveGain := 0.0
 	if t.SurveyPackets > 0 {
@@ -138,12 +150,15 @@ func (l *Lab) Tab1() Report {
 			{"share of discarded addresses that are broadcast responders", "32.4%", fmtPct(bshare)},
 			{"share discarded for >4 duplicate responses", "67.6%", fmtPct(1 - bshare)},
 		},
-	}
+	}, nil
 }
 
 // Tab2 — the headline minimum-timeout matrix over survey + delayed samples.
-func (l *Lab) Tab2() Report {
-	q := l.Quantiles()
+func (l *Lab) Tab2() (Report, error) {
+	q, err := l.Quantiles()
+	if err != nil {
+		return Report{}, err
+	}
 	matrix := core.TimeoutMatrix(q)
 	frac5s := core.FracAddrsAbove(q, 95, 5*time.Second)
 	return Report{
@@ -159,13 +174,16 @@ func (l *Lab) Tab2() Report {
 			{"1st pctile latency < 0.33s for 99% of addresses", "yes", fmtDur(matrix.At(99, 1))},
 			{"addresses with >5% of pings over 5s", ">=5%", fmtPct(frac5s)},
 		},
-	}
+	}, nil
 }
 
 // Fig6 — the effect of filtering: naive matching shows bumps at fractions
 // of the probing interval (330/165/495 s); filtering removes them.
-func (l *Lab) Fig6() Report {
-	m := l.Match()
+func (l *Lab) Fig6() (Report, error) {
+	m, err := l.Match()
+	if err != nil {
+		return Report{}, err
+	}
 	naive := core.PerAddressQuantiles(m.Samples(false))
 	filtered := core.PerAddressQuantiles(m.Samples(true))
 	bump := func(q map[ipaddr.Addr]stats.Quantiles) int {
@@ -199,14 +217,17 @@ func (l *Lab) Fig6() Report {
 			{"interval-fraction bumps before filtering", "visible at 330/165/495s", fmt.Sprintf("%d addresses", nb)},
 			{"interval-fraction bumps after filtering", "removed", fmt.Sprintf("%d addresses", fb)},
 		},
-	}
+	}, nil
 }
 
 // Fig11 — satellite isolation: satellite providers have high 1st
 // percentiles but mostly modest 99th percentiles; the extreme tail comes
 // from elsewhere.
-func (l *Lab) Fig11() Report {
-	q := l.Quantiles()
+func (l *Lab) Fig11() (Report, error) {
+	q, err := l.Quantiles()
+	if err != nil {
+		return Report{}, err
+	}
 	db := l.DB()
 	pts := core.SatelliteScatter(q, db, 300*time.Millisecond)
 	sum := core.SummarizeSatellites(pts)
@@ -224,7 +245,7 @@ func (l *Lab) Fig11() Report {
 			{"satellite addresses with 99th pctile < 3s", "predominant", fmtPct(sum.SatP99Below3s)},
 			{"non-satellite high-base addresses with 99th pctile > 3s", "substantial", fmtPct(sum.NonSatP99Above3s)},
 		},
-	}
+	}, nil
 }
 
 // writeCurveSummary prints each percentile curve at a few CDF fractions.

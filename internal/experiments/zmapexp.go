@@ -14,8 +14,12 @@ import (
 // Fig2 — last octets of destinations that triggered responses from a
 // different address in the same /24: broadcast addresses have last octets
 // whose trailing bits are all ones or zeros.
-func (l *Lab) Fig2() Report {
-	sc := l.Scans(1)[0]
+func (l *Lab) Fig2() (Report, error) {
+	scans, err := l.Scans(1)
+	if err != nil {
+		return Report{}, err
+	}
+	sc := scans[0]
 	f := sc.Broadcast()
 	var bcastLike, other uint64
 	var nOther int
@@ -43,13 +47,16 @@ func (l *Lab) Fig2() Report {
 			{"cross-address triggers at broadcast-like octets", "nearly all (spikes)", fmt.Sprintf("%d", bcastLike)},
 			{"cross-address triggers at octets ending 01/10", "very few", fmt.Sprintf("%d", other)},
 		},
-	}
+	}, nil
 }
 
 // Tab3 — the scan inventory: every scan recovers a consistent responder
 // count regardless of time of day or day of week.
-func (l *Lab) Tab3() Report {
-	scans := l.Scans(l.Scale.ZmapScans)
+func (l *Lab) Tab3() (Report, error) {
+	scans, err := l.Scans(l.Scale.ZmapScans)
+	if err != nil {
+		return Report{}, err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%6s %14s %12s %12s\n", "scan", "start", "probes", "responders")
 	min, max := -1, -1
@@ -75,13 +82,16 @@ func (l *Lab) Tab3() Report {
 		Metrics: []Metric{
 			{"responder-count spread across scans", "339M-371M (~9%)", fmtPct(spread)},
 		},
-	}
+	}, nil
 }
 
 // Fig7 — the RTT distribution per scan: ~5% of addresses above 1 s in every
 // scan, ~0.1% above 75 s, nearly identical curves.
-func (l *Lab) Fig7() Report {
-	scans := l.Scans(l.Scale.ZmapScans)
+func (l *Lab) Fig7() (Report, error) {
+	scans, err := l.Scans(l.Scale.ZmapScans)
+	if err != nil {
+		return Report{}, err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%6s %10s %10s %10s %10s\n", "scan", "median", ">1s", ">75s", "p99.9")
 	minT, maxT := 1.0, 0.0
@@ -114,24 +124,30 @@ func (l *Lab) Fig7() Report {
 			{"addresses above 1s, per scan", "~5% in every scan", fmt.Sprintf("%.2f%%..%.2f%%", 100*minT, 100*maxT)},
 			{"turtle-share stability across scans", "nearly identical", fmt.Sprintf("spread %.2fpp", 100*(maxT-minT))},
 		},
-	}
+	}, nil
 }
 
 // turtleScans converts scans to per-address RTT maps for the ranking
 // analyses.
-func (l *Lab) turtleScans(n int) []map[ipaddr.Addr]time.Duration {
-	scans := l.Scans(n)
+func (l *Lab) turtleScans(n int) ([]map[ipaddr.Addr]time.Duration, error) {
+	scans, err := l.Scans(n)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]map[ipaddr.Addr]time.Duration, len(scans))
 	for i, sc := range scans {
 		out[i] = sc.SelfResponses()
 	}
-	return out
+	return out, nil
 }
 
 // Tab4 — ASes with the most addresses above 1 s: cellular carriers, with
 // the top AS roughly double the next.
-func (l *Lab) Tab4() Report {
-	scans := l.turtleScans(3)
+func (l *Lab) Tab4() (Report, error) {
+	scans, err := l.turtleScans(3)
+	if err != nil {
+		return Report{}, err
+	}
 	rows := core.RankASes(scans, l.DB(), core.TurtleThreshold, 10)
 	body := core.FormatASRanks(rows)
 	cellShare := core.CellularShare(rows)
@@ -162,13 +178,16 @@ func (l *Lab) Tab4() Report {
 			{"cellular/mixed share of top-10", "8-9 of 10", fmtPct(cellShare)},
 			{"turtle share within top cellular AS", "~70-80%", fmtPct(topPct)},
 		},
-	}
+	}, nil
 }
 
 // Tab5 — continents: South America and Africa have the highest turtle
 // shares; North America ~1%.
-func (l *Lab) Tab5() Report {
-	scans := l.turtleScans(3)
+func (l *Lab) Tab5() (Report, error) {
+	scans, err := l.turtleScans(3)
+	if err != nil {
+		return Report{}, err
+	}
 	rows := core.RankContinents(scans, l.DB(), core.TurtleThreshold)
 	body := core.FormatContinentRanks(rows)
 	pct := func(c ipmeta.Continent) float64 {
@@ -210,13 +229,16 @@ func (l *Lab) Tab5() Report {
 			{"North America turtle share", "~1%", fmtPct(pct(ipmeta.NorthAmerica))},
 			{"SA+Asia share of all turtles", "~75%", fmtPct(share)},
 		},
-	}
+	}, nil
 }
 
 // Tab6 — ASes with the most addresses above 100 s: all cellular, stable
 // ranks, but less stable percentages than the >1 s population.
-func (l *Lab) Tab6() Report {
-	scans := l.turtleScans(3)
+func (l *Lab) Tab6() (Report, error) {
+	scans, err := l.turtleScans(3)
+	if err != nil {
+		return Report{}, err
+	}
 	rows := core.RankASes(scans, l.DB(), core.SleepyTurtleThreshold, 10)
 	body := core.FormatASRanks(rows)
 	cellShare := core.CellularShare(rows)
@@ -232,5 +254,5 @@ func (l *Lab) Tab6() Report {
 			{"top sleepy-turtle AS", "TELEFONICA BRASIL (26599)", top},
 			{"cellular/mixed share of top-10", "10 of 10", fmtPct(cellShare)},
 		},
-	}
+	}, nil
 }

@@ -1,0 +1,73 @@
+package faults
+
+import "io"
+
+// CorruptWriter wraps w so that bytes written through it are bit-flipped
+// according to the plan's DataConfig. Decisions are keyed on the absolute
+// byte offset from the wrapper's creation, so the corruption pattern is a
+// pure function of (seed, offset) and independent of write chunking. With
+// data faults inactive the wrapper is a transparent pass-through that copies
+// nothing.
+func (p *Plan) CorruptWriter(w io.Writer) io.Writer {
+	if !p.DataActive() {
+		return w
+	}
+	return &corruptWriter{p: p, w: w}
+}
+
+type corruptWriter struct {
+	p       *Plan
+	w       io.Writer
+	off     uint64
+	flipped uint64
+	buf     []byte
+}
+
+func (c *corruptWriter) Write(b []byte) (int, error) {
+	if cap(c.buf) < len(b) {
+		c.buf = make([]byte, len(b))
+	}
+	buf := c.buf[:len(b)]
+	copy(buf, b)
+	for i := range buf {
+		v, hit := c.p.FlipByte(c.off+uint64(i), buf[i])
+		if hit {
+			buf[i] = v
+			c.flipped++
+		}
+	}
+	n, err := c.w.Write(buf)
+	c.off += uint64(n)
+	return n, err
+}
+
+// CorruptReader wraps r so that bytes read through it are bit-flipped
+// according to the plan's DataConfig, keyed on absolute byte offset exactly
+// like CorruptWriter: corrupting a stream on read or corrupting it on write
+// produces the same bytes.
+func (p *Plan) CorruptReader(r io.Reader) io.Reader {
+	if !p.DataActive() {
+		return r
+	}
+	return &corruptReader{p: p, r: r}
+}
+
+type corruptReader struct {
+	p       *Plan
+	r       io.Reader
+	off     uint64
+	flipped uint64
+}
+
+func (c *corruptReader) Read(b []byte) (int, error) {
+	n, err := c.r.Read(b)
+	for i := 0; i < n; i++ {
+		v, hit := c.p.FlipByte(c.off+uint64(i), b[i])
+		if hit {
+			b[i] = v
+			c.flipped++
+		}
+	}
+	c.off += uint64(n)
+	return n, err
+}

@@ -1,0 +1,189 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// A nil plan and a zero plan must both be inert no-ops.
+func TestNilAndZeroPlansInjectNothing(t *testing.T) {
+	for _, p := range []*Plan{nil, {}} {
+		if p.WireActive() || p.DataActive() || p.ProcActive() {
+			t.Fatalf("plan %+v reports active faults", p)
+		}
+		if _, ok := p.WireFaultFor(1, 2, 100); ok {
+			t.Fatal("inert plan injected a wire fault")
+		}
+		if b, hit := p.FlipByte(7, 0xAB); hit || b != 0xAB {
+			t.Fatal("inert plan flipped a byte")
+		}
+		if p.ShardPanics(3) {
+			t.Fatal("inert plan panics a shard")
+		}
+		p.MaybePanicShard(3) // must not panic
+		r := strings.NewReader("hello")
+		if got := p.CorruptReader(r); got != io.Reader(r) {
+			t.Fatal("inert plan wrapped the reader")
+		}
+		var w bytes.Buffer
+		if got := p.CorruptWriter(&w); got != io.Writer(&w) {
+			t.Fatal("inert plan wrapped the writer")
+		}
+	}
+}
+
+// Wire fault decisions are pure functions of (seed, rank, index, size).
+func TestWireFaultDeterministic(t *testing.T) {
+	p := &Plan{Seed: 42, Wire: WireConfig{CorruptRate: 0.1, TruncateRate: 0.1, DuplicateRate: 0.1, DuplicateMax: 3}}
+	q := &Plan{Seed: 42, Wire: p.Wire}
+	hits := 0
+	for rank := uint64(0); rank < 50; rank++ {
+		for idx := 0; idx < 20; idx++ {
+			f1, ok1 := p.WireFaultFor(rank, idx, 84)
+			f2, ok2 := q.WireFaultFor(rank, idx, 84)
+			if ok1 != ok2 || f1 != f2 {
+				t.Fatalf("rank %d idx %d: %v/%v vs %v/%v", rank, idx, f1, ok1, f2, ok2)
+			}
+			if ok1 {
+				hits++
+				switch f1.Kind {
+				case WireCorrupt:
+					if f1.Bit < 0 || f1.Bit >= 84*8 {
+						t.Fatalf("bit %d out of range", f1.Bit)
+					}
+				case WireTruncate:
+					if f1.Len < 1 || f1.Len >= 84 {
+						t.Fatalf("truncate len %d out of range", f1.Len)
+					}
+				case WireDuplicate:
+					if f1.Extra < 1 || f1.Extra > 3 {
+						t.Fatalf("extra %d out of range", f1.Extra)
+					}
+				}
+			}
+		}
+	}
+	// ~30% of 1000 deliveries should fault; demand a loose band.
+	if hits < 150 || hits > 450 {
+		t.Fatalf("fault rate off: %d/1000 hits at 30%% configured", hits)
+	}
+	// A different seed must reshuffle which deliveries are hit.
+	r := &Plan{Seed: 43, Wire: p.Wire}
+	same := 0
+	for rank := uint64(0); rank < 50; rank++ {
+		_, ok1 := p.WireFaultFor(rank, 0, 84)
+		_, ok2 := r.WireFaultFor(rank, 0, 84)
+		if ok1 == ok2 {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("seed change did not reshuffle fault decisions")
+	}
+}
+
+// Corruption through the reader and writer wrappers is identical and
+// independent of chunk size, because decisions key on absolute offsets.
+func TestCorruptionChunkInvariant(t *testing.T) {
+	p := &Plan{Seed: 7, Data: DataConfig{FlipRate: 0.05}}
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+
+	// Write in one chunk.
+	var oneShot bytes.Buffer
+	w := p.CorruptWriter(&oneShot)
+	if _, err := w.Write(src); err != nil {
+		t.Fatal(err)
+	}
+
+	// Write in awkward chunks.
+	var chunked bytes.Buffer
+	w2 := p.CorruptWriter(&chunked)
+	for i := 0; i < len(src); {
+		n := 1 + (i*7)%13
+		if i+n > len(src) {
+			n = len(src) - i
+		}
+		if _, err := w2.Write(src[i : i+n]); err != nil {
+			t.Fatal(err)
+		}
+		i += n
+	}
+	if !bytes.Equal(oneShot.Bytes(), chunked.Bytes()) {
+		t.Fatal("corruption depends on write chunking")
+	}
+
+	// Read through the corrupting reader in odd chunks: same bytes again.
+	r := p.CorruptReader(bytes.NewReader(src))
+	got := make([]byte, 0, len(src))
+	buf := make([]byte, 17)
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(oneShot.Bytes(), got) {
+		t.Fatal("reader and writer corruption disagree")
+	}
+	if bytes.Equal(src, got) {
+		t.Fatal("5% flip rate corrupted nothing in 4 KiB")
+	}
+	// Each flip is exactly one bit of one byte.
+	diff := 0
+	for i := range src {
+		x := src[i] ^ got[i]
+		if x == 0 {
+			continue
+		}
+		diff++
+		if x&(x-1) != 0 {
+			t.Fatalf("offset %d: more than one bit flipped (%02x)", i, x)
+		}
+	}
+	if diff == 0 {
+		t.Fatal("no bytes flipped")
+	}
+}
+
+// Writers must not mutate the caller's buffer.
+func TestCorruptWriterPreservesCallerBuffer(t *testing.T) {
+	p := &Plan{Seed: 1, Data: DataConfig{FlipRate: 1}}
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	orig := append([]byte(nil), src...)
+	var out bytes.Buffer
+	if _, err := p.CorruptWriter(&out).Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, orig) {
+		t.Fatal("CorruptWriter mutated the caller's buffer")
+	}
+	if bytes.Equal(out.Bytes(), orig) {
+		t.Fatal("FlipRate 1 corrupted nothing")
+	}
+}
+
+func TestShardPanicDecision(t *testing.T) {
+	p := &Plan{Seed: 5, Proc: ProcConfig{ShardPanicRate: 1}}
+	if !p.ShardPanics(0) || !p.ShardPanics(7) {
+		t.Fatal("rate-1 plan did not panic every shard")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MaybePanicShard did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "shard 3") {
+			t.Fatalf("panic message does not name the shard: %v", r)
+		}
+	}()
+	p.MaybePanicShard(3)
+}

@@ -30,6 +30,11 @@ const (
 	LinkTypeRaw = 101
 	headerLen   = 24
 	recordLen   = 16
+	// maxCapLen bounds a single record's allocation when reading a capture,
+	// independent of the header's claimed snap length: 1 MiB is far above
+	// any real link MTU but small enough that a corrupt length field cannot
+	// exhaust memory.
+	maxCapLen = 1 << 20
 )
 
 // ErrBadMagic reports a file that is not a pcap capture.
@@ -153,6 +158,12 @@ func (r *Reader) Next() (Packet, error) {
 	capLen := binary.LittleEndian.Uint32(h[8:])
 	if capLen > r.snaplen {
 		return Packet{}, fmt.Errorf("pcap: record exceeds snap length (%d > %d)", capLen, r.snaplen)
+	}
+	// The snap length itself comes from the (untrusted) file header, so it
+	// cannot be the only bound on the allocation: clamp to a sane maximum
+	// well above any real link MTU.
+	if capLen > maxCapLen {
+		return Packet{}, fmt.Errorf("pcap: record length %d exceeds limit %d", capLen, maxCapLen)
 	}
 	data := make([]byte, capLen)
 	if _, err := io.ReadFull(r.r, data); err != nil {

@@ -64,6 +64,7 @@ type Prober struct {
 	nextToken uint16
 	pending   map[probeKey]*ProbeResult
 	results   []*ProbeResult
+	decodeErr uint64
 
 	// traceroute state (see traceroute.go)
 	trPending map[tracerouteKey]*HopResult
@@ -160,10 +161,15 @@ func (p *Prober) send(dst ipaddr.Addr, proto Proto, token, seq uint16) {
 	p.net.Send(p.src, pkt)
 }
 
+// DecodeErrors returns how many received packets failed to decode — wire
+// noise (or injected corruption) the prober counted and continued past.
+func (p *Prober) DecodeErrors() uint64 { return p.decodeErr }
+
 // receive matches responses to outstanding probes.
 func (p *Prober) receive(at simnet.Time, data []byte, count int) {
 	pkt, err := wire.Decode(data)
 	if err != nil {
+		p.decodeErr += uint64(count)
 		return
 	}
 	if p.handleTraceroute(at, pkt) {

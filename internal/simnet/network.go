@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"timeouts/internal/faults"
 	"timeouts/internal/ipaddr"
 )
 
@@ -64,12 +65,18 @@ type Network struct {
 
 	sendRank uint64      // rank attached to deliveries of subsequent Sends
 	curTag   DeliveryTag // tag of the delivery currently being handled
+	faults   *faults.Plan
 
 	// Stats counts traffic through the fabric.
 	Stats struct {
 		ProbesSent         uint64
 		DeliveriesReceived uint64
 		PacketsReceived    uint64 // counts Count-fold batches fully
+
+		// Injected wire faults (zero unless a fault plan is set).
+		FaultsCorrupted  uint64
+		FaultsTruncated  uint64
+		FaultsDuplicated uint64 // deliveries duplicated (not copy count)
 	}
 }
 
@@ -95,6 +102,12 @@ func (n *Network) DetachProber(addr ipaddr.Addr) { delete(n.probers, addr) }
 
 // SetTap installs (or, with nil, removes) the packet tap.
 func (n *Network) SetTap(t Tap) { n.tap = t }
+
+// SetFaults installs (or, with nil, removes) a fault-injection plan. Wire
+// faults are applied per delivery, keyed on the delivery's (rank, index)
+// identity, so the same deliveries are faulted whether the run is
+// sequential or sharded and the merged output stays deterministic per seed.
+func (n *Network) SetFaults(p *faults.Plan) { n.faults = p }
 
 // SetSendRank sets the rank recorded on deliveries produced by subsequent
 // Send calls. Probers running as one shard of a sharded scan assign each
@@ -124,6 +137,23 @@ func (n *Network) Send(from ipaddr.Addr, pkt []byte) {
 		di, d := di, d
 		if d.Count == 0 {
 			d.Count = 1
+		}
+		if f, ok := n.faults.WireFaultFor(rank, di, len(d.Data)); ok {
+			switch f.Kind {
+			case faults.WireCorrupt:
+				// The fabric may share buffers across deliveries;
+				// corrupt a copy.
+				data := append([]byte(nil), d.Data...)
+				data[f.Bit/8] ^= 1 << (f.Bit % 8)
+				d.Data = data
+				n.Stats.FaultsCorrupted++
+			case faults.WireTruncate:
+				d.Data = d.Data[:f.Len]
+				n.Stats.FaultsTruncated++
+			case faults.WireDuplicate:
+				d.Count += f.Extra
+				n.Stats.FaultsDuplicated++
+			}
 		}
 		n.Stats.DeliveriesReceived++
 		n.Stats.PacketsReceived += uint64(d.Count)

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"container/heap"
+	"fmt"
 	"runtime"
 )
 
@@ -142,7 +143,9 @@ func ShardBounds(n, shards, k int) (lo, hi int) {
 // until all complete. Shard outputs must be written to per-shard slots; the
 // pool imposes no ordering between shards. The returned error is the error
 // of the lowest-numbered failing shard, so error reporting is deterministic
-// under any interleaving.
+// under any interleaving. A panic in fn does not kill the run: it is
+// recovered and reported as that shard's error, so one failing worker
+// degrades a parallel run to an error instead of a crash.
 func RunShards(shards, workers int, fn func(shard int) error) error {
 	if shards <= 0 {
 		return nil
@@ -156,10 +159,18 @@ func RunShards(shards, workers int, fn func(shard int) error) error {
 	errs := make([]error, shards)
 	next := make(chan int)
 	done := make(chan struct{})
+	runShard := func(k int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("simnet: shard %d panicked: %v", k, r)
+			}
+		}()
+		return fn(k)
+	}
 	for w := 0; w < workers; w++ {
 		go func() {
 			for k := range next {
-				errs[k] = fn(k)
+				errs[k] = runShard(k)
 			}
 			done <- struct{}{}
 		}()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -140,6 +141,48 @@ func TestRunShardsReturnsLowestError(t *testing.T) {
 		})
 		if err != errLow {
 			t.Fatalf("got %v, want error of lowest failing shard", err)
+		}
+	}
+}
+
+// A panicking worker must degrade to an error naming the shard, not crash
+// the process; the remaining shards still run. Part of the chaos suite
+// (make chaos runs it under -race).
+func TestChaosRunShardsRecoversPanic(t *testing.T) {
+	const shards = 9
+	var ran [shards]atomic.Bool
+	err := RunShards(shards, 3, func(k int) error {
+		ran[k].Store(true)
+		if k == 4 {
+			panic("injected worker failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("RunShards swallowed a worker panic")
+	}
+	if !strings.Contains(err.Error(), "shard 4") || !strings.Contains(err.Error(), "injected worker failure") {
+		t.Fatalf("error does not identify the panicking shard: %v", err)
+	}
+	for k := range ran {
+		if !ran[k].Load() {
+			t.Errorf("shard %d never ran after the panic", k)
+		}
+	}
+}
+
+// With several shards panicking, the reported error is the lowest-numbered
+// one under any interleaving.
+func TestChaosRunShardsPanicLowestWins(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		err := RunShards(8, 4, func(k int) error {
+			if k == 3 || k == 6 {
+				panic(fmt.Sprintf("boom %d", k))
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "shard 3") {
+			t.Fatalf("got %v, want panic error of lowest failing shard", err)
 		}
 	}
 }

@@ -1,0 +1,259 @@
+package survey
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"timeouts/internal/faults"
+	"timeouts/internal/netmodel"
+	"timeouts/internal/simnet"
+)
+
+// Chaos tests: deterministic fault injection through the survey pipeline.
+// They are part of the regular test suite and are additionally run under
+// -race by `make chaos` (all are named TestChaos*).
+
+// chaosWirePlan is a fault plan aggressive enough that a two-cycle survey
+// sees every wire fault kind.
+func chaosWirePlan(seed uint64) *faults.Plan {
+	return &faults.Plan{
+		Seed: seed,
+		Wire: faults.WireConfig{
+			CorruptRate:   0.04,
+			TruncateRate:  0.02,
+			DuplicateRate: 0.02,
+			DuplicateMax:  3,
+		},
+	}
+}
+
+// chaosWorld builds a survey config plus a per-shard fabric factory over one
+// shared population, the shape RunSharded requires.
+func chaosWorld(seed uint64, plan *faults.Plan) (Config, func(int) simnet.Fabric) {
+	pop := netmodel.New(netmodel.Config{Seed: seed, Blocks: 32})
+	cfg := Config{Vantage: VantageW, Blocks: pop.Blocks(), Cycles: 2, Seed: seed, Faults: plan}
+	fabric := func(int) simnet.Fabric {
+		model := netmodel.NewModel(pop)
+		model.AddVantage(VantageW.Addr, VantageW.Continent)
+		return model
+	}
+	return cfg, fabric
+}
+
+// chaosRun runs the survey sequentially into the fixed binary format and
+// returns the dataset bytes.
+func chaosRun(t *testing.T, seed uint64, plan *faults.Plan) ([]byte, Stats) {
+	t.Helper()
+	cfg, fabric := chaosWorld(seed, plan)
+	var buf bytes.Buffer
+	st, err := Run(simnet.NewNetwork(&simnet.Scheduler{}, fabric(0)), cfg, NewWriter(&buf, Header{Seed: seed, Vantage: 'w'}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return buf.Bytes(), st
+}
+
+// chaosRunSharded is chaosRun on the sharded engine.
+func chaosRunSharded(t *testing.T, seed uint64, plan *faults.Plan, shards int) ([]byte, Stats) {
+	t.Helper()
+	cfg, fabric := chaosWorld(seed, plan)
+	var buf bytes.Buffer
+	st, err := RunSharded(cfg, shards, fabric, NewWriter(&buf, Header{Seed: seed, Vantage: 'w'}))
+	if err != nil {
+		t.Fatalf("RunSharded(%d): %v", shards, err)
+	}
+	return buf.Bytes(), st
+}
+
+// TestChaosFaultOffByteIdentical pins the core safety property of the fault
+// layer: with no plan — or a plan whose rates are all zero — the dataset is
+// byte-identical to a run without any fault plumbing at all.
+func TestChaosFaultOffByteIdentical(t *testing.T) {
+	base, bst := chaosRun(t, 7, nil)
+	zero, zst := chaosRun(t, 7, &faults.Plan{Seed: 99})
+	if !bytes.Equal(base, zero) {
+		t.Fatal("zero-rate fault plan changed the dataset bytes")
+	}
+	if bst != zst {
+		t.Fatalf("zero-rate fault plan changed stats: %+v vs %+v", bst, zst)
+	}
+	sharded, sst := chaosRunSharded(t, 7, &faults.Plan{Seed: 99}, 3)
+	if !bytes.Equal(base, sharded) {
+		t.Fatal("sharded zero-rate run differs from sequential fault-off run")
+	}
+	if bst != sst {
+		t.Fatalf("sharded zero-rate stats differ: %+v vs %+v", bst, sst)
+	}
+}
+
+// TestChaosWireFaultsDeterministic: the same seed must reproduce the same
+// faulted dataset, and the faults must actually bite.
+func TestChaosWireFaultsDeterministic(t *testing.T) {
+	base, _ := chaosRun(t, 7, nil)
+	a, ast := chaosRun(t, 7, chaosWirePlan(1))
+	b, bst := chaosRun(t, 7, chaosWirePlan(1))
+	if !bytes.Equal(a, b) {
+		t.Fatal("two runs with the same fault seed produced different datasets")
+	}
+	if ast != bst {
+		t.Fatalf("stats differ across identical fault runs: %+v vs %+v", ast, bst)
+	}
+	if ast.CorruptPackets == 0 {
+		t.Fatal("fault plan injected no corrupt packets; test is vacuous")
+	}
+	if bytes.Equal(a, base) {
+		t.Fatal("fault-on dataset identical to fault-off dataset")
+	}
+	// A different fault seed must perturb the run differently.
+	c, _ := chaosRun(t, 7, chaosWirePlan(2))
+	if bytes.Equal(a, c) {
+		t.Fatal("different fault seeds produced identical datasets")
+	}
+}
+
+// TestChaosShardedFaultsMatchSequential: wire-fault decisions are keyed on
+// the probe's global rank and delivery index, not on scheduler interleaving,
+// so a sharded fault-on run must reproduce the sequential one byte for byte.
+func TestChaosShardedFaultsMatchSequential(t *testing.T) {
+	seq, seqSt := chaosRun(t, 7, chaosWirePlan(1))
+	for _, shards := range []int{2, 3, 5} {
+		par, parSt := chaosRunSharded(t, 7, chaosWirePlan(1), shards)
+		if !bytes.Equal(seq, par) {
+			t.Fatalf("shards=%d: fault-on dataset differs from sequential", shards)
+		}
+		if seqSt != parSt {
+			t.Fatalf("shards=%d: stats %+v, sequential %+v", shards, parSt, seqSt)
+		}
+	}
+	if seqSt.CorruptPackets == 0 {
+		t.Fatal("no corrupt packets injected; equivalence check is vacuous")
+	}
+}
+
+// TestChaosShardPanicSurfacesError: an injected worker panic must come back
+// as an error naming the shard, not crash the process.
+func TestChaosShardPanicSurfacesError(t *testing.T) {
+	plan := &faults.Plan{Seed: 3, Proc: faults.ProcConfig{ShardPanicRate: 1}}
+	cfg, fabric := chaosWorld(7, plan)
+	var buf bytes.Buffer
+	_, err := RunSharded(cfg, 3, fabric, NewWriter(&buf, Header{Seed: 7, Vantage: 'w'}))
+	if err == nil {
+		t.Fatal("RunSharded returned nil error despite injected shard panics")
+	}
+	if !strings.Contains(err.Error(), "shard") || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("error does not name the panicking shard: %v", err)
+	}
+}
+
+// chaosEncode writes recs in the given dataset format and returns the bytes
+// plus the length of the format's header (the part the corruptor spares, so
+// lenient opening is exercised rather than header fail-fast).
+func chaosEncode(t *testing.T, recs []Record, format string) ([]byte, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	hdr := Header{Seed: 7, Vantage: 'w'}
+	var w RecordWriter
+	var flush func() error
+	switch format {
+	case "tosv":
+		fw := NewWriter(&buf, hdr)
+		w, flush = fw, fw.Flush
+	case "compact":
+		cw := NewCompactWriter(&buf, hdr)
+		w, flush = cw, cw.Flush
+	case "csv":
+		cw := NewCSVWriter(&buf)
+		w, flush = cw, cw.Flush
+	default:
+		t.Fatalf("unknown format %q", format)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	hdrLen := headerSize
+	if format == "csv" {
+		hdrLen = bytes.IndexByte(data, '\n') + 1
+	}
+	return data, hdrLen
+}
+
+// chaosCorruptBody flips bits in the dataset body (sparing the header) via
+// the fault layer's corrupting reader.
+func chaosCorruptBody(t *testing.T, data []byte, hdrLen int, seed uint64, rate float64) []byte {
+	t.Helper()
+	plan := &faults.Plan{Seed: seed, Data: faults.DataConfig{FlipRate: rate}}
+	r := io.MultiReader(bytes.NewReader(data[:hdrLen]), plan.CorruptReader(bytes.NewReader(data[hdrLen:])))
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("corrupting reader: %v", err)
+	}
+	return out
+}
+
+// TestChaosLenientReadsCorruptDataset corrupts a real survey dataset in each
+// format and checks the degradation contract: the strict reader fails fast,
+// the lenient reader drains to EOF with the damage counted per cause.
+func TestChaosLenientReadsCorruptDataset(t *testing.T) {
+	recs, _ := runTinySurvey(t, 2, 7)
+	if len(recs) < 1000 {
+		t.Fatalf("only %d records; corruption rates below are tuned for thousands", len(recs))
+	}
+	for _, format := range []string{"tosv", "compact", "csv"} {
+		t.Run(format, func(t *testing.T) {
+			data, hdrLen := chaosEncode(t, recs, format)
+			// Bit flips land in arbitrary fields; not every flip is
+			// detectable (a flipped address bit is just a different
+			// address). Walk fault seeds until one produces corruption the
+			// strict reader rejects — everything is deterministic per seed,
+			// so the found seed exercises the same bytes on every run.
+			for seed := uint64(1); ; seed++ {
+				if seed > 64 {
+					t.Fatal("no fault seed produced strict-detectable corruption")
+				}
+				bad := chaosCorruptBody(t, data, hdrLen, seed, 0.0002)
+				src, _, err := OpenSource(bytes.NewReader(bad))
+				if err == nil {
+					_, err = DrainSource(src)
+				}
+				if err == nil {
+					continue // flips all landed in undetectable fields
+				}
+				lsrc, _, lerr := OpenSourceLenient(bytes.NewReader(bad))
+				if lerr != nil {
+					t.Fatalf("lenient open failed despite intact header: %v", lerr)
+				}
+				var n uint64
+				for {
+					_, rerr := lsrc.Read()
+					if rerr == io.EOF {
+						break
+					}
+					if rerr != nil {
+						t.Fatalf("lenient read aborted: %v", rerr)
+					}
+					n++
+				}
+				rs := lsrc.Stats()
+				if rs.Records != n {
+					t.Fatalf("stats count %d records, drained %d", rs.Records, n)
+				}
+				if rs.Skipped() == 0 {
+					t.Fatalf("strict read failed (%v) but lenient stats show nothing skipped: %+v", err, rs)
+				}
+				if format != "compact" && n == 0 {
+					t.Fatal("lenient read kept no records at all")
+				}
+				t.Logf("seed %d: strict error %v; lenient kept %d records, %s", seed, err, n, rs)
+				return
+			}
+		})
+	}
+}

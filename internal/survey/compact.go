@@ -3,6 +3,7 @@ package survey
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -98,12 +99,32 @@ func (w *CompactWriter) Flush() error {
 	return w.bw.Flush()
 }
 
+// Validation bounds for values decoded from the stream. Varints can encode
+// any uint64, so a corrupt byte can claim absurd magnitudes; clamping keeps
+// a flipped bit from turning into an overflowed time or a giant batch
+// count. All bounds are far above anything a writer produces.
+const (
+	// maxCompactMicros bounds |when| and RTT in microseconds: the largest
+	// value whose nanosecond conversion still fits in int64.
+	maxCompactMicros = int64(^uint64(0)>>1) / 1000
+	// maxCompactAddrDelta bounds |addr delta|: legitimate deltas between
+	// 32-bit addresses fit in ±2^32.
+	maxCompactAddrDelta = int64(1) << 33
+	// maxCompactCount bounds an unmatched record's batch count. The
+	// paper's worst DoS responders sent millions of duplicates; a
+	// trillion is safely above any real batch.
+	maxCompactCount = uint64(1) << 40
+)
+
 // CompactReader reads the compact format.
 type CompactReader struct {
 	br       *bufio.Reader
 	hdr      Header
 	prevAddr int64
 	prevUS   int64
+	lenient  bool
+	done     bool
+	rs       ReadStats
 }
 
 // NewCompactReader opens a compact dataset.
@@ -128,26 +149,68 @@ func NewCompactReader(r io.Reader) (*CompactReader, error) {
 // Header returns the dataset header.
 func (r *CompactReader) Header() Header { return r.hdr }
 
+// SetLenient switches the reader into (or out of) lenient mode. The delta +
+// varint encoding cannot be resynchronized after a corrupt byte — record
+// boundaries are only known by decoding — so lenient mode bails out at the
+// first bad record: the stream ends early with everything read so far kept,
+// and the abandonment counted in Stats.Desyncs.
+func (r *CompactReader) SetLenient(on bool) { r.lenient = on }
+
+// Stats returns the reader's ReadStats.
+func (r *CompactReader) Stats() ReadStats { return r.rs }
+
+// bail converts a record-level error into early EOF in lenient mode.
+func (r *CompactReader) bail(err error) (Record, error) {
+	if r.lenient {
+		r.done = true
+		r.rs.Desyncs++
+		return Record{}, io.EOF
+	}
+	return Record{}, err
+}
+
+// wrapVarint classifies a varint decode failure: a clean or partial end of
+// stream is a truncation (io.ErrUnexpectedEOF), anything else — notably a
+// 64-bit overflow — is corrupt data and wraps ErrBadFormat.
+func wrapVarint(field string, err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("survey: compact %s: %w", field, err)
+	}
+	return fmt.Errorf("%w: compact %s: %v", ErrBadFormat, field, err)
+}
+
 // Read returns the next record, or io.EOF.
 func (r *CompactReader) Read() (Record, error) {
+	if r.done {
+		return Record{}, io.EOF
+	}
 	tb, err := r.br.ReadByte()
 	if err != nil {
 		if err == io.EOF {
 			return Record{}, io.EOF
 		}
-		return Record{}, fmt.Errorf("survey: reading compact record: %w", err)
+		return r.bail(fmt.Errorf("survey: reading compact record: %w", err))
 	}
 	typ := RecordType(tb)
 	if typ < RecMatched || typ > RecError {
-		return Record{}, ErrBadFormat
+		return r.bail(fmt.Errorf("%w: compact record type %d", ErrBadFormat, tb))
 	}
 	addrD, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		return Record{}, fmt.Errorf("survey: compact addr: %w", err)
+		return r.bail(wrapVarint("addr", err))
 	}
 	whenD, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		return Record{}, fmt.Errorf("survey: compact when: %w", err)
+		return r.bail(wrapVarint("when", err))
+	}
+	if d := unzigzag(addrD); d < -maxCompactAddrDelta || d > maxCompactAddrDelta {
+		return r.bail(fmt.Errorf("%w: compact addr delta %d out of range", ErrBadFormat, d))
+	}
+	if us := r.prevUS + unzigzag(whenD); us < 0 || us > maxCompactMicros {
+		return r.bail(fmt.Errorf("%w: compact timestamp %dus out of range", ErrBadFormat, us))
 	}
 	r.prevAddr += unzigzag(addrD)
 	r.prevUS += unzigzag(whenD)
@@ -160,16 +223,23 @@ func (r *CompactReader) Read() (Record, error) {
 	case RecMatched:
 		v, err := binary.ReadUvarint(r.br)
 		if err != nil {
-			return Record{}, fmt.Errorf("survey: compact rtt: %w", err)
+			return r.bail(wrapVarint("rtt", err))
+		}
+		if v > uint64(maxCompactMicros) {
+			return r.bail(fmt.Errorf("%w: compact rtt %dus out of range", ErrBadFormat, v))
 		}
 		rec.RTT = time.Duration(v) * time.Microsecond
 	case RecUnmatched:
 		v, err := binary.ReadUvarint(r.br)
 		if err != nil {
-			return Record{}, fmt.Errorf("survey: compact count: %w", err)
+			return r.bail(wrapVarint("count", err))
+		}
+		if v > maxCompactCount {
+			return r.bail(fmt.Errorf("%w: compact batch count %d out of range", ErrBadFormat, v))
 		}
 		rec.RTT = time.Duration(v)
 	}
+	r.rs.Records++
 	return rec, nil
 }
 

@@ -98,14 +98,20 @@ var typeByName = map[string]RecordType{
 	"error":     RecError,
 }
 
+// csvColumns is the required header row, in order.
+var csvColumns = [4]string{"type", "addr", "when_ns", "rtt_ns"}
+
 // CSVReader streams records from a CSV dataset written by WriteCSV /
 // CSVWriter. It implements RecordSource.
 type CSVReader struct {
-	cr   *csv.Reader
-	line int
+	cr      *csv.Reader
+	line    int
+	lenient bool
+	rs      ReadStats
 }
 
-// NewCSVReader opens a CSV dataset, consuming and validating its header row.
+// NewCSVReader opens a CSV dataset, consuming and validating its header row:
+// all four column names must match, in order.
 func NewCSVReader(r io.Reader) (*CSVReader, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 4
@@ -114,42 +120,78 @@ func NewCSVReader(r io.Reader) (*CSVReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("survey: reading csv header: %w", err)
 	}
-	if header[0] != "type" {
-		return nil, fmt.Errorf("survey: unexpected csv header %q", header)
+	for i, want := range csvColumns {
+		if i >= len(header) {
+			return nil, fmt.Errorf("survey: csv header missing column %d (%q)", i+1, want)
+		}
+		if header[i] != want {
+			return nil, fmt.Errorf("survey: csv header column %d is %q, want %q", i+1, header[i], want)
+		}
 	}
 	return &CSVReader{cr: cr, line: 1}, nil
 }
 
+// SetLenient switches the reader into (or out of) lenient mode: malformed
+// rows are skipped — the CSV reader naturally resynchronizes at the next
+// row — and counted per cause in Stats instead of ending the read.
+func (r *CSVReader) SetLenient(on bool) { r.lenient = on }
+
+// Stats returns the reader's ReadStats.
+func (r *CSVReader) Stats() ReadStats { return r.rs }
+
 // Read returns the next record, or io.EOF at end of dataset.
 func (r *CSVReader) Read() (Record, error) {
-	row, err := r.cr.Read()
-	if err == io.EOF {
-		return Record{}, io.EOF
+	for {
+		row, err := r.cr.Read()
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		r.line++
+		if err != nil {
+			if r.lenient {
+				r.rs.BadRow++
+				continue
+			}
+			return Record{}, fmt.Errorf("survey: reading csv: %w", err)
+		}
+		typ, ok := typeByName[row[0]]
+		if !ok {
+			if r.lenient {
+				r.rs.BadType++
+				continue
+			}
+			return Record{}, fmt.Errorf("survey: csv line %d: unknown record type %q", r.line, row[0])
+		}
+		addr, err := ipaddr.Parse(row[1])
+		if err != nil {
+			if r.lenient {
+				r.rs.BadValue++
+				continue
+			}
+			return Record{}, fmt.Errorf("survey: csv line %d: %w", r.line, err)
+		}
+		when, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			if r.lenient {
+				r.rs.BadValue++
+				continue
+			}
+			return Record{}, fmt.Errorf("survey: csv line %d: bad when: %w", r.line, err)
+		}
+		rtt, err := strconv.ParseInt(row[3], 10, 64)
+		if err != nil {
+			if r.lenient {
+				r.rs.BadValue++
+				continue
+			}
+			return Record{}, fmt.Errorf("survey: csv line %d: bad rtt: %w", r.line, err)
+		}
+		r.rs.Records++
+		return Record{
+			Type: typ, Addr: addr,
+			When: time.Duration(when), RTT: time.Duration(rtt),
+		}, nil
 	}
-	if err != nil {
-		return Record{}, fmt.Errorf("survey: reading csv: %w", err)
-	}
-	r.line++
-	typ, ok := typeByName[row[0]]
-	if !ok {
-		return Record{}, fmt.Errorf("survey: csv line %d: unknown record type %q", r.line, row[0])
-	}
-	addr, err := ipaddr.Parse(row[1])
-	if err != nil {
-		return Record{}, fmt.Errorf("survey: csv line %d: %w", r.line, err)
-	}
-	when, err := strconv.ParseInt(row[2], 10, 64)
-	if err != nil {
-		return Record{}, fmt.Errorf("survey: csv line %d: bad when: %w", r.line, err)
-	}
-	rtt, err := strconv.ParseInt(row[3], 10, 64)
-	if err != nil {
-		return Record{}, fmt.Errorf("survey: csv line %d: bad rtt: %w", r.line, err)
-	}
-	return Record{
-		Type: typ, Addr: addr,
-		When: time.Duration(when), RTT: time.Duration(rtt),
-	}, nil
 }
 
 // ReadCSV parses a CSV dataset written by WriteCSV.

@@ -96,9 +96,11 @@ func (w *Writer) Flush() error {
 
 // Reader streams records from a dataset.
 type Reader struct {
-	br  *bufio.Reader
-	hdr Header
-	buf [recordSize]byte
+	br      *bufio.Reader
+	hdr     Header
+	lenient bool
+	rs      ReadStats
+	buf     [recordSize]byte
 }
 
 // NewReader opens a dataset, parsing its header.
@@ -126,24 +128,52 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Header returns the dataset header.
 func (r *Reader) Header() Header { return r.hdr }
 
+// SetLenient switches the reader into (or out of) lenient mode: records
+// that fail validation are skipped — resynchronizing at the next
+// fixed-width record stride — and counted in Stats instead of ending the
+// read, and a partial record at end of stream is dropped rather than
+// reported as an error.
+func (r *Reader) SetLenient(on bool) { r.lenient = on }
+
+// Stats returns the reader's ReadStats.
+func (r *Reader) Stats() ReadStats { return r.rs }
+
 // Read returns the next record, or io.EOF at end of dataset.
 func (r *Reader) Read() (Record, error) {
-	if _, err := io.ReadFull(r.br, r.buf[:]); err != nil {
-		if err == io.EOF {
-			return Record{}, io.EOF
+	for {
+		if _, err := io.ReadFull(r.br, r.buf[:]); err != nil {
+			if err == io.EOF {
+				return Record{}, io.EOF
+			}
+			if r.lenient && err == io.ErrUnexpectedEOF {
+				r.rs.TruncatedTail++
+				return Record{}, io.EOF
+			}
+			return Record{}, fmt.Errorf("survey: reading record: %w", err)
 		}
-		return Record{}, fmt.Errorf("survey: reading record: %w", err)
+		rec := Record{
+			Type: RecordType(r.buf[0]),
+			Addr: ipaddr.Addr(binary.BigEndian.Uint32(r.buf[1:])),
+			When: time.Duration(binary.BigEndian.Uint64(r.buf[5:])),
+			RTT:  time.Duration(binary.BigEndian.Uint64(r.buf[13:])),
+		}
+		if rec.Type < RecMatched || rec.Type > RecError {
+			if r.lenient {
+				r.rs.BadType++
+				continue
+			}
+			return Record{}, fmt.Errorf("%w: record type %d", ErrBadFormat, r.buf[0])
+		}
+		// Negative times never leave the surveyor, so in lenient mode
+		// they mark a flipped sign bit; strict mode keeps accepting
+		// them for compatibility with raw round-tripping.
+		if r.lenient && (rec.When < 0 || rec.RTT < 0) {
+			r.rs.BadValue++
+			continue
+		}
+		r.rs.Records++
+		return rec, nil
 	}
-	rec := Record{
-		Type: RecordType(r.buf[0]),
-		Addr: ipaddr.Addr(binary.BigEndian.Uint32(r.buf[1:])),
-		When: time.Duration(binary.BigEndian.Uint64(r.buf[5:])),
-		RTT:  time.Duration(binary.BigEndian.Uint64(r.buf[13:])),
-	}
-	if rec.Type < RecMatched || rec.Type > RecError {
-		return Record{}, ErrBadFormat
-	}
-	return rec, nil
 }
 
 // ReadAll drains the reader.

@@ -1,0 +1,182 @@
+package survey
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// fuzzSampleRecords is a small, varied record set used to seed the corpora.
+func fuzzSampleRecords() []Record {
+	return []Record{
+		{Type: RecMatched, Addr: 0x0a000001, When: 3 * time.Second, RTT: 120 * time.Millisecond},
+		{Type: RecTimeout, Addr: 0x0a000002, When: 4 * time.Second},
+		{Type: RecUnmatched, Addr: 0x0a0000ff, When: 5 * time.Second, RTT: 7},
+		{Type: RecError, Addr: 0x0a000003, When: 6 * time.Second},
+		{Type: RecMatched, Addr: 0x0a000004, When: 663 * time.Second, RTT: 95 * time.Second},
+	}
+}
+
+func fuzzDataset(t testing.TB, format string) []byte {
+	var buf bytes.Buffer
+	hdr := Header{Seed: 7, Vantage: 'w'}
+	var w RecordWriter
+	var flush func() error
+	switch format {
+	case "tosv":
+		fw := NewWriter(&buf, hdr)
+		w, flush = fw, fw.Flush
+	case "compact":
+		cw := NewCompactWriter(&buf, hdr)
+		w, flush = cw, cw.Flush
+	case "csv":
+		cw := NewCSVWriter(&buf)
+		w, flush = cw, cw.Flush
+	}
+	for _, r := range fuzzSampleRecords() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzOpenSource drives the format sniffer and all three dataset readers,
+// strict and lenient, over arbitrary bytes. Readers must never panic, must
+// keep allocations proportional to the input, must wrap record-level format
+// errors in ErrBadFormat where they claim to, and in lenient mode must
+// always reach EOF with a consistent skip accounting.
+func FuzzOpenSource(f *testing.F) {
+	for _, format := range []string{"tosv", "compact", "csv"} {
+		data := fuzzDataset(f, format)
+		f.Add(data)
+		// A corrupted variant: flip a bit mid-stream.
+		bad := append([]byte(nil), data...)
+		bad[len(bad)/2] ^= 0x10
+		f.Add(bad)
+		// A truncated variant.
+		f.Add(data[:len(data)-3])
+	}
+	f.Add([]byte("type,addr,when_ns,rtt_ns\nmatched,1.2.3.4,100,100\nbogus\n"))
+	f.Add([]byte("TOSV"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Strict: any outcome but a panic is acceptable; drain to EOF or
+		// first error.
+		if src, _, err := OpenSource(bytes.NewReader(data)); err == nil {
+			n := 0
+			for {
+				_, err := src.Read()
+				if err != nil {
+					break
+				}
+				if n++; n > len(data) {
+					t.Fatalf("strict read returned more records (%d) than input bytes (%d)", n, len(data))
+				}
+			}
+		}
+
+		// Lenient: the read must always terminate at io.EOF — corruption is
+		// counted, never fatal — and the stats must add up.
+		src, _, err := OpenSourceLenient(bytes.NewReader(data))
+		if err != nil {
+			return // corrupt header: fail-fast is the documented behavior
+		}
+		var n uint64
+		for {
+			_, err := src.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("lenient read failed mid-stream: %v", err)
+			}
+			if n++; n > uint64(len(data)) {
+				t.Fatalf("lenient read returned more records (%d) than input bytes (%d)", n, len(data))
+			}
+		}
+		rs := src.Stats()
+		if rs.Records != n {
+			t.Fatalf("stats count %d records, drained %d", rs.Records, n)
+		}
+		if rs.Desyncs > 1 || rs.TruncatedTail > 1 {
+			t.Fatalf("impossible stats: %+v", rs)
+		}
+	})
+}
+
+// FuzzCompactReader aims arbitrary bytes at the varint-compact record
+// decoder (a valid header is prepended so the fuzzer spends its budget on
+// records, not magic numbers). The decoder must never panic, must reject
+// out-of-range values with ErrBadFormat-wrapped errors rather than
+// overflowing them into nonsense durations, and in lenient mode must bail
+// out cleanly at the first bad record.
+func FuzzCompactReader(f *testing.F) {
+	var hdr bytes.Buffer
+	w := NewCompactWriter(&hdr, Header{Seed: 1, Vantage: 'c'})
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	header := hdr.Bytes()
+
+	full := fuzzDataset(f, "compact")
+	f.Add(full[len(header):])
+	f.Add([]byte{1, 2, 2, 4})
+	f.Add([]byte{byte(RecUnmatched), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		data := append(append([]byte(nil), header...), body...)
+
+		r, err := NewCompactReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("valid header rejected: %v", err)
+		}
+		for {
+			rec, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrBadFormat) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				break
+			}
+			if rec.When < 0 {
+				t.Fatalf("decoded negative timestamp %v", rec.When)
+			}
+			if rec.Type == RecMatched && rec.RTT < 0 {
+				t.Fatalf("decoded negative RTT %v", rec.RTT)
+			}
+		}
+
+		// Lenient mode: same bytes must always drain to EOF.
+		lr, err := NewCompactReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr.SetLenient(true)
+		var n uint64
+		for {
+			_, err := lr.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("lenient compact read failed: %v", err)
+			}
+			n++
+		}
+		rs := lr.Stats()
+		if rs.Records != n || rs.Desyncs > 1 {
+			t.Fatalf("inconsistent lenient stats %+v after %d records", rs, n)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package survey
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 	"testing/quick"
@@ -123,7 +124,7 @@ func TestReaderRejectsBadRecordType(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Read(); err != ErrBadFormat {
+	if _, err := r.Read(); !errors.Is(err, ErrBadFormat) {
 		t.Errorf("want ErrBadFormat, got %v", err)
 	}
 }
@@ -384,7 +385,7 @@ func TestCompactRejectsCorruptRecordType(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Read(); err != ErrBadFormat {
+	if _, err := r.Read(); !errors.Is(err, ErrBadFormat) {
 		t.Errorf("want ErrBadFormat, got %v", err)
 	}
 }

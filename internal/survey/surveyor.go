@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"timeouts/internal/faults"
 	"timeouts/internal/ipaddr"
 	"timeouts/internal/ipmeta"
 	"timeouts/internal/simnet"
@@ -63,6 +64,12 @@ type Config struct {
 	ResponseDropRate float64
 	// Seed drives prober-local randomness (drop decisions, probe IDs).
 	Seed uint64
+	// Faults optionally injects deterministic wire and process faults
+	// (nil: none). Wire faults corrupt, truncate, or duplicate deliveries
+	// in flight — the prober counts undecodable packets in
+	// Stats.CorruptPackets and continues. Process faults panic injected
+	// shard workers; RunSharded surfaces them as errors naming the shard.
+	Faults *faults.Plan
 }
 
 // withDefaults fills zero fields with ISI-like values.
@@ -93,6 +100,10 @@ type Stats struct {
 	Unmatched uint64 // response packets recorded as unmatched (incl. batch counts)
 	Errors    uint64
 	Dropped   uint64 // responses dropped at the vantage
+	// CorruptPackets counts delivered packets that failed to decode —
+	// noise on a real wire, injected corruption under a fault plan. The
+	// survey counts them and continues.
+	CorruptPackets uint64
 }
 
 // ResponseRate returns matched responses as a fraction of probes, the
@@ -142,6 +153,7 @@ func Run(net *simnet.Network, cfg Config, out RecordWriter) (Stats, error) {
 		blockTotal:  len(cfg.Blocks),
 		outstanding: make(map[ipaddr.Addr]simnet.Time),
 	}
+	net.SetFaults(cfg.Faults)
 	net.AttachProber(cfg.Vantage.Addr, s.receive)
 	defer net.DetachProber(cfg.Vantage.Addr)
 
@@ -185,8 +197,10 @@ func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric, ou
 	}
 	surveyors := make([]*surveyor, shards)
 	if err := simnet.RunShards(shards, 0, func(k int) error {
+		cfg.Faults.MaybePanicShard(k)
 		sched := &simnet.Scheduler{}
 		net := simnet.NewNetwork(sched, fabric(k))
+		net.SetFaults(cfg.Faults)
 		lo, hi := simnet.ShardBounds(len(cfg.Blocks), shards, k)
 		scfg := cfg
 		scfg.Blocks = cfg.Blocks[lo:hi]
@@ -214,6 +228,7 @@ func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric, ou
 		stats.Unmatched += s.stats.Unmatched
 		stats.Errors += s.stats.Errors
 		stats.Dropped += s.stats.Dropped
+		stats.CorruptPackets += s.stats.CorruptPackets
 		streams[k] = s.tagged
 	}
 	// The merge is streamed record-by-record into the writer: no merged
@@ -323,7 +338,10 @@ func (s *surveyor) receive(at simnet.Time, data []byte, count int) {
 	}
 	p, err := wire.Decode(data)
 	if err != nil {
-		return // corrupt packets are dropped silently, like a kernel would
+		// Corrupt packets are dropped like a kernel would drop them, but
+		// counted so a chaos run can audit what the wire did.
+		s.stats.CorruptPackets += uint64(count)
+		return
 	}
 	// All records of one delivery share its (probe rank, delivery index)
 	// key, ordered within the delivery by emission index.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"timeouts/internal/faults"
 	"timeouts/internal/ipaddr"
 	"timeouts/internal/ipmeta"
 	"timeouts/internal/simnet"
@@ -37,6 +38,11 @@ type Config struct {
 	// the paper's modified setup captured responses "indefinitely" with
 	// tcpdump, so the default is generous (15 minutes).
 	Drain time.Duration
+	// Faults optionally injects deterministic wire and process faults
+	// (nil: none). Undecodable packets are counted in
+	// Scan.CorruptPackets; injected shard-worker panics surface as errors
+	// from RunSharded naming the shard.
+	Faults *faults.Plan
 }
 
 // Response is one echo response as the stateless scanner sees it.
@@ -58,6 +64,10 @@ type Scan struct {
 	// packet including duplicate bursts.
 	ProbesSent      uint64
 	PacketsReceived uint64
+	// CorruptPackets counts received packets that failed to decode as an
+	// echo reply with Zmap metadata — wire noise the stateless scanner
+	// skips past (nonzero only under a fault plan or foreign traffic).
+	CorruptPackets uint64
 }
 
 // DefaultProbeGap is the probe spacing selected when Config.Duration is
@@ -89,6 +99,7 @@ type rangeResult struct {
 	keys      []simnet.ShardKey // parallel to responses; nil unless tagged
 	probes    uint64
 	packets   uint64
+	corrupt   uint64
 }
 
 // runRange drives the probes at permutation positions [lo, hi) on the given
@@ -100,6 +111,7 @@ type rangeResult struct {
 func runRange(net *simnet.Network, cfg Config, lo, hi int, tag bool) *rangeResult {
 	res := &rangeResult{}
 	sched := net.Scheduler()
+	net.SetFaults(cfg.Faults)
 
 	collecting := true
 	net.AttachProber(cfg.Src, func(at simnet.Time, data []byte, count int) {
@@ -108,11 +120,17 @@ func runRange(net *simnet.Network, cfg Config, lo, hi int, tag bool) *rangeResul
 		}
 		res.packets += uint64(count)
 		p, err := wire.Decode(data)
-		if err != nil || p.Echo == nil || p.Echo.Type != wire.ICMPTypeEchoReply {
+		if err != nil {
+			// Undecodable wire noise: count it and keep scanning.
+			res.corrupt += uint64(count)
+			return
+		}
+		if p.Echo == nil || p.Echo.Type != wire.ICMPTypeEchoReply {
 			return
 		}
 		zp, err := wire.DecodeZmapPayload(p.Echo.Payload)
 		if err != nil {
+			res.corrupt += uint64(count)
 			return
 		}
 		// Record one response per delivery; duplicate bursts add no RTT
@@ -172,7 +190,8 @@ func Run(net *simnet.Network, cfg Config) (*Scan, error) {
 		return nil, err
 	}
 	r := runRange(net, cfg, 0, cfg.TargetN, false)
-	return &Scan{Cfg: cfg, Responses: r.responses, ProbesSent: r.probes, PacketsReceived: r.packets}, nil
+	return &Scan{Cfg: cfg, Responses: r.responses, ProbesSent: r.probes,
+		PacketsReceived: r.packets, CorruptPackets: r.corrupt}, nil
 }
 
 // RunSharded executes the same scan as Run partitioned into `shards`
@@ -190,14 +209,14 @@ func Run(net *simnet.Network, cfg Config) (*Scan, error) {
 // return a fabric not shared with any other shard.
 func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric) (*Scan, error) {
 	sc := &Scan{}
-	probes, packets, err := RunShardedInto(cfg, shards, fabric, func(r Response) {
+	probes, packets, corrupt, err := runShardedInto(cfg, shards, fabric, func(r Response) {
 		sc.Responses = append(sc.Responses, r)
 	})
 	if err != nil {
 		return nil, err
 	}
 	cfg, _ = cfg.withDefaults()
-	sc.Cfg, sc.ProbesSent, sc.PacketsReceived = cfg, probes, packets
+	sc.Cfg, sc.ProbesSent, sc.PacketsReceived, sc.CorruptPackets = cfg, probes, packets, corrupt
 	return sc, nil
 }
 
@@ -206,9 +225,14 @@ func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric) (*
 // into a Scan, so an incremental analyzer consumes them straight out of the
 // per-shard buffers. It returns the probe and received-packet counters.
 func RunShardedInto(cfg Config, shards int, fabric func(shard int) simnet.Fabric, fn func(Response)) (probes, packets uint64, err error) {
+	probes, packets, _, err = runShardedInto(cfg, shards, fabric, fn)
+	return probes, packets, err
+}
+
+func runShardedInto(cfg Config, shards int, fabric func(shard int) simnet.Fabric, fn func(Response)) (probes, packets, corrupt uint64, err error) {
 	cfg, err = cfg.withDefaults()
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if shards < 1 {
 		shards = 1
@@ -218,18 +242,20 @@ func RunShardedInto(cfg Config, shards int, fabric func(shard int) simnet.Fabric
 	}
 	results := make([]*rangeResult, shards)
 	if err := simnet.RunShards(shards, 0, func(k int) error {
+		cfg.Faults.MaybePanicShard(k)
 		sched := &simnet.Scheduler{}
 		net := simnet.NewNetwork(sched, fabric(k))
 		lo, hi := simnet.ShardBounds(cfg.TargetN, shards, k)
 		results[k] = runRange(net, cfg, lo, hi, true)
 		return nil
 	}); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	streams := make([][]simnet.Tagged[Response], shards)
 	for k, r := range results {
 		probes += r.probes
 		packets += r.packets
+		corrupt += r.corrupt
 		tagged := make([]simnet.Tagged[Response], len(r.responses))
 		for i, resp := range r.responses {
 			tagged[i] = simnet.Tagged[Response]{Key: r.keys[i], Rec: resp}
@@ -237,7 +263,7 @@ func RunShardedInto(cfg Config, shards int, fabric func(shard int) simnet.Fabric
 		streams[k] = tagged
 	}
 	simnet.MergeTaggedFunc(streams, fn)
-	return probes, packets, nil
+	return probes, packets, corrupt, nil
 }
 
 // SelfResponses returns, per probed address that answered from its own
