@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke chaos bench check ci
+.PHONY: all build vet test race fuzz fuzz-smoke chaos bench obs-check check ci
 
 all: check
 
@@ -49,12 +49,26 @@ fuzz-smoke:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/simnet ./internal/survey ./internal/zmapper ./internal/scamper
 
+# `make bench` runs the full benchmark suite and stores a machine-readable
+# snapshot as BENCH_<date>.json next to the human-readable output, so perf
+# trajectories can be diffed across commits (format: README "Benchmark
+# trajectory").
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
+
+# The observability determinism suite: vet, the obs package's unit tests
+# (merge commutativity, snapshot round-trip, paper-threshold histograms),
+# and the equivalence tests asserting fixed-seed metric snapshots and
+# manifests are byte-identical across -parallel 1 and -parallel 8, and that
+# probe-side histograms agree with analysis-side tail fractions.
+obs-check:
+	$(GO) vet ./internal/obs ./cmd/benchjson
+	$(GO) test -count=1 ./internal/obs
+	$(GO) test -count=1 -run 'TestObs|TestRenderReportGolden' ./internal/experiments ./internal/core
 
 check: build test race
 
 # The CI pipeline: build, vet, full tests, race pass on the concurrent
-# packages, the fault-injection suite under -race, then a short fuzz smoke
-# of every fuzz target.
-ci: build vet test race chaos fuzz-smoke
+# packages, the fault-injection suite under -race, the observability
+# determinism suite, then a short fuzz smoke of every fuzz target.
+ci: build vet test race chaos obs-check fuzz-smoke

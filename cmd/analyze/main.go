@@ -5,6 +5,7 @@
 // Usage:
 //
 //	analyze survey.tosv [-cycles N] [-naive] [-stream] [-lenient] [-max-skip F]
+//	        [-metrics FILE] [-trace FILE] [-manifest FILE] [-debug-addr ADDR]
 //
 // With -stream the full pipeline runs in bounded memory: records stream out
 // of the dataset reader straight into a core.StreamMatcher, which keeps only
@@ -20,8 +21,14 @@
 // record. The per-cause skip counts are reported on stderr. -max-skip sets
 // the error budget: if the skipped fraction of the dataset exceeds it, the
 // run fails (exit 1) after printing the report, so batch pipelines notice
-// datasets too damaged to trust. Without -lenient the first corrupt record
-// is fatal.
+// datasets too damaged to trust. The per-cause counts are printed on every
+// exit path — budget exceeded or read failure included — so a failing run
+// still reports what it managed to read. Without -lenient the first corrupt
+// record is fatal.
+//
+// The observability flags sample the streaming matcher (-stream): open-state
+// high-water marks, quantile-sketch spills, and the matched/recovered
+// latency histograms whose tail fractions mirror the report's.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"os"
 
 	"timeouts/internal/core"
+	"timeouts/internal/obs"
 	"timeouts/internal/survey"
 )
 
@@ -41,6 +49,7 @@ func main() {
 		lenient = flag.Bool("lenient", false, "skip corrupt records (counted per cause) instead of failing fast")
 		maxSkip = flag.Float64("max-skip", 0.05, "with -lenient: fail if more than this fraction of records is skipped")
 	)
+	cli := obs.RegisterCLI()
 	flag.Parse()
 	args := flag.Args()
 	if len(args) > 1 {
@@ -51,6 +60,10 @@ func main() {
 	if len(args) != 1 {
 		fmt.Fprintln(os.Stderr, "usage: analyze [flags] survey.tosv [flags]")
 		os.Exit(2)
+	}
+	if err := cli.Init(); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
 	}
 	f, err := os.Open(args[0])
 	if err != nil {
@@ -80,14 +93,25 @@ func main() {
 		opt = core.MatchOptionsForCycles(*cycles)
 	}
 
+	// Print the lenient read accounting on every exit path — a run that
+	// fails its error budget (or dies mid-read) still reports what it
+	// managed to read and why the rest was skipped.
+	printReadStats := func() {
+		if stat != nil {
+			fmt.Fprintln(os.Stderr, "analyze: lenient read:", stat.Stats())
+		}
+	}
+
 	var (
 		analysis core.Analysis
 		records  uint64
 	)
 	if *stream {
 		m := core.NewStreamMatcher(opt)
+		m.SetObserver(cli.Reg)
 		if err := m.Consume(src); err != nil {
 			fmt.Fprintln(os.Stderr, "analyze:", err)
+			printReadStats()
 			os.Exit(1)
 		}
 		records = m.Records()
@@ -96,6 +120,7 @@ func main() {
 		recs, err := survey.DrainSource(src)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "analyze:", err)
+			printReadStats()
 			os.Exit(1)
 		}
 		records = uint64(len(recs))
@@ -105,9 +130,14 @@ func main() {
 	fmt.Printf("dataset: %d records, vantage %c, seed %d\n", records, hdr.Vantage, hdr.Seed)
 	fmt.Print(core.RenderReport(analysis, *naive))
 
+	if err := cli.Finish("analyze", hdr.Seed, 1, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+
 	if stat != nil {
 		rs := stat.Stats()
-		fmt.Fprintln(os.Stderr, "analyze: lenient read:", rs)
+		printReadStats()
 		total := rs.Records + rs.Skipped()
 		if total > 0 {
 			if frac := float64(rs.Skipped()) / float64(total); frac > *maxSkip {

@@ -1,0 +1,26 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array of benchmark results on stdout — the machine-readable form `make
+// bench` stores as BENCH_<date>.json (see README "Benchmark trajectory").
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson > BENCH_2026-08-06.json
+//
+// Non-benchmark lines (package headers, PASS/ok trailers) are skipped, and
+// unparsable benchmark lines are ignored rather than fatal, so a partially
+// failing bench run still yields the results that completed.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"timeouts/internal/obs"
+)
+
+func main() {
+	if err := obs.WriteBenchJSON(os.Stdout, os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

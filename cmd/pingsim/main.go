@@ -7,6 +7,7 @@
 // Usage:
 //
 //	pingsim [-blocks 512] [-seed 42] [-c 10] [-i 1s] [-W 60s] [addr]
+//	        [-metrics FILE] [-trace FILE] [-manifest FILE] [-debug-addr ADDR]
 //	pingsim -class cellular     # pick a host of that class to probe
 //
 // Without an address, a cellular host is chosen (the paper's protagonist).
@@ -21,6 +22,7 @@ import (
 	"timeouts/internal/ipaddr"
 	"timeouts/internal/ipmeta"
 	"timeouts/internal/netmodel"
+	"timeouts/internal/obs"
 	"timeouts/internal/scamper"
 	"timeouts/internal/simnet"
 	"timeouts/internal/stats"
@@ -36,7 +38,12 @@ func main() {
 		className = flag.String("class", "cellular", "host class to pick when no address is given")
 		startAt   = flag.Duration("at", 0, "simulation time to start probing (episodes vary over time)")
 	)
+	cli := obs.RegisterCLI()
 	flag.Parse()
+	if err := cli.Init(); err != nil {
+		fmt.Fprintln(os.Stderr, "pingsim:", err)
+		os.Exit(1)
+	}
 
 	pop := netmodel.New(netmodel.Config{Seed: *seed, Blocks: *blocks})
 	var dst ipaddr.Addr
@@ -97,11 +104,19 @@ func main() {
 	net := simnet.NewNetwork(sched, model)
 	prob := scamper.New(net, src, ipmeta.NorthAmerica)
 	defer prob.Close()
+	if cli.Reg != nil {
+		prob.SetObserver(cli.Reg)
+	}
+	cli.Tracer.SimSpan("ping.train", *startAt, *startAt+time.Duration(*count)**interval)
 
 	prob.SchedulePing(dst, scamper.ICMP, simnet.Time(*startAt), *count, *interval)
 	// Keep listening (tcpdump-style) for the window after the last probe.
 	sched.Run()
 	_ = timeout
+	if err := cli.Finish("pingsim", *seed, 1, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "pingsim:", err)
+		os.Exit(1)
+	}
 
 	var rtts []time.Duration
 	lost := 0

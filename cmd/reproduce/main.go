@@ -6,6 +6,7 @@
 //
 //	reproduce [-scale quick|default|full] [-exp id[,id...]] [-list] [-seed N]
 //	          [-parallel N] [-stream]
+//	          [-metrics FILE] [-trace FILE] [-manifest FILE] [-debug-addr ADDR]
 //
 // Without -exp, every experiment in the registry runs in paper order. With
 // -parallel N (N > 1) the shared survey and Zmap workloads run on the
@@ -15,6 +16,11 @@
 // quantiles come from the bounded-memory streaming pipeline (the survey
 // probes straight into a core.StreamMatcher, no intermediate dataset); at
 // simulation scale the results are identical to the in-memory matcher.
+//
+// The observability flags collect metrics and phase spans from every
+// workload the lab runs, plus a wall-clock span per experiment; -debug-addr
+// serves pprof and expvar while the run is live. For a fixed seed the
+// -metrics snapshot is byte-identical whatever -parallel is.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"timeouts/internal/experiments"
+	"timeouts/internal/obs"
 )
 
 func main() {
@@ -38,9 +45,14 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "shard count for the survey/scan workloads (1 = sequential, 0 = one per CPU)")
 		stream    = flag.Bool("stream", false, "bounded-memory streaming pipeline for the shared quantiles")
 	)
+	cli := obs.RegisterCLI()
 	flag.Parse()
 	if *parallel == 0 {
 		*parallel = runtime.GOMAXPROCS(0)
+	}
+	if err := cli.Init(); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
 	}
 
 	if *list {
@@ -83,10 +95,14 @@ func main() {
 	lab := experiments.NewLab(scale)
 	lab.Parallel = *parallel
 	lab.Stream = *stream
+	lab.Obs = cli.Reg
+	lab.Trace = cli.Tracer
 	start := time.Now()
 	for _, e := range entries {
 		t0 := time.Now()
+		done := cli.Tracer.StartWall("exp." + e.ID)
 		rep, err := e.Run(lab)
+		done()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", e.ID, err)
 			os.Exit(1)
@@ -100,6 +116,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("figure data series written to %s\n", *dataDir)
+	}
+	if err := cli.Finish("reproduce", scale.Seed, *parallel, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
 	}
 	fmt.Printf("all %d experiments completed in %v (scale %s, seed %d)\n",
 		len(entries), time.Since(start).Round(time.Millisecond), *scaleName, scale.Seed)

@@ -7,6 +7,7 @@
 //	         [-vantage w|c|j|g] [-interval 11m] [-timeout 3s] [-parallel N]
 //	         [-fault-seed N] [-fault-corrupt F] [-fault-truncate F]
 //	         [-fault-dup F] [-fault-data F]
+//	         [-metrics FILE] [-trace FILE] [-manifest FILE] [-debug-addr ADDR]
 //
 // With -parallel N (N > 1) the survey runs on the sharded parallel engine:
 // N contiguous shards of the block list are probed concurrently and the
@@ -32,6 +33,7 @@ import (
 
 	"timeouts/internal/faults"
 	"timeouts/internal/netmodel"
+	"timeouts/internal/obs"
 	"timeouts/internal/simnet"
 	"timeouts/internal/survey"
 )
@@ -55,9 +57,14 @@ func main() {
 		faultDup      = flag.Float64("fault-dup", 0, "wire fault rate: duplicate a delivered packet")
 		faultData     = flag.Float64("fault-data", 0, "dataset fault rate: per-byte bit-flip probability in the written file")
 	)
+	cli := obs.RegisterCLI()
 	flag.Parse()
 	if *parallel == 0 {
 		*parallel = runtime.GOMAXPROCS(0)
+	}
+	if err := cli.Init(); err != nil {
+		fmt.Fprintln(os.Stderr, "surveyor:", err)
+		os.Exit(1)
 	}
 
 	var vp survey.Vantage
@@ -136,6 +143,8 @@ func main() {
 		Timeout:  *timeout,
 		Seed:     *seed,
 		Faults:   plan,
+		Obs:      cli.Reg,
+		Trace:    cli.Tracer,
 	}
 	var st survey.Stats
 	if *parallel > 1 {
@@ -161,6 +170,20 @@ func main() {
 		}
 	}
 	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "surveyor:", err)
+		os.Exit(1)
+	}
+	var fs *obs.FaultSummary
+	if plan != nil {
+		fs = &obs.FaultSummary{
+			Seed:          plan.Seed,
+			WireCorrupt:   plan.Wire.CorruptRate,
+			WireTruncate:  plan.Wire.TruncateRate,
+			WireDuplicate: plan.Wire.DuplicateRate,
+			DataFlip:      plan.Data.FlipRate,
+		}
+	}
+	if err := cli.Finish("surveyor", *seed, *parallel, fs); err != nil {
 		fmt.Fprintln(os.Stderr, "surveyor:", err)
 		os.Exit(1)
 	}

@@ -8,6 +8,7 @@
 //	zmapscan [-blocks 512] [-seed 42] [-scanseed 1] [-duration 90m] [-top 10]
 //	         [-parallel N] [-fault-seed N] [-fault-corrupt F]
 //	         [-fault-truncate F] [-fault-dup F]
+//	         [-metrics FILE] [-trace FILE] [-manifest FILE] [-debug-addr ADDR]
 //
 // With -parallel N (N > 1) the scan runs on the sharded parallel engine: N
 // contiguous shards of the probe permutation execute concurrently and the
@@ -20,6 +21,10 @@
 // the simulation, and the scanner counts-and-skips whatever no longer
 // decodes. Faults are a pure function of -fault-seed; with every rate at
 // zero the scan is byte-identical to one without these flags.
+//
+// The observability flags are opt-in and deterministic: for a fixed seed the
+// -metrics snapshot and the manifest's run section are byte-identical
+// whatever -parallel is (make obs-check enforces this).
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"timeouts/internal/ipaddr"
 	"timeouts/internal/ipmeta"
 	"timeouts/internal/netmodel"
+	"timeouts/internal/obs"
 	"timeouts/internal/simnet"
 	"timeouts/internal/stats"
 	"timeouts/internal/zmapper"
@@ -54,9 +60,14 @@ func main() {
 		faultTruncate = flag.Float64("fault-truncate", 0, "wire fault rate: truncate a delivered packet")
 		faultDup      = flag.Float64("fault-dup", 0, "wire fault rate: duplicate a delivered packet")
 	)
+	cli := obs.RegisterCLI()
 	flag.Parse()
 	if *parallel == 0 {
 		*parallel = runtime.GOMAXPROCS(0)
+	}
+	if err := cli.Init(); err != nil {
+		fmt.Fprintln(os.Stderr, "zmapscan:", err)
+		os.Exit(1)
 	}
 
 	var specs []netmodel.ASSpec
@@ -91,6 +102,7 @@ func main() {
 		TargetN: pop.NumAddrs(), TargetAt: pop.AddrAt,
 		Duration: *duration, Seed: *scanseed,
 		Faults: plan,
+		Obs:    cli.Reg, Trace: cli.Tracer,
 	}
 
 	start := time.Now()
@@ -109,6 +121,19 @@ func main() {
 		sc, err = zmapper.Run(net, cfg)
 	}
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "zmapscan:", err)
+		os.Exit(1)
+	}
+	var fs *obs.FaultSummary
+	if plan != nil {
+		fs = &obs.FaultSummary{
+			Seed:          plan.Seed,
+			WireCorrupt:   plan.Wire.CorruptRate,
+			WireTruncate:  plan.Wire.TruncateRate,
+			WireDuplicate: plan.Wire.DuplicateRate,
+		}
+	}
+	if err := cli.Finish("zmapscan", *seed, *parallel, fs); err != nil {
 		fmt.Fprintln(os.Stderr, "zmapscan:", err)
 		os.Exit(1)
 	}

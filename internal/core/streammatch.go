@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"timeouts/internal/ipaddr"
+	"timeouts/internal/obs"
 	"timeouts/internal/stats"
 	"timeouts/internal/survey"
 )
@@ -39,6 +40,18 @@ type StreamMatcher struct {
 	opt     Options
 	addrs   map[ipaddr.Addr]*streamAddr
 	records uint64
+
+	// Observability (nil-safe no-ops unless SetObserver installs them). All
+	// matcher metrics are deterministic-class: the matcher consumes the
+	// merged record stream in dataset emission order, which is identical
+	// whether the survey producing it ran sequentially or sharded.
+	obsRecords    *obs.Counter
+	obsSpills     *obs.Counter
+	obsAddrsHWM   *obs.Gauge
+	obsOpenHWM    *obs.Gauge
+	obsRTTMatched *obs.Histogram
+	obsLatency    *obs.Histogram
+	openProbes    int64 // open probes across all addresses, for the HWM gauge
 }
 
 // streamAddr is the per-address open state — O(1) regardless of how many
@@ -73,6 +86,22 @@ func NewStreamMatcher(opt Options) *StreamMatcher {
 	return &StreamMatcher{opt: opt, addrs: make(map[ipaddr.Addr]*streamAddr)}
 }
 
+// SetObserver registers the matcher's metrics on reg: records consumed, the
+// open-state high-water marks (addresses with live state, probes awaiting
+// eviction — the quantities that bound the pipeline's memory), quantile
+// sketches that spilled from exact buffering to P² estimation, and two
+// latency histograms — matched RTTs only (match.rtt_matched, comparable
+// bucket-for-bucket to the probe-side survey.rtt_matched) and all samples
+// fed to the quantile sketches (match.latency, matched plus recovered).
+func (m *StreamMatcher) SetObserver(reg *obs.Registry) {
+	m.obsRecords = reg.Counter("match.records")
+	m.obsSpills = reg.Counter("match.quantile_spills")
+	m.obsAddrsHWM = reg.Gauge("match.addrs_hwm")
+	m.obsOpenHWM = reg.Gauge("match.open_probes_hwm")
+	m.obsRTTMatched = reg.Histogram("match.rtt_matched")
+	m.obsLatency = reg.Histogram("match.latency")
+}
+
 // Records returns how many records have been consumed.
 func (m *StreamMatcher) Records() uint64 { return m.records }
 
@@ -92,8 +121,18 @@ func (m *StreamMatcher) get(a ipaddr.Addr) *streamAddr {
 	if st == nil {
 		st = &streamAddr{est: stats.NewStreamingQuantiles(), ew: stats.EWMA{Alpha: m.opt.BroadcastAlpha}, lastRound: -10}
 		m.addrs[a] = st
+		m.obsAddrsHWM.Observe(int64(len(m.addrs)))
 	}
 	return st
+}
+
+// push opens a new probe on st, maintaining the open-probe high-water mark
+// (pushProbe may evict, so the net change can be zero).
+func (m *StreamMatcher) push(st *streamAddr, p openProbe) {
+	before := st.nOpen
+	st.pushProbe(p)
+	m.openProbes += int64(st.nOpen - before)
+	m.obsOpenHWM.Observe(m.openProbes)
 }
 
 // evict seals the oldest open probe into the address summary.
@@ -120,15 +159,18 @@ func (st *streamAddr) pushProbe(p openProbe) {
 // Observe folds one record into the match state.
 func (m *StreamMatcher) Observe(rec survey.Record) {
 	m.records++
+	m.obsRecords.Inc()
 	switch rec.Type {
 	case survey.RecMatched:
 		st := m.get(rec.Addr)
-		st.pushProbe(openProbe{send: rec.When, matched: true, resp: 1})
+		m.push(st, openProbe{send: rec.When, matched: true, resp: 1})
 		st.matched++
 		st.est.Add(rec.RTT)
+		m.obsRTTMatched.Observe(rec.RTT)
+		m.obsLatency.Observe(rec.RTT)
 	case survey.RecTimeout:
 		st := m.get(rec.Addr)
-		st.pushProbe(openProbe{send: rec.When})
+		m.push(st, openProbe{send: rec.When})
 	case survey.RecUnmatched:
 		st := m.get(rec.Addr)
 		count := int(rec.RTT)
@@ -152,6 +194,7 @@ func (m *StreamMatcher) Observe(rec survey.Record) {
 				lat := rec.When - p.send
 				st.delayed++
 				st.est.Add(lat)
+				m.obsLatency.Observe(lat)
 				// Broadcast persistence filter (§3.3.1), streamed: the
 				// unmatched records of one address arrive in arrival order,
 				// which is the order Match's sorted pass sees them in.
@@ -235,6 +278,9 @@ func (m *StreamMatcher) Finalize() *StreamResult {
 		for st.nOpen > 0 {
 			st.evict()
 		}
+		if st.est.Spilled() {
+			m.obsSpills.Inc()
+		}
 		res.Addr[a] = &StreamAddressResult{
 			Matched:      st.matched,
 			Delayed:      st.delayed,
@@ -249,6 +295,7 @@ func (m *StreamMatcher) Finalize() *StreamResult {
 	}
 	m.addrs = make(map[ipaddr.Addr]*streamAddr)
 	m.records = 0
+	m.openProbes = 0
 	return res
 }
 

@@ -18,6 +18,7 @@ import (
 	"timeouts/internal/ipaddr"
 	"timeouts/internal/ipmeta"
 	"timeouts/internal/netmodel"
+	"timeouts/internal/obs"
 	"timeouts/internal/simnet"
 	"timeouts/internal/stats"
 	"timeouts/internal/survey"
@@ -96,6 +97,19 @@ type Lab struct {
 	// -stream flag).
 	Stream bool
 
+	// Obs, when non-nil, collects metrics from every workload the lab runs:
+	// the survey, the Zmap scans, and the streaming matcher all register
+	// their counters and histograms here. Sharded runs merge per-shard
+	// registries into Obs with the same order-independent discipline as the
+	// dataset merge, so the deterministic snapshot is identical whatever
+	// Parallel is.
+	Obs *obs.Registry
+
+	// Trace, when non-nil, receives sim-time phase spans from the workloads
+	// and is available for callers to add wall-clock spans of their own
+	// (cmd/reproduce wraps each experiment in one).
+	Trace *obs.Tracer
+
 	mu          sync.Mutex
 	surveyRecs  []survey.Record
 	surveyStats survey.Stats
@@ -146,6 +160,8 @@ func (l *Lab) Survey() ([]survey.Record, survey.Stats, error) {
 			Vantage: survey.VantageW,
 			Cycles:  l.Scale.SurveyCycles,
 			Seed:    l.Scale.Seed,
+			Obs:     l.Obs,
+			Trace:   l.Trace,
 		}
 		if l.Parallel > 1 {
 			pop := netmodel.New(l.popCfg)
@@ -188,10 +204,13 @@ func (l *Lab) StreamMatch() (*core.StreamResult, error) {
 	defer l.mu.Unlock()
 	if l.streamRes == nil {
 		m := core.NewStreamMatcher(core.MatchOptionsForCycles(l.Scale.SurveyCycles))
+		m.SetObserver(l.Obs)
 		cfg := survey.Config{
 			Vantage: survey.VantageW,
 			Cycles:  l.Scale.SurveyCycles,
 			Seed:    l.Scale.Seed,
+			Obs:     l.Obs,
+			Trace:   l.Trace,
 		}
 		var err error
 		if l.Parallel > 1 {
@@ -259,6 +278,8 @@ func (l *Lab) Scans(n int) ([]*zmapper.Scan, error) {
 			Duration:  90 * time.Minute,
 			Start:     start,
 			Seed:      l.Scale.Seed + uint64(i)*1000003,
+			Obs:       l.Obs,
+			Trace:     l.Trace,
 		}
 		if l.Parallel > 1 {
 			pop := netmodel.New(l.popCfg)

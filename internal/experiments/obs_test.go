@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"timeouts/internal/obs"
+	"timeouts/internal/stats"
+)
+
+// obsScale is a small scale for the observability equivalence tests.
+var obsScale = Scale{Seed: 42, Blocks: 96, SurveyCycles: 4, ZmapScans: 1, SampleAddrs: 50, TrainPings: 100}
+
+// runObsWorkloads runs the lab's instrumented workloads — the survey, the
+// streaming-matcher survey, and one Zmap scan — and returns the deterministic
+// snapshot JSON and the manifest's deterministic section.
+func runObsWorkloads(t *testing.T, parallel int) (lab *Lab, snap, manifest []byte) {
+	t.Helper()
+	lab = NewLab(obsScale)
+	lab.Parallel = parallel
+	lab.Obs = obs.NewRegistry()
+	lab.Trace = obs.NewTracer()
+	if _, _, err := lab.Survey(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.StreamMatch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.Scans(1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lab.Obs.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m := obs.BuildManifest("obs-test", obsScale.Seed, parallel, nil, nil, lab.Trace, lab.Obs)
+	det, err := m.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lab, buf.Bytes(), det
+}
+
+// TestObsShardInvariance is the equivalence suite for the observability
+// layer's determinism contract: for a fixed seed, the deterministic metric
+// snapshot and the manifest's run section are byte-identical whether the
+// workloads run sequentially or sharded — the same discipline the dataset
+// merge guarantees, extended to metrics. make obs-check runs this.
+func TestObsShardInvariance(t *testing.T) {
+	_, seqSnap, seqMan := runObsWorkloads(t, 1)
+	_, parSnap, parMan := runObsWorkloads(t, 8)
+	if !bytes.Equal(seqSnap, parSnap) {
+		t.Errorf("metric snapshots differ between -parallel 1 and -parallel 8:\nsequential:\n%s\nsharded:\n%s", seqSnap, parSnap)
+	}
+	if !bytes.Equal(seqMan, parMan) {
+		t.Errorf("deterministic manifest sections differ between -parallel 1 and -parallel 8:\nsequential:\n%s\nsharded:\n%s", seqMan, parMan)
+	}
+	if len(seqSnap) == 0 || !bytes.Contains(seqSnap, []byte("survey.probes")) {
+		t.Fatalf("snapshot looks empty or uninstrumented:\n%s", seqSnap)
+	}
+}
+
+// TestObsProbeAnalysisAgreement cross-checks the probe-side histograms
+// against the analysis-side results computed from the actual datasets:
+//
+//   - the zmap.rtt_first_self tail fractions at the paper thresholds (5s,
+//     145s) must equal stats.FracAbove over the scan's per-address RTTs —
+//     the histogram boundaries are exactly the paper thresholds, so the
+//     bucket sums are exact, not interpolated;
+//
+//   - the survey-side matched-RTT histogram must be bucket-for-bucket
+//     identical to the matcher-side one, since the streaming matcher
+//     consumes exactly the records the surveyor emitted.
+func TestObsProbeAnalysisAgreement(t *testing.T) {
+	// A fresh lab running the survey exactly once (via StreamMatch), so the
+	// probe-side and matcher-side histograms see the same single record
+	// stream.
+	lab := NewLab(obsScale)
+	lab.Parallel = 4
+	lab.Obs = obs.NewRegistry()
+	if _, err := lab.StreamMatch(); err != nil {
+		t.Fatal(err)
+	}
+	scans, err := lab.Scans(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := lab.Obs.Snapshot()
+	rtts := scans[0].RTTPercentiles()
+	if len(rtts) == 0 {
+		t.Fatal("scan produced no per-address RTTs")
+	}
+	for _, bound := range []time.Duration{5 * time.Second, 145 * time.Second} {
+		histFrac := snap.HistogramTail("zmap.rtt_first_self", bound)
+		anaFrac := stats.FracAbove(rtts, bound)
+		if math.Abs(histFrac-anaFrac) > 1e-12 {
+			t.Errorf("tail fraction >%v: probe-side histogram %.9f, analysis side %.9f", bound, histFrac, anaFrac)
+		}
+	}
+
+	var surveyRTT, matchRTT *obs.HistSnap
+	for i := range snap.Histograms {
+		switch snap.Histograms[i].Name {
+		case "survey.rtt_matched":
+			surveyRTT = &snap.Histograms[i]
+		case "match.rtt_matched":
+			matchRTT = &snap.Histograms[i]
+		}
+	}
+	if surveyRTT == nil || matchRTT == nil {
+		t.Fatalf("matched-RTT histograms missing (survey: %v, match: %v)", surveyRTT != nil, matchRTT != nil)
+	}
+	if surveyRTT.Count != matchRTT.Count || !reflect.DeepEqual(surveyRTT.Buckets, matchRTT.Buckets) {
+		t.Errorf("probe-side and matcher-side matched-RTT histograms disagree:\nsurvey: %+v\nmatch:  %+v", *surveyRTT, *matchRTT)
+	}
+	if surveyRTT.Count == 0 {
+		t.Error("matched-RTT histograms are empty")
+	}
+}

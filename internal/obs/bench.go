@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark line of `go test -bench -benchmem` output,
+// parsed into the JSON shape `make bench` accumulates in BENCH_<date>.json
+// (see README "Benchmark trajectory").
+type BenchResult struct {
+	Name        string  `json:"name"` // without the Benchmark prefix or -P suffix
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// ParseBench extracts benchmark results from `go test -bench` output,
+// skipping every non-benchmark line (package headers, PASS/ok trailers).
+// Lines it cannot parse are ignored rather than fatal, so a partially
+// failing bench run still yields the results that completed.
+func ParseBench(r io.Reader) []BenchResult {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		procs := 1
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if p, err := strconv.Atoi(name[i+1:]); err == nil {
+				name, procs = name[:i], p
+			}
+		}
+		iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+		nsop, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		res := BenchResult{Name: name, Procs: procs, Iterations: iters, NsPerOp: nsop}
+		// Optional -benchmem columns: "<B> B/op <N> allocs/op".
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// WriteBenchJSON parses bench output from r and writes the results as an
+// indented JSON array to w — the body of cmd/benchjson.
+func WriteBenchJSON(w io.Writer, r io.Reader) error {
+	results := ParseBench(r)
+	if results == nil {
+		results = []BenchResult{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

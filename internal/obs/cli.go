@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CLI wires the standard observability flag set into a command:
+//
+//	-metrics FILE     deterministic metrics snapshot as JSON
+//	-trace FILE       phase spans + diagnostic metrics as JSON
+//	-manifest FILE    run manifest (seed, flags, phases, metrics) as JSON
+//	-debug-addr ADDR  serve net/http/pprof and expvar while running
+//
+// Collection is entirely opt-in: unless at least one flag is set, Reg and
+// Tracer stay nil and every instrumentation point in the libraries no-ops.
+type CLI struct {
+	metricsPath  string
+	tracePath    string
+	manifestPath string
+	debugAddr    string
+
+	// Reg and Tracer are non-nil after Init when any flag was set; pass
+	// them into the workload configs.
+	Reg    *Registry
+	Tracer *Tracer
+}
+
+// RegisterCLI registers the observability flags on the default flag set.
+// Call before flag.Parse, then Init after.
+func RegisterCLI() *CLI {
+	c := &CLI{}
+	flag.StringVar(&c.metricsPath, "metrics", "", "write the deterministic metrics snapshot as JSON to this `file`")
+	flag.StringVar(&c.tracePath, "trace", "", "write phase spans and diagnostic metrics as JSON to this `file`")
+	flag.StringVar(&c.manifestPath, "manifest", "", "write the run manifest as JSON to this `file`")
+	flag.StringVar(&c.debugAddr, "debug-addr", "", "serve net/http/pprof and expvar on this `address` (e.g. localhost:6060)")
+	return c
+}
+
+// Init activates collection if any observability flag was set, starting the
+// debug server when requested. Call after flag.Parse.
+func (c *CLI) Init() error {
+	if c.metricsPath == "" && c.tracePath == "" && c.manifestPath == "" && c.debugAddr == "" {
+		return nil
+	}
+	c.Reg = NewRegistry()
+	c.Tracer = NewTracer()
+	if c.debugAddr != "" {
+		addr, err := ServeDebug(c.debugAddr, c.Reg)
+		if err != nil {
+			return fmt.Errorf("obs: debug server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (metrics at /metrics)\n", addr)
+	}
+	return nil
+}
+
+// Finish writes whichever output files were requested. tool, seed, shards
+// and faults feed the manifest; flags are collected from the flags the user
+// explicitly set on the command line.
+func (c *CLI) Finish(tool string, seed uint64, shards int, faults *FaultSummary) error {
+	if c.Reg == nil {
+		return nil
+	}
+	if c.metricsPath != "" {
+		if err := writeFile(c.metricsPath, func(f *os.File) error {
+			return c.Reg.Snapshot().WriteJSON(f)
+		}); err != nil {
+			return err
+		}
+	}
+	if c.tracePath != "" {
+		if err := writeFile(c.tracePath, func(f *os.File) error {
+			return WriteTrace(f, c.Tracer, c.Reg)
+		}); err != nil {
+			return err
+		}
+	}
+	if c.manifestPath != "" {
+		m := BuildManifest(tool, seed, shards, setFlags(), faults, c.Tracer, c.Reg)
+		if err := writeFile(c.manifestPath, func(f *os.File) error {
+			return m.WriteJSON(f)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// setFlags snapshots the flags explicitly set on the command line.
+func setFlags() map[string]string {
+	m := make(map[string]string)
+	flag.Visit(func(f *flag.Flag) { m[f.Name] = f.Value.String() })
+	return m
+}
+
+// writeFile creates path, hands it to emit, and closes it, reporting the
+// first error.
+func writeFile(path string, emit func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts an HTTP debug server on addr exposing the standard Go
+// profiling and introspection endpoints for long-running commands:
+//
+//	/debug/pprof/...   net/http/pprof (CPU, heap, goroutine, ...)
+//	/debug/vars        expvar, including the registry under "timeouts"
+//	/metrics           the deterministic snapshot as JSON
+//
+// It returns the bound address (useful with ":0") after the listener is
+// live; the server itself runs on a background goroutine for the life of
+// the process. The registry is published live — each request takes a fresh
+// snapshot.
+func ServeDebug(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.Snapshot().WriteJSON(w)
+	})
+	publishExpvar(reg)
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}
+
+// publishExpvar exposes the registry under the "timeouts" expvar key.
+// expvar.Publish panics on duplicate names, so republishing (tests starting
+// several servers) reuses the first registration's closure via a settable
+// indirection.
+var expvarReg *Registry
+
+func publishExpvar(reg *Registry) {
+	if expvarReg == nil {
+		expvar.Publish("timeouts", expvar.Func(func() any {
+			return map[string]Snapshot{
+				"metrics":     expvarReg.Snapshot(),
+				"diagnostics": expvarReg.DiagnosticSnapshot(),
+			}
+		}))
+	}
+	expvarReg = reg
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Boundaries is the fixed bucket boundary list shared by every latency
+// histogram: roughly log-scale (a 1-2-5 ladder through the millisecond and
+// second decades), with the paper's reporting thresholds — 1 s, 5 s, 60 s,
+// and 145 s — as exact boundaries. Because a threshold is a boundary, the
+// fraction of samples above it is an exact bucket sum, not an
+// interpolation: metric output can be eyeballed directly against Table 2
+// ("5% of pings exceed 5 s, 1% exceed 145 s").
+var Boundaries = []time.Duration{
+	1 * time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	20 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	200 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second, // paper: ">1s" turtle threshold (Tables 4-5)
+	2 * time.Second,
+	5 * time.Second, // paper: Table 2 headline ("5% exceed 5s")
+	10 * time.Second,
+	30 * time.Second,
+	60 * time.Second,  // paper: the §7 recommendation ("listen for 60s")
+	145 * time.Second, // paper: Table 2 tail ("1% exceed 145s")
+	300 * time.Second,
+	1000 * time.Second,
+}
+
+// Histogram counts latency samples into the fixed Boundaries buckets:
+// bucket i holds samples v with Boundaries[i-1] < v <= Boundaries[i], and a
+// final overflow bucket holds everything above the last boundary.
+// Histograms are always deterministic-class: their contents are a function
+// of the sample stream, which the sharded merge reproduces exactly.
+type Histogram struct {
+	buckets []atomic.Uint64 // len(Boundaries)+1; last is +Inf
+	count   atomic.Uint64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Uint64, len(Boundaries)+1)}
+}
+
+// bucketOf returns the bucket index for a sample.
+func bucketOf(v time.Duration) int {
+	// Linear scan: the list is short and the early (sub-second) buckets
+	// catch nearly every sample in practice.
+	for i, b := range Boundaries {
+		if v <= b {
+			return i
+		}
+	}
+	return len(Boundaries)
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(v time.Duration) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+}
+
+// ObserveN records n identical samples (batched deliveries).
+func (h *Histogram) ObserveN(v time.Duration, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(n)
+	h.count.Add(n)
+}
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// CountAbove returns how many samples are strictly above the boundary.
+// bound is rounded up to the smallest boundary >= bound; past the last
+// boundary the overflow bucket's contents are indistinguishable and the
+// count is 0.
+func (h *Histogram) CountAbove(bound time.Duration) uint64 {
+	if h == nil {
+		return 0
+	}
+	i := 0
+	for i < len(Boundaries) && Boundaries[i] < bound {
+		i++
+	}
+	// Samples > Boundaries[i] live in buckets i+1..len(Boundaries).
+	var n uint64
+	for j := i + 1; j <= len(Boundaries); j++ {
+		n += h.buckets[j].Load()
+	}
+	return n
+}
+
+// TailFraction returns the fraction of samples strictly above the boundary
+// (0 when empty). Exact when bound is one of Boundaries — which the paper's
+// reporting thresholds are by construction.
+func (h *Histogram) TailFraction(bound time.Duration) float64 {
+	c := h.Count()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.CountAbove(bound)) / float64(c)
+}
+
+// merge adds other's buckets into h.
+func (h *Histogram) merge(other *Histogram) {
+	for i := range other.buckets {
+		if n := other.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+}
+
+// snap renders the histogram for a snapshot, eliding empty buckets.
+func (h *Histogram) snap(name string) HistSnap {
+	s := HistSnap{Name: name, Count: h.count.Load()}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := "+Inf"
+		if i < len(Boundaries) {
+			le = Boundaries[i].String()
+		}
+		s.Buckets = append(s.Buckets, BucketSnap{Le: le, Count: n})
+	}
+	return s
+}
+
+// tailFraction computes TailFraction from snapshot form, matching the live
+// histogram's semantics (samples strictly above the boundary).
+func (s HistSnap) tailFraction(bound time.Duration) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	var above uint64
+	for _, b := range s.Buckets {
+		if b.Le == "+Inf" {
+			above += b.Count
+			continue
+		}
+		le, err := time.ParseDuration(b.Le)
+		if err == nil && le > bound {
+			above += b.Count
+		}
+	}
+	return float64(above) / float64(s.Count)
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Manifest is the structured record of one run, emitted as JSON by the
+// CLIs' -manifest flag. It is split into two sections with different
+// guarantees:
+//
+//   - Run is deterministic: tool, seed, fault plan, sim-time phases, and
+//     the deterministic metric snapshot. For a fixed seed, Run is
+//     byte-identical across sequential and sharded execution — the property
+//     make obs-check enforces.
+//
+//   - Exec describes how this particular run executed: shard count, flag
+//     values, wall-clock phases, diagnostic metrics. Reported for humans
+//     and dashboards, excluded from the determinism contract.
+type Manifest struct {
+	Run  RunInfo  `json:"run"`
+	Exec ExecInfo `json:"exec"`
+}
+
+// RunInfo is the deterministic section of a manifest.
+type RunInfo struct {
+	Tool      string        `json:"tool"`
+	Seed      uint64        `json:"seed"`
+	FaultPlan *FaultSummary `json:"fault_plan,omitempty"`
+	Phases    []Span        `json:"phases,omitempty"` // sim-time spans only
+	Metrics   Snapshot      `json:"metrics"`
+}
+
+// ExecInfo is the execution-strategy section of a manifest.
+type ExecInfo struct {
+	Shards      int               `json:"shards"`
+	Flags       map[string]string `json:"flags,omitempty"` // JSON sorts map keys
+	WallPhases  []Span            `json:"wall_phases,omitempty"`
+	Diagnostics Snapshot          `json:"diagnostics"`
+}
+
+// FaultSummary mirrors the fault plan's rates without importing
+// internal/faults (obs stays dependency-free). Zero rates mean the family
+// is inactive.
+type FaultSummary struct {
+	Seed          uint64  `json:"seed"`
+	WireCorrupt   float64 `json:"wire_corrupt,omitempty"`
+	WireTruncate  float64 `json:"wire_truncate,omitempty"`
+	WireDuplicate float64 `json:"wire_duplicate,omitempty"`
+	DataFlip      float64 `json:"data_flip,omitempty"`
+	ShardPanic    float64 `json:"shard_panic,omitempty"`
+}
+
+// BuildManifest assembles a manifest from a run's registry and tracer. reg,
+// tr, and faults may be nil.
+func BuildManifest(tool string, seed uint64, shards int, flags map[string]string,
+	faults *FaultSummary, tr *Tracer, reg *Registry) Manifest {
+	return Manifest{
+		Run: RunInfo{
+			Tool:      tool,
+			Seed:      seed,
+			FaultPlan: faults,
+			Phases:    tr.Spans(ClockSim),
+			Metrics:   reg.Snapshot(),
+		},
+		Exec: ExecInfo{
+			Shards:      shards,
+			Flags:       flags,
+			WallPhases:  tr.Spans(ClockWall),
+			Diagnostics: reg.DiagnosticSnapshot(),
+		},
+	}
+}
+
+// WriteJSON writes the full manifest as indented JSON.
+func (m Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// DeterministicJSON renders only the Run section — the bytes the
+// shard-invariance check compares across -parallel 1 and -parallel 8.
+func (m Manifest) DeterministicJSON() ([]byte, error) {
+	return json.MarshalIndent(m.Run, "", "  ")
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("Counter not idempotent per name")
+	}
+	g := r.Gauge("a.hwm")
+	g.Observe(7)
+	g.Observe(3)
+	g.Observe(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge = %d, want max 9", got)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(3)
+	r.Gauge("y").Observe(1)
+	r.Histogram("z").Observe(time.Second)
+	r.Merge(NewRegistry())
+	var tr *Tracer
+	tr.SimSpan("p", 0, time.Second)
+	tr.StartWall("q")()
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+// TestObsMergeCommutative verifies the registry merge discipline: merging K
+// per-shard registries yields the same snapshot in any order — the property
+// that makes sharded metric collection deterministic.
+func TestObsMergeCommutative(t *testing.T) {
+	build := func(seed int) *Registry {
+		r := NewRegistry()
+		r.Counter("probes").Add(uint64(10 * (seed + 1)))
+		r.Gauge("hwm").Observe(int64(seed * 7 % 13))
+		r.DiagCounter("events").Add(uint64(seed))
+		h := r.Histogram("rtt")
+		for i := 0; i < 20; i++ {
+			h.Observe(time.Duration(seed*i) * 37 * time.Millisecond)
+		}
+		return r
+	}
+	shards := []*Registry{build(0), build(1), build(2), build(3)}
+
+	forward := NewRegistry()
+	for _, s := range shards {
+		forward.Merge(s)
+	}
+	backward := NewRegistry()
+	for i := len(shards) - 1; i >= 0; i-- {
+		backward.Merge(shards[i])
+	}
+	f, _ := json.Marshal(forward.Snapshot())
+	b, _ := json.Marshal(backward.Snapshot())
+	if !bytes.Equal(f, b) {
+		t.Fatalf("merge order changed snapshot:\n%s\nvs\n%s", f, b)
+	}
+	fd, _ := json.Marshal(forward.DiagnosticSnapshot())
+	bd, _ := json.Marshal(backward.DiagnosticSnapshot())
+	if !bytes.Equal(fd, bd) {
+		t.Fatalf("merge order changed diagnostic snapshot:\n%s\nvs\n%s", fd, bd)
+	}
+}
+
+// TestObsSnapshotRoundTrip checks the satellite requirement: a metrics
+// snapshot round-trips through JSON encode/decode unchanged.
+func TestObsSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("survey.probes").Add(12345)
+	r.Counter("survey.matched").Add(11000)
+	r.Gauge("match.open_probes_hwm").Observe(421)
+	h := r.Histogram("survey.rtt_matched")
+	for _, d := range []time.Duration{time.Millisecond, 40 * time.Millisecond,
+		900 * time.Millisecond, 4 * time.Second, 6 * time.Second, 200 * time.Second} {
+		h.Observe(d)
+	}
+	snap := r.Snapshot()
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := decoded.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if first != buf2.String() {
+		t.Fatalf("snapshot JSON did not round-trip:\n%s\nvs\n%s", first, buf2.String())
+	}
+}
+
+// TestHistogramPaperBoundaries checks the paper's reporting thresholds are
+// exact boundaries, so tail fractions are bucket sums rather than
+// interpolations.
+func TestHistogramPaperBoundaries(t *testing.T) {
+	for _, want := range []time.Duration{time.Second, 5 * time.Second, 60 * time.Second, 145 * time.Second} {
+		found := false
+		for _, b := range Boundaries {
+			if b == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("paper threshold %v is not a histogram boundary", want)
+		}
+	}
+	for i := 1; i < len(Boundaries); i++ {
+		if Boundaries[i] <= Boundaries[i-1] {
+			t.Fatalf("boundaries not increasing at %d", i)
+		}
+	}
+}
+
+func TestHistogramTailFraction(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rtt")
+	// 90 fast samples, 6 in (1s, 5s], 3 in (5s, 145s], 1 above 145s.
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	for i := 0; i < 6; i++ {
+		h.Observe(2 * time.Second)
+	}
+	h.Observe(10 * time.Second)
+	h.Observe(80 * time.Second)
+	h.Observe(100 * time.Second)
+	h.Observe(200 * time.Second)
+
+	if got := h.TailFraction(time.Second); got != 0.10 {
+		t.Errorf("TailFraction(1s) = %v, want 0.10", got)
+	}
+	if got := h.TailFraction(5 * time.Second); got != 0.04 {
+		t.Errorf("TailFraction(5s) = %v, want 0.04", got)
+	}
+	if got := h.TailFraction(145 * time.Second); got != 0.01 {
+		t.Errorf("TailFraction(145s) = %v, want 0.01", got)
+	}
+	// A sample exactly on a boundary is not "above" it.
+	r2 := NewRegistry()
+	h2 := r2.Histogram("edge")
+	h2.Observe(5 * time.Second)
+	if got := h2.CountAbove(5 * time.Second); got != 0 {
+		t.Errorf("sample at boundary counted above it: %d", got)
+	}
+	// Snapshot-side tail agrees with the live histogram.
+	snap := r.Snapshot()
+	if got := snap.HistogramTail("rtt", 5*time.Second); got != 0.04 {
+		t.Errorf("snapshot HistogramTail(5s) = %v, want 0.04", got)
+	}
+}
+
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer()
+	tr.SimSpan("scan", 0, 90*time.Minute)
+	tr.SimSpan("drain", 90*time.Minute, 105*time.Minute)
+	end := tr.StartWall("wall-phase")
+	end()
+	sim := tr.Spans(ClockSim)
+	if len(sim) != 2 || sim[0].Name != "scan" || sim[1].Name != "drain" {
+		t.Fatalf("sim spans = %+v", sim)
+	}
+	if sim[0].Dur != 90*time.Minute {
+		t.Errorf("scan span dur = %v", sim[0].Dur)
+	}
+	if wall := tr.Spans(ClockWall); len(wall) != 1 || wall[0].Name != "wall-phase" {
+		t.Fatalf("wall spans = %+v", tr.Spans(ClockWall))
+	}
+}
+
+func TestManifestDeterministicJSON(t *testing.T) {
+	build := func() Manifest {
+		r := NewRegistry()
+		r.Counter("probes").Add(100)
+		r.DiagCounter("events").Add(12345) // diagnostic: must not leak into Run
+		tr := NewTracer()
+		tr.SimSpan("scan", 0, time.Hour)
+		tr.StartWall("exec")()
+		return BuildManifest("zmapscan", 42, 8, map[string]string{"blocks": "64"},
+			&FaultSummary{Seed: 1, WireCorrupt: 0.01}, tr, r)
+	}
+	a, err := build().DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := build().DeterministicJSON()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("deterministic manifest not stable:\n%s\nvs\n%s", a, b)
+	}
+	if strings.Contains(string(a), "events") {
+		t.Error("diagnostic metric leaked into deterministic manifest section")
+	}
+	if !strings.Contains(string(a), `"wire_corrupt": 0.01`) {
+		t.Errorf("fault plan missing from manifest run section:\n%s", a)
+	}
+	var m Manifest
+	full, _ := json.Marshal(build())
+	if err := json.Unmarshal(full, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exec.Shards != 8 || m.Exec.Flags["blocks"] != "64" {
+		t.Errorf("exec section lost data: %+v", m.Exec)
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: timeouts
+BenchmarkParallelScan-8   	     100	  12345678 ns/op	  456789 B/op	    1234 allocs/op
+BenchmarkStreamingMatch   	    5000	    250000 ns/op
+PASS
+ok  	timeouts	12.3s
+`
+	res := ParseBench(strings.NewReader(out))
+	if len(res) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(res), res)
+	}
+	r0 := res[0]
+	if r0.Name != "ParallelScan" || r0.Procs != 8 || r0.Iterations != 100 ||
+		r0.NsPerOp != 12345678 || r0.BytesPerOp != 456789 || r0.AllocsPerOp != 1234 {
+		t.Errorf("result 0 = %+v", r0)
+	}
+	r1 := res[1]
+	if r1.Name != "StreamingMatch" || r1.Procs != 1 || r1.NsPerOp != 250000 || r1.BytesPerOp != 0 {
+		t.Errorf("result 1 = %+v", r1)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []BenchResult
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("bench JSON invalid: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 2 {
+		t.Errorf("bench JSON has %d entries", len(decoded))
+	}
+}

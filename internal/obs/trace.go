@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock distinguishes the two time bases a span can be stamped in.
+type Clock string
+
+// Span clocks. Sim spans are stamped with simnet virtual time, which is a
+// pure function of the seed — a fixed-seed run produces the same sim spans
+// whether it executes sequentially or sharded, so they belong in the
+// deterministic run manifest. Wall spans measure real elapsed time and are
+// diagnostics: reported, never byte-identical across runs.
+const (
+	ClockSim  Clock = "sim"
+	ClockWall Clock = "wall"
+)
+
+// Span is one traced phase.
+type Span struct {
+	Name  string `json:"name"`
+	Clock Clock  `json:"clock"`
+	// Start is the span's start time: simulation time since the epoch for
+	// sim spans, nanoseconds since the tracer was created for wall spans.
+	Start time.Duration `json:"start_ns"`
+	// Dur is the span's duration in the span's clock.
+	Dur time.Duration `json:"dur_ns"`
+}
+
+// Tracer collects spans. It is safe for concurrent use and nil-receiver
+// safe, like Registry.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []Span
+	wall0 time.Time
+}
+
+// NewTracer creates a tracer; wall spans are measured from now.
+func NewTracer() *Tracer { return &Tracer{wall0: time.Now()} }
+
+// SimSpan records a phase in simulation time: [start, end) on the virtual
+// clock. Deterministic per seed.
+func (t *Tracer) SimSpan(name string, start, end time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Clock: ClockSim, Start: start, Dur: end - start})
+	t.mu.Unlock()
+}
+
+// StartWall begins a wall-clock phase and returns the function that ends
+// it. Wall spans are diagnostics (see Clock).
+func (t *Tracer) StartWall(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Since(t.wall0)
+	return func() {
+		end := time.Since(t.wall0)
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Clock: ClockWall, Start: start, Dur: end - start})
+		t.mu.Unlock()
+	}
+}
+
+// Spans returns all spans of the given clock, sorted by (start, name) —
+// a deterministic order for sim spans regardless of shard scheduling.
+func (t *Tracer) Spans(clock Clock) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	for _, s := range t.spans {
+		if s.Clock == clock {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TraceFile is the JSON shape of a -trace output: every span (sim and
+// wall) plus the diagnostic metrics — the execution-strategy-dependent side
+// of the registry that the deterministic snapshot excludes.
+type TraceFile struct {
+	Spans       []Span   `json:"spans"`
+	Diagnostics Snapshot `json:"diagnostics"`
+}
+
+// WriteTrace writes the full trace (sim + wall spans, diagnostics from reg)
+// as indented JSON.
+func WriteTrace(w io.Writer, t *Tracer, reg *Registry) error {
+	tf := TraceFile{Diagnostics: reg.DiagnosticSnapshot()}
+	tf.Spans = append(tf.Spans, t.Spans(ClockSim)...)
+	tf.Spans = append(tf.Spans, t.Spans(ClockWall)...)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tf)
+}

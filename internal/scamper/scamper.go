@@ -17,6 +17,7 @@ import (
 
 	"timeouts/internal/ipaddr"
 	"timeouts/internal/ipmeta"
+	"timeouts/internal/obs"
 	"timeouts/internal/simnet"
 	"timeouts/internal/wire"
 )
@@ -66,6 +67,12 @@ type Prober struct {
 	results   []*ProbeResult
 	decodeErr uint64
 
+	// Observability (nil-safe no-ops unless SetObserver installs them).
+	obsProbes    *obs.Counter
+	obsResponses *obs.Counter
+	obsDecodeErr *obs.Counter
+	obsRTT       *obs.Histogram
+
 	// traceroute state (see traceroute.go)
 	trPending map[tracerouteKey]*HopResult
 	trResults map[ipaddr.Addr][]*HopResult
@@ -96,6 +103,17 @@ func New(net *simnet.Network, src ipaddr.Addr, continent ipmeta.Continent) *Prob
 
 // Close detaches the prober from the network.
 func (p *Prober) Close() { p.net.DetachProber(p.src) }
+
+// SetObserver registers the prober's metrics — probes sent, responses
+// matched, decode errors, and a per-probe RTT histogram — plus the
+// network/scheduler substrate metrics on reg.
+func (p *Prober) SetObserver(reg *obs.Registry) {
+	p.obsProbes = reg.Counter("scamper.probes_sent")
+	p.obsResponses = reg.Counter("scamper.responses")
+	p.obsDecodeErr = reg.Counter("scamper.decode_errors")
+	p.obsRTT = reg.Histogram("scamper.rtt")
+	p.net.SetObserver(reg)
+}
 
 // Src returns the prober's source address.
 func (p *Prober) Src() ipaddr.Addr { return p.src }
@@ -133,6 +151,7 @@ func (p *Prober) send(dst ipaddr.Addr, proto Proto, token, seq uint16) {
 	}
 	p.pending[key] = res
 	p.results = append(p.results, res)
+	p.obsProbes.Inc()
 
 	var pkt []byte
 	switch proto {
@@ -170,6 +189,7 @@ func (p *Prober) receive(at simnet.Time, data []byte, count int) {
 	pkt, err := wire.Decode(data)
 	if err != nil {
 		p.decodeErr += uint64(count)
+		p.obsDecodeErr.Add(uint64(count))
 		return
 	}
 	if p.handleTraceroute(at, pkt) {
@@ -215,6 +235,8 @@ func (p *Prober) receive(at simnet.Time, data []byte, count int) {
 	res.Responded = true
 	res.RTT = time.Duration(at - res.SentAt)
 	res.ReplyTTL = ttl
+	p.obsResponses.Inc()
+	p.obsRTT.Observe(res.RTT)
 }
 
 // Results returns every probe result, ordered by (destination, protocol,

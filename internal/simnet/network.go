@@ -6,6 +6,7 @@ import (
 
 	"timeouts/internal/faults"
 	"timeouts/internal/ipaddr"
+	"timeouts/internal/obs"
 )
 
 // Delivery is one response (or batch of identical responses) the fabric
@@ -78,6 +79,17 @@ type Network struct {
 		FaultsTruncated  uint64
 		FaultsDuplicated uint64 // deliveries duplicated (not copy count)
 	}
+
+	// Observability counters mirroring Stats (nil-safe no-ops unless
+	// SetObserver installs them). All are deterministic: each probe is sent
+	// and each delivery handled by exactly one shard, so per-shard counts
+	// sum to the sequential run's regardless of partitioning.
+	obsProbes     *obs.Counter
+	obsDeliveries *obs.Counter
+	obsPackets    *obs.Counter
+	obsCorrupted  *obs.Counter
+	obsTruncated  *obs.Counter
+	obsDuplicated *obs.Counter
 }
 
 // NewNetwork creates a network driven by sched and answered by fabric.
@@ -102,6 +114,20 @@ func (n *Network) DetachProber(addr ipaddr.Addr) { delete(n.probers, addr) }
 
 // SetTap installs (or, with nil, removes) the packet tap.
 func (n *Network) SetTap(t Tap) { n.tap = t }
+
+// SetObserver registers the network's traffic counters — and the driving
+// scheduler's diagnostic metrics — on reg. A sharded run gives every shard
+// network its own registry and merges them afterwards (obs.Registry.Merge),
+// which reproduces the sequential counts exactly.
+func (n *Network) SetObserver(reg *obs.Registry) {
+	n.obsProbes = reg.Counter("simnet.probes_sent")
+	n.obsDeliveries = reg.Counter("simnet.deliveries")
+	n.obsPackets = reg.Counter("simnet.packets_received")
+	n.obsCorrupted = reg.Counter("simnet.faults_corrupted")
+	n.obsTruncated = reg.Counter("simnet.faults_truncated")
+	n.obsDuplicated = reg.Counter("simnet.faults_duplicated")
+	n.sched.SetObserver(reg)
+}
 
 // SetFaults installs (or, with nil, removes) a fault-injection plan. Wire
 // faults are applied per delivery, keyed on the delivery's (rank, index)
@@ -128,6 +154,7 @@ func (n *Network) Send(from ipaddr.Addr, pkt []byte) {
 		panic(fmt.Sprintf("simnet: Send from unattached prober %s", from))
 	}
 	n.Stats.ProbesSent++
+	n.obsProbes.Inc()
 	at := n.sched.Now()
 	if n.tap != nil {
 		n.tap(at, TapSent, pkt, 1)
@@ -147,16 +174,21 @@ func (n *Network) Send(from ipaddr.Addr, pkt []byte) {
 				data[f.Bit/8] ^= 1 << (f.Bit % 8)
 				d.Data = data
 				n.Stats.FaultsCorrupted++
+				n.obsCorrupted.Inc()
 			case faults.WireTruncate:
 				d.Data = d.Data[:f.Len]
 				n.Stats.FaultsTruncated++
+				n.obsTruncated.Inc()
 			case faults.WireDuplicate:
 				d.Count += f.Extra
 				n.Stats.FaultsDuplicated++
+				n.obsDuplicated.Inc()
 			}
 		}
 		n.Stats.DeliveriesReceived++
 		n.Stats.PacketsReceived += uint64(d.Count)
+		n.obsDeliveries.Inc()
+		n.obsPackets.Add(uint64(d.Count))
 		n.sched.At(at+d.Delay, func() {
 			n.curTag = DeliveryTag{Rank: rank, Index: di}
 			if n.tap != nil {

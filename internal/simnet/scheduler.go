@@ -12,6 +12,8 @@ package simnet
 import (
 	"container/heap"
 	"time"
+
+	"timeouts/internal/obs"
 )
 
 // Time is simulation time: the duration since the simulation epoch.
@@ -44,6 +46,20 @@ type Scheduler struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+
+	// Observability (nil-safe no-ops unless SetObserver installs them).
+	// Event counts and queue depth depend on how a run is partitioned — a
+	// sharded run schedules its own sweep events per shard — so they are
+	// diagnostic metrics, excluded from the deterministic snapshot.
+	eventsScheduled *obs.Counter
+	queueDepthHWM   *obs.Gauge
+}
+
+// SetObserver registers the scheduler's diagnostic metrics (events
+// scheduled, event-queue depth high-water mark) on reg.
+func (s *Scheduler) SetObserver(reg *obs.Registry) {
+	s.eventsScheduled = reg.DiagCounter("simnet.events_scheduled")
+	s.queueDepthHWM = reg.DiagGauge("simnet.queue_depth_hwm")
 }
 
 // Now returns the current simulation time.
@@ -57,6 +73,8 @@ func (s *Scheduler) At(t Time, fn func()) {
 	}
 	s.seq++
 	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	s.eventsScheduled.Inc()
+	s.queueDepthHWM.Observe(int64(len(s.events)))
 }
 
 // After schedules fn to run d from now.

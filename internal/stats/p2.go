@@ -217,6 +217,10 @@ func (s *StreamingQuantiles) Add(d time.Duration) {
 // N returns the observation count.
 func (s *StreamingQuantiles) N() int { return s.n }
 
+// Spilled reports whether the stream outgrew the exact buffer and graduated
+// to P² estimation — the point past which Quantiles are approximate.
+func (s *StreamingQuantiles) Spilled() bool { return s.ests != nil }
+
 // Quantiles returns the current estimates as a Quantiles vector: exact for
 // short streams, P² beyond the buffer.
 func (s *StreamingQuantiles) Quantiles() Quantiles {

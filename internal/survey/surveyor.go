@@ -9,6 +9,7 @@ import (
 	"timeouts/internal/faults"
 	"timeouts/internal/ipaddr"
 	"timeouts/internal/ipmeta"
+	"timeouts/internal/obs"
 	"timeouts/internal/simnet"
 	"timeouts/internal/wire"
 	"timeouts/internal/xrand"
@@ -70,6 +71,16 @@ type Config struct {
 	// Stats.CorruptPackets and continues. Process faults panic injected
 	// shard workers; RunSharded surfaces them as errors naming the shard.
 	Faults *faults.Plan
+	// Obs optionally collects the survey's metrics (nil: none): the Stats
+	// fields as live counters, a survey.rtt_matched histogram over matched
+	// RTTs — the probe-side samples the analysis pipeline recovers, so the
+	// two can be cross-checked — and the network/scheduler substrate
+	// metrics. Deterministic metrics are partition-invariant under
+	// sharding (per-shard registries merge commutatively into Obs).
+	Obs *obs.Registry
+	// Trace optionally records the survey's sim-time phases (probing,
+	// drain) — deterministic per seed.
+	Trace *obs.Tracer
 }
 
 // withDefaults fills zero fields with ISI-like values.
@@ -140,6 +151,41 @@ const (
 // endKeyTime orders post-run records after every scheduled event.
 const endKeyTime = simnet.Time(math.MaxInt64)
 
+// surveyObs bundles the survey's hoisted metric handles; the zero value
+// (all nil) is a no-op, so uninstrumented runs pay only nil checks.
+type surveyObs struct {
+	probes, matched, timeouts  *obs.Counter
+	unmatched, errors, dropped *obs.Counter
+	corrupt                    *obs.Counter
+	rtt                        *obs.Histogram
+}
+
+// newSurveyObs resolves the survey's metrics on reg (nil-safe).
+func newSurveyObs(reg *obs.Registry) surveyObs {
+	return surveyObs{
+		probes:    reg.Counter("survey.probes"),
+		matched:   reg.Counter("survey.matched"),
+		timeouts:  reg.Counter("survey.timeouts"),
+		unmatched: reg.Counter("survey.unmatched"),
+		errors:    reg.Counter("survey.errors"),
+		dropped:   reg.Counter("survey.dropped"),
+		corrupt:   reg.Counter("survey.corrupt_packets"),
+		rtt:       reg.Histogram("survey.rtt_matched"),
+	}
+}
+
+// traceSimPhases emits the survey's deterministic sim-time phases: probing
+// spans the configured cycles; the trailing sweeps that resolve the last
+// probes are the drain. The config must already have defaults applied.
+func (c Config) traceSimPhases() {
+	if c.Trace == nil {
+		return
+	}
+	end := c.Start + simnet.Time(c.Cycles)*c.Interval
+	c.Trace.SimSpan("survey.probe", c.Start, end)
+	c.Trace.SimSpan("survey.drain", end, end+c.Timeout+2*c.Sweep)
+}
+
 // Run executes a survey: it attaches a prober to the network, probes every
 // address of every block once per cycle, writes the dataset to out, drains
 // the scheduler, and detaches. The scheduler is run to completion.
@@ -148,12 +194,15 @@ func Run(net *simnet.Network, cfg Config, out RecordWriter) (Stats, error) {
 	if len(cfg.Blocks) == 0 {
 		return Stats{}, fmt.Errorf("survey: no blocks to probe")
 	}
+	cfg.traceSimPhases()
 	s := &surveyor{
 		net: net, cfg: cfg, out: out,
 		blockTotal:  len(cfg.Blocks),
 		outstanding: make(map[ipaddr.Addr]simnet.Time),
+		o:           newSurveyObs(cfg.Obs),
 	}
 	net.SetFaults(cfg.Faults)
+	net.SetObserver(cfg.Obs)
 	net.AttachProber(cfg.Vantage.Addr, s.receive)
 	defer net.DetachProber(cfg.Vantage.Addr)
 
@@ -195,6 +244,16 @@ func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric, ou
 	if shards > len(cfg.Blocks) {
 		shards = len(cfg.Blocks)
 	}
+	cfg.traceSimPhases()
+	// Per-shard registries, merged commutatively after the run, reproduce
+	// the sequential run's deterministic metrics exactly.
+	var shardRegs []*obs.Registry
+	if cfg.Obs != nil {
+		shardRegs = make([]*obs.Registry, shards)
+		for k := range shardRegs {
+			shardRegs[k] = obs.NewRegistry()
+		}
+	}
 	surveyors := make([]*surveyor, shards)
 	if err := simnet.RunShards(shards, 0, func(k int) error {
 		cfg.Faults.MaybePanicShard(k)
@@ -204,10 +263,15 @@ func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric, ou
 		lo, hi := simnet.ShardBounds(len(cfg.Blocks), shards, k)
 		scfg := cfg
 		scfg.Blocks = cfg.Blocks[lo:hi]
+		if shardRegs != nil {
+			scfg.Obs = shardRegs[k]
+		}
+		net.SetObserver(scfg.Obs)
 		s := &surveyor{
 			net: net, cfg: scfg, tag: true,
 			blockOff: lo, blockTotal: len(cfg.Blocks),
 			outstanding: make(map[ipaddr.Addr]simnet.Time),
+			o:           newSurveyObs(scfg.Obs),
 		}
 		surveyors[k] = s
 		net.AttachProber(cfg.Vantage.Addr, s.receive)
@@ -217,6 +281,9 @@ func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric, ou
 		return nil
 	}); err != nil {
 		return Stats{}, err
+	}
+	for _, sr := range shardRegs {
+		cfg.Obs.Merge(sr)
 	}
 
 	var stats Stats
@@ -236,11 +303,13 @@ func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric, ou
 	// or core.StreamMatcher consuming the survey directly) sees the records
 	// flow straight out of the per-shard buffers in sequential order.
 	var err error
+	mergeStart := time.Now()
 	simnet.MergeTaggedFunc(streams, func(r Record) {
 		if werr := out.Write(r); werr != nil && err == nil {
 			err = werr
 		}
 	})
+	cfg.Obs.DiagGauge("survey.merge_wall_ns").Observe(int64(time.Since(mergeStart)))
 	if f, ok := out.(interface{ Flush() error }); ok {
 		if ferr := f.Flush(); ferr != nil && err == nil {
 			err = ferr
@@ -256,6 +325,7 @@ type surveyor struct {
 	out         RecordWriter
 	outstanding map[ipaddr.Addr]simnet.Time
 	stats       Stats
+	o           surveyObs
 	err         error
 
 	// Sharded-run state: blockOff is the global index of cfg.Blocks[0] in
@@ -302,6 +372,7 @@ func (s *surveyor) sendSlot(cycle, slot int) {
 			s.record(Record{Type: RecTimeout, Addr: dst, When: TruncSecond(send)},
 				simnet.ShardKey{At: s.net.Scheduler().Now(), Phase: phaseSlot, A: slotRank, B: gbi})
 			s.stats.Timeouts++
+			s.o.timeouts.Inc()
 			delete(s.outstanding, dst)
 		}
 		echo := &wire.ICMPEcho{
@@ -312,6 +383,7 @@ func (s *surveyor) sendSlot(cycle, slot int) {
 		now := s.net.Scheduler().Now()
 		s.outstanding[dst] = now
 		s.stats.Probes++
+		s.o.probes.Inc()
 		// The probe's global rank — its position in the full unsharded
 		// probe order — tags the deliveries it causes, so receive can order
 		// its records across shards.
@@ -331,6 +403,7 @@ func (s *surveyor) receive(at simnet.Time, data []byte, count int) {
 			}
 		}
 		s.stats.Dropped += uint64(count - kept)
+		s.o.dropped.Add(uint64(count - kept))
 		if kept == 0 {
 			return
 		}
@@ -341,6 +414,7 @@ func (s *surveyor) receive(at simnet.Time, data []byte, count int) {
 		// Corrupt packets are dropped like a kernel would drop them, but
 		// counted so a chaos run can audit what the wire did.
 		s.stats.CorruptPackets += uint64(count)
+		s.o.corrupt.Add(uint64(count))
 		return
 	}
 	// All records of one delivery share its (probe rank, delivery index)
@@ -361,12 +435,15 @@ func (s *surveyor) receive(at simnet.Time, data []byte, count int) {
 		// ignores error-answered probes (§3.1).
 		delete(s.outstanding, dst)
 		s.stats.Errors++
+		s.o.errors.Inc()
 		emit(Record{Type: RecError, Addr: dst, When: TruncSecond(at)})
 	case p.Echo != nil && p.Echo.Type == wire.ICMPTypeEchoReply:
 		src := p.IP.Src
 		if send, ok := s.outstanding[src]; ok {
 			delete(s.outstanding, src)
 			s.stats.Matched++
+			s.o.matched.Inc()
+			s.o.rtt.Observe(TruncMicro(at - send))
 			emit(Record{
 				Type: RecMatched, Addr: src,
 				When: TruncMicro(send), RTT: TruncMicro(at - send),
@@ -378,6 +455,7 @@ func (s *surveyor) receive(at simnet.Time, data []byte, count int) {
 			// request already timed out — are unmatched. Identical packets
 			// arriving together are run-length encoded in the RTT field.
 			s.stats.Unmatched += uint64(count)
+			s.o.unmatched.Add(uint64(count))
 			emit(Record{
 				Type: RecUnmatched, Addr: src,
 				When: TruncSecond(at), RTT: time.Duration(count),
@@ -414,6 +492,7 @@ func (s *surveyor) sweepPhase(phase uint8, keyAt simnet.Time) {
 		s.record(Record{Type: RecTimeout, Addr: a, When: TruncSecond(s.outstanding[a])},
 			simnet.ShardKey{At: keyAt, Phase: phase, A: uint64(s.outstanding[a]), B: uint64(a)})
 		s.stats.Timeouts++
+		s.o.timeouts.Inc()
 		delete(s.outstanding, a)
 	}
 }
@@ -433,6 +512,7 @@ func (s *surveyor) expireAll() {
 			s.record(Record{Type: RecTimeout, Addr: a, When: TruncSecond(s.outstanding[a])},
 				simnet.ShardKey{At: endKeyTime, Phase: phaseRest, A: uint64(a)})
 			s.stats.Timeouts++
+			s.o.timeouts.Inc()
 			delete(s.outstanding, a)
 		}
 	}

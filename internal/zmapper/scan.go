@@ -8,6 +8,7 @@ import (
 	"timeouts/internal/faults"
 	"timeouts/internal/ipaddr"
 	"timeouts/internal/ipmeta"
+	"timeouts/internal/obs"
 	"timeouts/internal/simnet"
 	"timeouts/internal/wire"
 	"timeouts/internal/xrand"
@@ -43,6 +44,18 @@ type Config struct {
 	// Scan.CorruptPackets; injected shard-worker panics surface as errors
 	// from RunSharded naming the shard.
 	Faults *faults.Plan
+	// Obs optionally collects the scan's metrics (nil: none): probe and
+	// response counters, per-probe RTT histograms (zmap.rtt over every
+	// response, zmap.rtt_first_self over the first self-response per
+	// address — the sample set the analysis side consumes), and the
+	// network/scheduler substrate metrics. Deterministic metrics are
+	// partition-invariant: a sharded run merges per-shard registries into
+	// Obs and the deterministic snapshot is byte-identical to a sequential
+	// run's.
+	Obs *obs.Registry
+	// Trace optionally records the scan's sim-time phases (probing, drain)
+	// — deterministic per seed — plus wall-clock diagnostics.
+	Trace *obs.Tracer
 }
 
 // Response is one echo response as the stateless scanner sees it.
@@ -112,6 +125,21 @@ func runRange(net *simnet.Network, cfg Config, lo, hi int, tag bool) *rangeResul
 	res := &rangeResult{}
 	sched := net.Scheduler()
 	net.SetFaults(cfg.Faults)
+	net.SetObserver(cfg.Obs)
+	var (
+		obsProbes    = cfg.Obs.Counter("zmap.probes_sent")
+		obsResponses = cfg.Obs.Counter("zmap.responses")
+		obsCorrupt   = cfg.Obs.Counter("zmap.corrupt_packets")
+		obsRTT       = cfg.Obs.Histogram("zmap.rtt")
+		obsRTTSelf   = cfg.Obs.Histogram("zmap.rtt_first_self")
+	)
+	// First self-response tracking for the rtt_first_self histogram: every
+	// address is probed once per scan, so all its deliveries stay within
+	// the shard that sent its probe and "first" is shard-local.
+	var seenSelf map[ipaddr.Addr]bool
+	if cfg.Obs != nil {
+		seenSelf = make(map[ipaddr.Addr]bool)
+	}
 
 	collecting := true
 	net.AttachProber(cfg.Src, func(at simnet.Time, data []byte, count int) {
@@ -123,6 +151,7 @@ func runRange(net *simnet.Network, cfg Config, lo, hi int, tag bool) *rangeResul
 		if err != nil {
 			// Undecodable wire noise: count it and keep scanning.
 			res.corrupt += uint64(count)
+			obsCorrupt.Add(uint64(count))
 			return
 		}
 		if p.Echo == nil || p.Echo.Type != wire.ICMPTypeEchoReply {
@@ -131,15 +160,23 @@ func runRange(net *simnet.Network, cfg Config, lo, hi int, tag bool) *rangeResul
 		zp, err := wire.DecodeZmapPayload(p.Echo.Payload)
 		if err != nil {
 			res.corrupt += uint64(count)
+			obsCorrupt.Add(uint64(count))
 			return
 		}
 		// Record one response per delivery; duplicate bursts add no RTT
 		// information to a stateless scanner.
+		rtt := time.Duration(at) - time.Duration(zp.SendTime)
 		res.responses = append(res.responses, Response{
 			Dst: zp.Dst,
 			Src: p.IP.Src,
-			RTT: time.Duration(at) - time.Duration(zp.SendTime),
+			RTT: rtt,
 		})
+		obsResponses.Inc()
+		obsRTT.Observe(rtt)
+		if seenSelf != nil && p.IP.Src == zp.Dst && !seenSelf[zp.Dst] {
+			seenSelf[zp.Dst] = true
+			obsRTTSelf.Observe(rtt)
+		}
 		if tag {
 			dt := net.LastDeliveryTag()
 			res.keys = append(res.keys, simnet.ShardKey{At: at, A: dt.Rank, B: uint64(dt.Index)})
@@ -171,6 +208,7 @@ func runRange(net *simnet.Network, cfg Config, lo, hi int, tag bool) *rangeResul
 				Payload: wire.ZmapPayload{Dst: dst, SendTime: time.Duration(now)}.Encode(),
 			}
 			res.probes++
+			obsProbes.Inc()
 			net.SetSendRank(uint64(pos))
 			net.Send(cfg.Src, wire.EncodeEcho(cfg.Src, dst, echo))
 		})
@@ -189,6 +227,7 @@ func Run(net *simnet.Network, cfg Config) (*Scan, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.traceSimPhases()
 	r := runRange(net, cfg, 0, cfg.TargetN, false)
 	return &Scan{Cfg: cfg, Responses: r.responses, ProbesSent: r.probes,
 		PacketsReceived: r.packets, CorruptPackets: r.corrupt}, nil
@@ -240,16 +279,33 @@ func runShardedInto(cfg Config, shards int, fabric func(shard int) simnet.Fabric
 	if shards > cfg.TargetN {
 		shards = cfg.TargetN
 	}
+	cfg.traceSimPhases()
+	// Each shard collects into its own registry; the commutative merge
+	// below reproduces the sequential run's deterministic metrics exactly.
+	var shardRegs []*obs.Registry
+	if cfg.Obs != nil {
+		shardRegs = make([]*obs.Registry, shards)
+		for k := range shardRegs {
+			shardRegs[k] = obs.NewRegistry()
+		}
+	}
 	results := make([]*rangeResult, shards)
 	if err := simnet.RunShards(shards, 0, func(k int) error {
 		cfg.Faults.MaybePanicShard(k)
 		sched := &simnet.Scheduler{}
 		net := simnet.NewNetwork(sched, fabric(k))
 		lo, hi := simnet.ShardBounds(cfg.TargetN, shards, k)
-		results[k] = runRange(net, cfg, lo, hi, true)
+		scfg := cfg
+		if shardRegs != nil {
+			scfg.Obs = shardRegs[k]
+		}
+		results[k] = runRange(net, scfg, lo, hi, true)
 		return nil
 	}); err != nil {
 		return 0, 0, 0, err
+	}
+	for _, sr := range shardRegs {
+		cfg.Obs.Merge(sr)
 	}
 	streams := make([][]simnet.Tagged[Response], shards)
 	for k, r := range results {
@@ -262,8 +318,21 @@ func runShardedInto(cfg Config, shards int, fabric func(shard int) simnet.Fabric
 		}
 		streams[k] = tagged
 	}
+	mergeStart := time.Now()
 	simnet.MergeTaggedFunc(streams, fn)
+	cfg.Obs.DiagGauge("zmap.merge_wall_ns").Observe(int64(time.Since(mergeStart)))
 	return probes, packets, corrupt, nil
+}
+
+// traceSimPhases emits the scan's deterministic sim-time phases: probing
+// spans [Start, Start+Duration), collection continues through the drain
+// window. The config must already have defaults applied.
+func (cfg Config) traceSimPhases() {
+	if cfg.Trace == nil {
+		return
+	}
+	cfg.Trace.SimSpan("zmap.probe", cfg.Start, cfg.Start+cfg.Duration)
+	cfg.Trace.SimSpan("zmap.drain", cfg.Start+cfg.Duration, cfg.Start+cfg.Duration+cfg.Drain)
 }
 
 // SelfResponses returns, per probed address that answered from its own
