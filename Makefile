@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke chaos bench obs-check check ci
+.PHONY: all build vet test race fuzz fuzz-smoke chaos bench bench-compare obs-check check ci
 
 all: check
 
@@ -52,9 +52,20 @@ chaos:
 # `make bench` runs the full benchmark suite and stores a machine-readable
 # snapshot as BENCH_<date>.json next to the human-readable output, so perf
 # trajectories can be diffed across commits (format: README "Benchmark
-# trajectory").
+# trajectory"). benchjson -summary prints the one-line-per-benchmark digest
+# (name, ns/op, ops/sec) to the console.
 bench:
-	$(GO) test -bench=. -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
+	$(GO) test -bench=. -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson -summary > BENCH_$$(date +%Y-%m-%d).json
+
+# The benchmark-regression gate: a short bench run compared against the
+# newest checked-in BENCH_*.json, failing (exit 1) when any benchmark's
+# ns/op grew by more than 10%. Short -benchtime keeps it CI-cheap; override
+# the baseline with BENCH_BASELINE=path.
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+bench-compare:
+	@test -n "$(BENCH_BASELINE)" || { echo "bench-compare: no BENCH_*.json baseline found"; exit 2; }
+	$(GO) test -bench=. -benchmem -benchtime=10x ./... | $(GO) run ./cmd/benchjson > /tmp/bench_current.json
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) /tmp/bench_current.json
 
 # The observability determinism suite: vet, the obs package's unit tests
 # (merge commutativity, snapshot round-trip, paper-threshold histograms),

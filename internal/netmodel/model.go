@@ -54,6 +54,16 @@ type Model struct {
 	vantages map[ipaddr.Addr]ipmeta.Continent
 	state    map[ipaddr.Addr]*hostState
 
+	// Per-call scratch. Respond is invoked synchronously from Send, which
+	// consumes the returned slice before the next probe, so the delivery
+	// slice, decoder, quote buffer and reply message are all reusable.
+	// Reply *packet* buffers are not: a delivery's Data must stay valid
+	// until handled (see simnet.Fabric), so those still allocate.
+	dec       wire.Decoder
+	deliv     []simnet.Delivery
+	quote     []byte
+	replyEcho wire.ICMPEcho
+
 	// Stats counts model decisions, useful for validating population
 	// composition in tests.
 	Stats struct {
@@ -91,7 +101,7 @@ func (m *Model) Respond(from ipaddr.Addr, at simnet.Time, pkt []byte) []simnet.D
 	if !ok {
 		panic(fmt.Sprintf("netmodel: probe from unregistered vantage %s", from))
 	}
-	p, err := wire.Decode(pkt)
+	p, err := m.dec.Decode(pkt)
 	if err != nil {
 		return nil // a malformed probe dies in the network
 	}
@@ -134,7 +144,8 @@ func (m *Model) respondEcho(vc ipmeta.Continent, from ipaddr.Addr, p *wire.Packe
 	if !ok {
 		return nil
 	}
-	reply := wire.EncodeEchoTTL(dst, from, p.Echo.Reply(), m.pop.ReplyTTL(vc, dst))
+	p.Echo.ReplyInto(&m.replyEcho)
+	reply := wire.EncodeEchoTTL(dst, from, &m.replyEcho, m.pop.ReplyTTL(vc, dst))
 	return m.withDuplicates(&pr, t, delay, reply)
 }
 
@@ -152,11 +163,11 @@ func (m *Model) respondUDP(vc ipmeta.Continent, from ipaddr.Addr, p *wire.Packet
 		return nil
 	}
 	// Quote the probe's IP header + first 8 payload bytes, per RFC 792.
-	quote := quoteFor(p)
+	quote := m.quoteFor(p)
 	reply := wire.EncodeICMPErrorTTL(dst, from, &wire.ICMPError{
 		Type: wire.ICMPTypeDstUnreachable, Code: wire.ICMPCodePortUnreachable, Original: quote,
 	}, m.pop.ReplyTTL(vc, dst))
-	return []simnet.Delivery{{Delay: durOf(delay), Data: reply}}
+	return m.deliver(simnet.Delivery{Delay: durOf(delay), Data: reply})
 }
 
 // respondTCP handles a TCP ACK probe: a perimeter firewall may answer with
@@ -168,11 +179,11 @@ func (m *Model) respondTCP(vc ipmeta.Continent, from ipaddr.Addr, p *wire.Packet
 	if bp.FirewallTCPRST {
 		pr := m.pop.Profile(dst) // for continent lookup; works even if unresponsive
 		cont := pr.AS.Continent
-		rng := xrand.New(m.pop.cfg.Seed, uint64(dst), saltFwJitter, uint64(int64(t*1e6)))
+		rng := xrand.Seeded(m.pop.cfg.Seed, uint64(dst), saltFwJitter, uint64(int64(t*1e6)))
 		delay := propRTT[vc][cont]*(0.85+0.1*rng.Float64()) + 0.045 + rng.Exp(0.03)
 		rst := p.TCP.RST()
 		reply := wire.EncodeTCPTTL(dst, from, rst, m.pop.FirewallTTL(vc, dst.Prefix()))
-		return []simnet.Delivery{{Delay: durOf(delay), Data: reply}}
+		return m.deliver(simnet.Delivery{Delay: durOf(delay), Data: reply})
 	}
 	pr := m.pop.Profile(dst)
 	if !m.responsiveAt(&pr, t) {
@@ -183,7 +194,7 @@ func (m *Model) respondTCP(vc ipmeta.Continent, from ipaddr.Addr, p *wire.Packet
 		return nil
 	}
 	reply := wire.EncodeTCPTTL(dst, from, p.TCP.RST(), m.pop.ReplyTTL(vc, dst))
-	return []simnet.Delivery{{Delay: durOf(delay), Data: reply}}
+	return m.deliver(simnet.Delivery{Delay: durOf(delay), Data: reply})
 }
 
 // respondBroadcast fans an echo request sent to a subnet broadcast (or
@@ -198,7 +209,7 @@ func (m *Model) respondBroadcast(vc ipmeta.Continent, from ipaddr.Addr, p *wire.
 	if !isBcast && !bp.NetworkReplies {
 		return nil
 	}
-	var out []simnet.Delivery
+	out := m.deliv[:0]
 	base := bp.SubnetOf(last)
 	seed := m.pop.cfg.Seed
 	for i := 0; i < bp.SubnetSize(); i++ {
@@ -231,11 +242,13 @@ func (m *Model) respondBroadcast(vc ipmeta.Continent, from ipaddr.Addr, p *wire.
 		// and so carry no access profile.
 		jitter := 0.8 + 0.7*xrand.HashFloat(seed, uint64(a), saltDistance)
 		access := 0.01 + 0.05*xrand.HashFloat(seed, uint64(a), saltAccess)
-		rng := xrand.New(seed, uint64(a), saltSvcJitter, uint64(int64(t*1e6)))
+		rng := xrand.Seeded(seed, uint64(a), saltSvcJitter, uint64(int64(t*1e6)))
 		delay := propRTT[vc][pr.AS.Continent]*jitter + access + rng.Exp(0.006)
-		reply := wire.EncodeEchoTTL(a, from, p.Echo.Reply(), m.pop.ReplyTTL(vc, a))
+		p.Echo.ReplyInto(&m.replyEcho)
+		reply := wire.EncodeEchoTTL(a, from, &m.replyEcho, m.pop.ReplyTTL(vc, a))
 		out = append(out, simnet.Delivery{Delay: durOf(delay), Data: reply})
 	}
+	m.deliv = out
 	if len(out) > 0 {
 		m.Stats.BroadcastFanouts++
 	}
@@ -255,7 +268,7 @@ func (m *Model) timeExceeded(vc ipmeta.Continent, from ipaddr.Addr, p *wire.Pack
 		cont = spec.AS.Continent
 	}
 	frac := float64(hop) / float64(hops)
-	rng := xrand.New(m.pop.cfg.Seed, uint64(dst), saltGwJitter, uint64(int64(t*1e6)), uint64(hop))
+	rng := xrand.Seeded(m.pop.cfg.Seed, uint64(dst), saltGwJitter, uint64(int64(t*1e6)), uint64(hop))
 	// Routers rate-limit ICMP generation (RFC 1812); drop some requests.
 	if rng.Float64() < 0.08 {
 		return nil
@@ -263,9 +276,9 @@ func (m *Model) timeExceeded(vc ipmeta.Continent, from ipaddr.Addr, p *wire.Pack
 	delay := propRTT[vc][cont]*frac*(0.9+0.2*rng.Float64()) + 0.004 + rng.Exp(0.01)
 	ttl := byte(255 - hop)
 	reply := wire.EncodeICMPErrorTTL(router, from, &wire.ICMPError{
-		Type: wire.ICMPTypeTimeExceeded, Code: 0, Original: quoteFor(p),
+		Type: wire.ICMPTypeTimeExceeded, Code: 0, Original: m.quoteFor(p),
 	}, ttl)
-	return []simnet.Delivery{{Delay: durOf(delay), Data: reply}}
+	return m.deliver(simnet.Delivery{Delay: durOf(delay), Data: reply})
 }
 
 // gatewayError emits a host-unreachable from the block gateway for a small
@@ -276,12 +289,12 @@ func (m *Model) gatewayError(vc ipmeta.Continent, from ipaddr.Addr, p *wire.Pack
 		return nil
 	}
 	gw := p.IP.Dst.Prefix().Addr(1)
-	rng := xrand.New(m.pop.cfg.Seed, uint64(p.IP.Dst), saltGwJitter, uint64(int64(t*1e6)))
+	rng := xrand.Seeded(m.pop.cfg.Seed, uint64(p.IP.Dst), saltGwJitter, uint64(int64(t*1e6)))
 	delay := propRTT[vc][pr.AS.Continent]*(0.9+0.2*rng.Float64()) + 0.01 + rng.Exp(0.01)
 	reply := wire.EncodeICMPErrorTTL(gw, from, &wire.ICMPError{
-		Type: wire.ICMPTypeDstUnreachable, Code: wire.ICMPCodeHostUnreachable, Original: quoteFor(p),
+		Type: wire.ICMPTypeDstUnreachable, Code: wire.ICMPCodeHostUnreachable, Original: m.quoteFor(p),
 	}, m.pop.GatewayTTL(vc, p.IP.Dst.Prefix()))
-	return []simnet.Delivery{{Delay: durOf(delay), Data: reply}}
+	return m.deliver(simnet.Delivery{Delay: durOf(delay), Data: reply})
 }
 
 // pathDelay computes the full probe->response delay for a responsive host,
@@ -298,7 +311,7 @@ func (m *Model) pathDelay(pr *Profile, vc ipmeta.Continent, t float64) (float64,
 	}
 
 	svc := propRTT[vc][pr.AS.Continent]*pr.DistanceJitter + pr.AccessRTT + pr.SatBase
-	rng := xrand.New(seed, key, saltSvcJitter, uint64(int64(t*1e6)))
+	rng := xrand.Seeded(seed, key, saltSvcJitter, uint64(int64(t*1e6)))
 	svc += rng.Exp(0.008)
 
 	// Buffered-outage episodes override everything else: the device is
@@ -378,16 +391,15 @@ func (m *Model) wakeHold(pr *Profile, t float64) float64 {
 func (m *Model) withDuplicates(pr *Profile, t, delay float64, reply []byte) []simnet.Delivery {
 	switch {
 	case pr.DupCount < 2:
-		return []simnet.Delivery{{Delay: durOf(delay), Data: reply}}
+		return m.deliver(simnet.Delivery{Delay: durOf(delay), Data: reply})
 	case pr.DupCount <= 4:
-		return []simnet.Delivery{{Delay: durOf(delay), Data: reply, Count: pr.DupCount}}
+		return m.deliver(simnet.Delivery{Delay: durOf(delay), Data: reply, Count: pr.DupCount})
 	}
 	// Flood: first copy at the natural delay, the rest in chunks over the
 	// following minutes (the paper saw ~11M responses inside 11 minutes).
-	rng := xrand.New(m.pop.cfg.Seed, uint64(pr.Addr), saltDupChunk, uint64(int64(t*1e6)))
+	rng := xrand.Seeded(m.pop.cfg.Seed, uint64(pr.Addr), saltDupChunk, uint64(int64(t*1e6)))
 	const chunks = 8
-	out := make([]simnet.Delivery, 0, chunks+1)
-	out = append(out, simnet.Delivery{Delay: durOf(delay), Data: reply})
+	out := append(m.deliv[:0], simnet.Delivery{Delay: durOf(delay), Data: reply})
 	remaining := pr.DupCount - 1
 	spread := 60 + 540*rng.Float64()
 	for i := 0; i < chunks && remaining > 0; i++ {
@@ -402,19 +414,29 @@ func (m *Model) withDuplicates(pr *Profile, t, delay float64, reply []byte) []si
 		at := delay + spread*float64(i+1)/chunks*(0.8+0.4*rng.Float64())
 		out = append(out, simnet.Delivery{Delay: durOf(at), Data: reply, Count: n})
 	}
+	m.deliv = out
 	return out
 }
 
-// quoteFor builds the ICMP error quote: the probe's IPv4 header plus its
-// first 8 payload bytes, per RFC 792.
-func quoteFor(p *wire.Packet) []byte {
-	h := p.IP
-	q := h.AppendTo(nil)
+// deliver returns a single-delivery slice backed by the model's scratch;
+// Send consumes it before the next Respond.
+func (m *Model) deliver(d simnet.Delivery) []simnet.Delivery {
+	m.deliv = append(m.deliv[:0], d)
+	return m.deliv
+}
+
+// quoteFor builds the ICMP error quote into the model's scratch buffer: the
+// probe's IPv4 header plus its first 8 payload bytes, per RFC 792. The bytes
+// are copied into the reply packet before the next Respond overwrites them.
+func (m *Model) quoteFor(p *wire.Packet) []byte {
+	q := p.IP.AppendTo(m.quote[:0])
 	n := len(p.L4)
 	if n > 8 {
 		n = 8
 	}
-	return append(q, p.L4[:n]...)
+	q = append(q, p.L4[:n]...)
+	m.quote = q
+	return q
 }
 
 // durOf converts seconds to a Duration, clamping negatives to zero.

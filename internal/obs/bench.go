@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"strconv"
 	"strings"
@@ -78,4 +79,78 @@ func WriteBenchJSON(w io.Writer, r io.Reader) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
+}
+
+// BenchDelta is one benchmark's old-vs-new comparison. Regressed is set when
+// ns/op grew by more than the caller's threshold.
+type BenchDelta struct {
+	Name       string
+	Procs      int
+	OldNsPerOp float64
+	NewNsPerOp float64
+	DeltaPct   float64 // positive = slower
+	Regressed  bool
+}
+
+// CompareBench matches benchmarks by (Name, Procs) across two result sets
+// and reports the ns/op delta of each pair, flagging those that regressed by
+// more than thresholdPct percent. Benchmarks present on only one side are
+// skipped: a renamed or new benchmark is not a regression.
+func CompareBench(old, new []BenchResult, thresholdPct float64) []BenchDelta {
+	type key struct {
+		name  string
+		procs int
+	}
+	idx := make(map[key]BenchResult, len(old))
+	for _, r := range old {
+		idx[key{r.Name, r.Procs}] = r
+	}
+	var out []BenchDelta
+	for _, r := range new {
+		o, ok := idx[key{r.Name, r.Procs}]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		pct := (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		out = append(out, BenchDelta{
+			Name: r.Name, Procs: r.Procs,
+			OldNsPerOp: o.NsPerOp, NewNsPerOp: r.NsPerOp,
+			DeltaPct:  pct,
+			Regressed: pct > thresholdPct,
+		})
+	}
+	return out
+}
+
+// WriteBenchSummary writes one human line per benchmark: name, ns/op and the
+// derived events/sec rate — the `make bench` console summary.
+func WriteBenchSummary(w io.Writer, results []BenchResult) {
+	for _, r := range results {
+		rate := ""
+		if r.NsPerOp > 0 {
+			rate = fmt.Sprintf("  %12.0f ops/sec", 1e9/r.NsPerOp)
+		}
+		fmt.Fprintf(w, "%-40s %14.1f ns/op%s", r.Name, r.NsPerOp, rate)
+		if r.AllocsPerOp > 0 || r.BytesPerOp > 0 {
+			fmt.Fprintf(w, "  %6d allocs/op", r.AllocsPerOp)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteBenchDeltas writes one line per comparison, marking regressions, and
+// reports whether any benchmark regressed.
+func WriteBenchDeltas(w io.Writer, deltas []BenchDelta) (regressed bool) {
+	for _, d := range deltas {
+		mark := "  "
+		if d.Regressed {
+			mark = "✗ "
+			regressed = true
+		} else if d.DeltaPct < -5 {
+			mark = "✓ "
+		}
+		fmt.Fprintf(w, "%s%-40s %14.1f → %12.1f ns/op  %+7.1f%%\n",
+			mark, d.Name, d.OldNsPerOp, d.NewNsPerOp, d.DeltaPct)
+	}
+	return regressed
 }

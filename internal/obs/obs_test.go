@@ -259,3 +259,38 @@ ok  	timeouts	12.3s
 		t.Errorf("bench JSON has %d entries", len(decoded))
 	}
 }
+
+func TestCompareBench(t *testing.T) {
+	old := []BenchResult{
+		{Name: "ParallelScan/shards=1", Procs: 1, NsPerOp: 1000},
+		{Name: "SchedulerThroughput", Procs: 1, NsPerOp: 200},
+		{Name: "Gone", Procs: 1, NsPerOp: 50},
+	}
+	now := []BenchResult{
+		{Name: "ParallelScan/shards=1", Procs: 1, NsPerOp: 1200}, // +20%: regression
+		{Name: "SchedulerThroughput", Procs: 1, NsPerOp: 100},    // -50%: improvement
+		{Name: "Fresh", Procs: 1, NsPerOp: 10},                   // unmatched: skipped
+	}
+	deltas := CompareBench(old, now, 10)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2: %+v", len(deltas), deltas)
+	}
+	byName := map[string]BenchDelta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["ParallelScan/shards=1"]; !d.Regressed || d.DeltaPct != 20 {
+		t.Errorf("scan delta = %+v, want regressed +20%%", d)
+	}
+	if d := byName["SchedulerThroughput"]; d.Regressed || d.DeltaPct != -50 {
+		t.Errorf("sched delta = %+v, want improved -50%%", d)
+	}
+	var buf bytes.Buffer
+	if !WriteBenchDeltas(&buf, deltas) {
+		t.Error("WriteBenchDeltas did not report the regression")
+	}
+	// Just inside the threshold is not a regression.
+	if ds := CompareBench(old[:1], []BenchResult{{Name: "ParallelScan/shards=1", Procs: 1, NsPerOp: 1100}}, 10); ds[0].Regressed {
+		t.Errorf("+10.0%% flagged at a 10%% threshold: %+v", ds[0])
+	}
+}

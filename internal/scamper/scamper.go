@@ -77,7 +77,25 @@ type Prober struct {
 	trPending map[tracerouteKey]*HopResult
 	trResults map[ipaddr.Addr][]*HopResult
 	sentAt    map[tracerouteKey]simnet.Time
+
+	// Hot-path scratch: reusable decoder and pooled probe buffer.
+	dec wire.Decoder
+	buf *[]byte
 }
+
+// pingEvent is one scheduled ping of a train: a preallocated simnet.Event
+// replacing a closure per probe.
+type pingEvent struct {
+	p          *Prober
+	dst        ipaddr.Addr
+	proto      Proto
+	token, seq uint16
+}
+
+func (e *pingEvent) Run(simnet.Time) { e.p.send(e.dst, e.proto, e.token, e.seq) }
+
+// udpProbePayload is the fixed payload scamper-style UDP probes carry.
+var udpProbePayload = []byte{0xDE, 0xAD, 0xBE, 0xEF}
 
 // probeKey identifies an outstanding probe for explicit matching.
 type probeKey struct {
@@ -96,13 +114,20 @@ func New(net *simnet.Network, src ipaddr.Addr, continent ipmeta.Continent) *Prob
 		nextToken: 0x8000, // tokens double as source ports; stay ephemeral
 		pending:   make(map[probeKey]*ProbeResult),
 		sentAt:    make(map[tracerouteKey]simnet.Time),
+		buf:       wire.GetBuf(),
 	}
 	net.AttachProber(src, p.receive)
 	return p
 }
 
 // Close detaches the prober from the network.
-func (p *Prober) Close() { p.net.DetachProber(p.src) }
+func (p *Prober) Close() {
+	p.net.DetachProber(p.src)
+	if p.buf != nil {
+		wire.PutBuf(p.buf)
+		p.buf = nil
+	}
+}
 
 // SetObserver registers the prober's metrics — probes sent, responses
 // matched, decode errors, and a per-probe RTT histogram — plus the
@@ -131,11 +156,11 @@ func (p *Prober) SchedulePing(dst ipaddr.Addr, proto Proto, start simnet.Time, c
 		p.nextToken = 0x8000
 	}
 	sched := p.net.Scheduler()
+	// Exact capacity keeps element addresses stable across appends.
+	events := make([]pingEvent, 0, count)
 	for i := 0; i < count; i++ {
-		i := i
-		sched.At(start+simnet.Time(i)*interval, func() {
-			p.send(dst, proto, token, uint16(i))
-		})
+		events = append(events, pingEvent{p: p, dst: dst, proto: proto, token: token, seq: uint16(i)})
+		sched.AtEvent(start+simnet.Time(i)*interval, &events[i])
 	}
 }
 
@@ -154,29 +179,31 @@ func (p *Prober) send(dst ipaddr.Addr, proto Proto, token, seq uint16) {
 	p.obsProbes.Inc()
 
 	var pkt []byte
+	b := (*p.buf)[:0]
 	switch proto {
 	case ICMP:
-		pkt = wire.EncodeEcho(p.src, dst, &wire.ICMPEcho{
+		pkt = wire.AppendEcho(b, p.src, dst, &wire.ICMPEcho{
 			Type: wire.ICMPTypeEchoRequest, ID: token, Seq: seq,
 		})
 	case UDP:
 		// Destination ports walk the traceroute range by sequence; the
 		// source port carries the token. The quoted probe inside the ICMP
 		// error returns both.
-		pkt = wire.EncodeUDP(p.src, dst, &wire.UDP{
+		pkt = wire.AppendUDP(b, p.src, dst, &wire.UDP{
 			SrcPort: token, DstPort: 33435 + seq,
-			Payload: []byte{0xDE, 0xAD, 0xBE, 0xEF},
+			Payload: udpProbePayload,
 		})
 	case TCP:
 		// Bare ACK; Ack number encodes the sequence so the RST's Seq
 		// reflects it back.
-		pkt = wire.EncodeTCP(p.src, dst, &wire.TCP{
+		pkt = wire.AppendTCP(b, p.src, dst, &wire.TCP{
 			SrcPort: token, DstPort: 80,
 			Ack: uint32(seq)<<16 | 0x5CA9, Flags: wire.TCPFlagACK, Window: 1024,
 		})
 	default:
 		panic(fmt.Sprintf("scamper: unknown protocol %d", proto))
 	}
+	*p.buf = pkt
 	p.net.Send(p.src, pkt)
 }
 
@@ -186,7 +213,7 @@ func (p *Prober) DecodeErrors() uint64 { return p.decodeErr }
 
 // receive matches responses to outstanding probes.
 func (p *Prober) receive(at simnet.Time, data []byte, count int) {
-	pkt, err := wire.Decode(data)
+	pkt, err := p.dec.Decode(data)
 	if err != nil {
 		p.decodeErr += uint64(count)
 		p.obsDecodeErr.Add(uint64(count))

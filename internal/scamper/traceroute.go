@@ -50,19 +50,34 @@ func (p *Prober) ScheduleTraceroute(dst ipaddr.Addr, start simnet.Time, maxHops 
 		p.trResults = make(map[ipaddr.Addr][]*HopResult)
 	}
 	sched := p.net.Scheduler()
+	// Exact capacity keeps element addresses stable across appends.
+	events := make([]hopEvent, 0, maxHops)
 	for hop := 1; hop <= maxHops; hop++ {
-		hop := hop
-		sched.At(start+simnet.Time(hop-1)*simnet.Time(spacing), func() {
-			res := &HopResult{Hop: hop}
-			key := tracerouteKey{dst: dst, token: token, seq: uint16(hop)}
-			p.trPending[key] = res
-			p.trResults[dst] = append(p.trResults[dst], res)
-			echo := &wire.ICMPEcho{Type: wire.ICMPTypeEchoRequest, ID: token, Seq: uint16(hop)}
-			pkt := wire.EncodeEchoTTL(p.src, dst, echo, byte(hop))
-			p.sentAt[key] = p.net.Scheduler().Now()
-			p.net.Send(p.src, pkt)
-		})
+		events = append(events, hopEvent{p: p, dst: dst, token: token, hop: hop})
+		sched.AtEvent(start+simnet.Time(hop-1)*simnet.Time(spacing), &events[hop-1])
 	}
+}
+
+// hopEvent sends one TTL-limited traceroute probe: a preallocated
+// simnet.Event replacing a closure per hop.
+type hopEvent struct {
+	p     *Prober
+	dst   ipaddr.Addr
+	token uint16
+	hop   int
+}
+
+func (e *hopEvent) Run(simnet.Time) {
+	p, hop := e.p, e.hop
+	res := &HopResult{Hop: hop}
+	key := tracerouteKey{dst: e.dst, token: e.token, seq: uint16(hop)}
+	p.trPending[key] = res
+	p.trResults[e.dst] = append(p.trResults[e.dst], res)
+	echo := &wire.ICMPEcho{Type: wire.ICMPTypeEchoRequest, ID: e.token, Seq: uint16(hop)}
+	pkt := wire.AppendEchoTTL((*p.buf)[:0], p.src, e.dst, echo, byte(hop))
+	*p.buf = pkt
+	p.sentAt[key] = p.net.Scheduler().Now()
+	p.net.Send(p.src, pkt)
 }
 
 // TracerouteResults returns the hops recorded for dst in hop order.

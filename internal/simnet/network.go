@@ -23,6 +23,14 @@ type Delivery struct {
 // Fabric models the probed population: given a probe packet sent by the
 // prober at `from` at time `at`, it returns the resulting deliveries. A
 // Fabric is driven entirely by the single-threaded event loop.
+//
+// Buffer ownership: pkt is only valid for the duration of the Respond call —
+// probers recycle probe buffers through a pool as soon as Send returns, so
+// Delivery.Data must not alias pkt. The returned slice itself is consumed
+// synchronously by Send (the fabric may reuse it on the next Respond), but
+// each Delivery.Data buffer must stay valid until its delivery is handled:
+// the network does not copy payloads, and a fabric may share one reply
+// buffer across several deliveries (duplicate bursts, flood chunks).
 type Fabric interface {
 	Respond(from ipaddr.Addr, at Time, pkt []byte) []Delivery
 }
@@ -80,16 +88,51 @@ type Network struct {
 		FaultsDuplicated uint64 // deliveries duplicated (not copy count)
 	}
 
+	// freeDeliv recycles delivery events: the event loop is single-threaded,
+	// so a plain intrusive free list suffices and Send's steady state
+	// allocates nothing per delivery.
+	freeDeliv *deliveryEvent
+
 	// Observability counters mirroring Stats (nil-safe no-ops unless
-	// SetObserver installs them). All are deterministic: each probe is sent
-	// and each delivery handled by exactly one shard, so per-shard counts
-	// sum to the sequential run's regardless of partitioning.
+	// SetObserver installs them; obsOn gates the hot path to one branch).
+	// All are deterministic: each probe is sent and each delivery handled by
+	// exactly one shard, so per-shard counts sum to the sequential run's
+	// regardless of partitioning.
+	obsOn         bool
 	obsProbes     *obs.Counter
 	obsDeliveries *obs.Counter
 	obsPackets    *obs.Counter
 	obsCorrupted  *obs.Counter
 	obsTruncated  *obs.Counter
 	obsDuplicated *obs.Counter
+}
+
+// deliveryEvent carries one scheduled delivery to its prober: a pooled
+// simnet.Event replacing the closure the network used to allocate per
+// delivery.
+type deliveryEvent struct {
+	n     *Network
+	h     Handler
+	data  []byte
+	count int
+	tag   DeliveryTag
+	next  *deliveryEvent
+}
+
+// Run implements Event: deliver to the tap and handler, then recycle.
+func (e *deliveryEvent) Run(now Time) {
+	n := e.n
+	h, data, count := e.h, e.data, e.count
+	n.curTag = e.tag
+	// Recycle before invoking the handler so a handler that sends again can
+	// reuse this event immediately (all fields are copied out above).
+	e.n, e.h, e.data = nil, nil, nil
+	e.next = n.freeDeliv
+	n.freeDeliv = e
+	if n.tap != nil {
+		n.tap(now, TapReceived, data, count)
+	}
+	h(now, data, count)
 }
 
 // NewNetwork creates a network driven by sched and answered by fabric.
@@ -126,6 +169,7 @@ func (n *Network) SetObserver(reg *obs.Registry) {
 	n.obsCorrupted = reg.Counter("simnet.faults_corrupted")
 	n.obsTruncated = reg.Counter("simnet.faults_truncated")
 	n.obsDuplicated = reg.Counter("simnet.faults_duplicated")
+	n.obsOn = reg != nil
 	n.sched.SetObserver(reg)
 }
 
@@ -147,21 +191,22 @@ func (n *Network) LastDeliveryTag() DeliveryTag { return n.curTag }
 
 // Send injects a probe packet from the prober at `from` into the network at
 // the current simulation time. The fabric's deliveries are scheduled back to
-// the prober.
+// the prober. The caller may reuse pkt as soon as Send returns (see Fabric).
 func (n *Network) Send(from ipaddr.Addr, pkt []byte) {
 	h, ok := n.probers[from]
 	if !ok {
 		panic(fmt.Sprintf("simnet: Send from unattached prober %s", from))
 	}
 	n.Stats.ProbesSent++
-	n.obsProbes.Inc()
+	if n.obsOn {
+		n.obsProbes.Inc()
+	}
 	at := n.sched.Now()
 	if n.tap != nil {
 		n.tap(at, TapSent, pkt, 1)
 	}
 	rank := n.sendRank
 	for di, d := range n.fabric.Respond(from, at, pkt) {
-		di, d := di, d
 		if d.Count == 0 {
 			d.Count = 1
 		}
@@ -187,14 +232,19 @@ func (n *Network) Send(from ipaddr.Addr, pkt []byte) {
 		}
 		n.Stats.DeliveriesReceived++
 		n.Stats.PacketsReceived += uint64(d.Count)
-		n.obsDeliveries.Inc()
-		n.obsPackets.Add(uint64(d.Count))
-		n.sched.At(at+d.Delay, func() {
-			n.curTag = DeliveryTag{Rank: rank, Index: di}
-			if n.tap != nil {
-				n.tap(n.sched.Now(), TapReceived, d.Data, d.Count)
-			}
-			h(n.sched.Now(), d.Data, d.Count)
-		})
+		if n.obsOn {
+			n.obsDeliveries.Inc()
+			n.obsPackets.Add(uint64(d.Count))
+		}
+		de := n.freeDeliv
+		if de == nil {
+			de = &deliveryEvent{}
+		} else {
+			n.freeDeliv = de.next
+			de.next = nil
+		}
+		de.n, de.h, de.data, de.count = n, h, d.Data, d.Count
+		de.tag = DeliveryTag{Rank: rank, Index: di}
+		n.sched.AtEvent(at+d.Delay, de)
 	}
 }

@@ -11,6 +11,7 @@ package simnet
 
 import (
 	"container/heap"
+	"sync/atomic"
 	"time"
 
 	"timeouts/internal/obs"
@@ -19,40 +20,128 @@ import (
 // Time is simulation time: the duration since the simulation epoch.
 type Time = time.Duration
 
-// event is a scheduled callback.
-type event struct {
+// Event is a typed scheduled callback. Hot paths implement Event on pooled
+// or preallocated objects instead of passing closures to At, eliminating the
+// per-event allocation: the scheduler stores the two-word interface value in
+// an intrusively free-listed node and never boxes anything.
+type Event interface {
+	// Run is invoked with the clock set to the event's time.
+	Run(now Time)
+}
+
+// firing is one scheduled event in dequeue form: either fn (legacy closure)
+// or ev is set. The total order over all events is (at, seq); seq is the
+// global insertion sequence, so equal-time events run FIFO.
+type firing struct {
 	at  Time
-	seq uint64 // tie-break: FIFO among equal times
+	seq uint64
 	fn  func()
+	ev  Event
 }
 
-// eventHeap orders events by (time, insertion sequence).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func firingLess(a, b firing) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// eventHeap is the legacy binary-heap engine, kept as a reference
+// implementation: the differential fuzzer and the byte-identity equivalence
+// suite run wheel and heap side by side (see NewHeapScheduler).
+type eventHeap []firing
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return firingLess(h[i], h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(firing)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = firing{}
+	*h = old[:n-1]
+	return e
+}
+
+// defaultHeap selects the heap engine for zero-value Schedulers. Pipeline
+// equivalence tests flip it to run entire sharded workloads — which
+// construct their own zero-value Schedulers internally — on the reference
+// engine. Reads are atomic because shard workers construct schedulers
+// concurrently.
+var defaultHeap atomic.Bool
+
+// SetDefaultHeapScheduler selects which engine zero-value Schedulers use:
+// the timing wheel (default) or the reference heap. It returns the previous
+// setting so tests can restore it. Intended for equivalence testing only.
+func SetDefaultHeapScheduler(on bool) (prev bool) { return defaultHeap.Swap(on) }
 
 // Scheduler is a deterministic discrete-event scheduler. The zero value is
 // ready to use, starting at time zero.
+//
+// Events are ordered by (time, insertion sequence). The engine is a
+// hierarchical timing wheel (see wheel.go): O(1) insert and amortized-O(1)
+// dequeue against the heap's O(log n), with zero steady-state allocations —
+// event nodes come from an intrusive free list. The heap engine is retained
+// for differential testing (NewHeapScheduler); both produce identical
+// dequeue orders by construction, which FuzzWheelVsHeap checks.
 type Scheduler struct {
-	now    Time
-	seq    uint64
+	now Time
+	seq uint64
+	n   int // total pending events (both engines)
+
+	inited   bool
+	heapMode bool
+
+	// Wheel engine state. curList holds the events of the current (already
+	// expired) level-0 slot, sorted by (at, seq); curIdx is the next to run;
+	// curEnd is the end of that slot's time window. Events scheduled at
+	// t < curEnd — including same-time and past-time-clamped inserts from
+	// inside a running event — are sorted directly into curList at a
+	// position ≥ curIdx, which is what preserves exact heap-equivalent FIFO
+	// order around the wheel's slot cursor.
+	wh      *wheel
+	curList []firing
+	curIdx  int
+	curEnd  Time
+	free    *enode
+	chunk   int // current free-list refill size (doubles up to nodeChunkMax)
+
+	// Heap engine state.
 	events eventHeap
 
-	// Observability (nil-safe no-ops unless SetObserver installs them).
+	// Observability (installed by SetObserver). obsOn gates the hot path:
+	// with no registry the per-event cost is one predictable branch.
 	// Event counts and queue depth depend on how a run is partitioned — a
 	// sharded run schedules its own sweep events per shard — so they are
 	// diagnostic metrics, excluded from the deterministic snapshot.
+	obsOn           bool
 	eventsScheduled *obs.Counter
 	queueDepthHWM   *obs.Gauge
+}
+
+// NewScheduler returns a wheel-backed scheduler regardless of the package
+// default. Equivalent to &Scheduler{} under the default configuration.
+func NewScheduler() *Scheduler {
+	s := &Scheduler{inited: true}
+	s.wh = new(wheel)
+	return s
+}
+
+// NewHeapScheduler returns a scheduler running the reference binary-heap
+// engine. Dequeue order is identical to the wheel's; the heap exists so
+// equivalence suites can check that claim against real workloads.
+func NewHeapScheduler() *Scheduler {
+	return &Scheduler{inited: true, heapMode: true}
+}
+
+func (s *Scheduler) init() {
+	s.inited = true
+	if defaultHeap.Load() {
+		s.heapMode = true
+		return
+	}
+	s.wh = new(wheel)
 }
 
 // SetObserver registers the scheduler's diagnostic metrics (events
@@ -60,6 +149,7 @@ type Scheduler struct {
 func (s *Scheduler) SetObserver(reg *obs.Registry) {
 	s.eventsScheduled = reg.DiagCounter("simnet.events_scheduled")
 	s.queueDepthHWM = reg.DiagGauge("simnet.queue_depth_hwm")
+	s.obsOn = reg != nil
 }
 
 // Now returns the current simulation time.
@@ -67,32 +157,102 @@ func (s *Scheduler) Now() Time { return s.now }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) runs fn at the current time, preserving event order.
-func (s *Scheduler) At(t Time, fn func()) {
+func (s *Scheduler) At(t Time, fn func()) { s.schedule(t, fn, nil) }
+
+// AtEvent schedules ev to run at absolute time t with the same semantics as
+// At. It is the allocation-free form: the scheduler holds only the interface
+// value, so a pooled or preallocated Event costs nothing per schedule.
+func (s *Scheduler) AtEvent(t Time, ev Event) { s.schedule(t, nil, ev) }
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d time.Duration, fn func()) { s.schedule(s.now+d, fn, nil) }
+
+// AfterEvent schedules ev to run d from now.
+func (s *Scheduler) AfterEvent(d time.Duration, ev Event) { s.schedule(s.now+d, nil, ev) }
+
+func (s *Scheduler) schedule(t Time, fn func(), ev Event) {
+	if !s.inited {
+		s.init()
+	}
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
-	s.eventsScheduled.Inc()
-	s.queueDepthHWM.Observe(int64(len(s.events)))
+	s.n++
+	switch {
+	case s.heapMode:
+		heap.Push(&s.events, firing{at: t, seq: s.seq, fn: fn, ev: ev})
+	case t < s.curEnd:
+		// The wheel's current slot has already been expired into curList;
+		// late arrivals for its window sort in after the dequeue cursor.
+		s.insertFiring(firing{at: t, seq: s.seq, fn: fn, ev: ev})
+	default:
+		nd := s.newNode()
+		nd.at, nd.seq, nd.fn, nd.ev = t, s.seq, fn, ev
+		s.wh.insert(nd)
+	}
+	if s.obsOn {
+		s.eventsScheduled.Inc()
+		s.queueDepthHWM.Observe(int64(s.n))
+	}
 }
 
-// After schedules fn to run d from now.
-func (s *Scheduler) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
-
 // Pending returns the number of scheduled events.
-func (s *Scheduler) Pending() int { return len(s.events) }
+func (s *Scheduler) Pending() int { return s.n }
 
 // Step runs the next event, advancing the clock. It reports false when no
 // events remain.
 func (s *Scheduler) Step() bool {
-	if len(s.events) == 0 {
-		return false
+	if s.heapMode {
+		if len(s.events) == 0 {
+			return false
+		}
+		e := heap.Pop(&s.events).(firing)
+		s.n--
+		s.now = e.at
+		if e.fn != nil {
+			e.fn()
+		} else {
+			e.ev.Run(e.at)
+		}
+		return true
 	}
-	e := heap.Pop(&s.events).(event)
-	s.now = e.at
-	e.fn()
+	if s.curIdx >= len(s.curList) {
+		if s.n == 0 {
+			return false
+		}
+		s.advance()
+	}
+	i := s.curIdx
+	f := s.curList[i]
+	s.curList[i].fn, s.curList[i].ev = nil, nil // release for GC before running
+	s.curIdx++
+	s.n--
+	s.now = f.at
+	if f.fn != nil {
+		f.fn()
+	} else {
+		f.ev.Run(f.at)
+	}
 	return true
+}
+
+// peek returns the time of the next event without running it.
+func (s *Scheduler) peek() (Time, bool) {
+	if s.heapMode {
+		if len(s.events) == 0 {
+			return 0, false
+		}
+		return s.events[0].at, true
+	}
+	if s.curIdx < len(s.curList) {
+		return s.curList[s.curIdx].at, true
+	}
+	if s.n == 0 {
+		return 0, false
+	}
+	s.advance()
+	return s.curList[s.curIdx].at, true
 }
 
 // Run drains the event queue until empty.
@@ -104,7 +264,11 @@ func (s *Scheduler) Run() {
 // RunUntil processes events with time <= deadline, then sets the clock to
 // the deadline. Events beyond the deadline stay queued.
 func (s *Scheduler) RunUntil(deadline Time) {
-	for len(s.events) > 0 && s.events[0].at <= deadline {
+	for {
+		t, ok := s.peek()
+		if !ok || t > deadline {
+			break
+		}
 		s.Step()
 	}
 	if s.now < deadline {

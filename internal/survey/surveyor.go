@@ -207,6 +207,7 @@ func Run(net *simnet.Network, cfg Config, out RecordWriter) (Stats, error) {
 	defer net.DetachProber(cfg.Vantage.Addr)
 
 	s.scheduleAll()
+	defer s.close()
 	net.Scheduler().Run()
 	s.expireAll()
 	if f, ok := out.(interface{ Flush() error }); ok {
@@ -278,6 +279,7 @@ func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric, ou
 		s.scheduleAll()
 		sched.Run()
 		s.expireAll()
+		s.close()
 		return nil
 	}); err != nil {
 		return Stats{}, err
@@ -335,26 +337,59 @@ type surveyor struct {
 	blockTotal int
 	tag        bool
 	tagged     []simnet.Tagged[Record]
+
+	// Hot-path scratch: preallocated slot events, one shared sweep event,
+	// a reusable decoder and echo message, and a pooled probe buffer.
+	slotEvents []slotEvent
+	sweepEv    sweepEvent
+	dec        wire.Decoder
+	echo       wire.ICMPEcho
+	buf        *[]byte
+}
+
+// slotEvent fires one probing slot of one cycle; the events are preallocated
+// in scheduleAll, replacing a closure per (cycle, slot).
+type slotEvent struct {
+	s           *surveyor
+	cycle, slot int
+}
+
+func (e *slotEvent) Run(simnet.Time) { e.s.sendSlot(e.cycle, e.slot) }
+
+// sweepEvent fires a timeout sweep; one instance serves every sweep time.
+type sweepEvent struct{ s *surveyor }
+
+func (e *sweepEvent) Run(simnet.Time) { e.s.sweep() }
+
+// close releases the surveyor's pooled buffer after the run.
+func (s *surveyor) close() {
+	if s.buf != nil {
+		wire.PutBuf(s.buf)
+		s.buf = nil
+	}
 }
 
 // scheduleAll installs the survey's slot and sweep events on the scheduler.
 func (s *surveyor) scheduleAll() {
 	sched := s.net.Scheduler()
 	cfg := s.cfg
+	s.buf = wire.GetBuf()
+	s.sweepEv = sweepEvent{s: s}
 	slotDur := cfg.Interval / 256
+	// Exact capacity keeps element addresses stable across appends.
+	s.slotEvents = make([]slotEvent, 0, cfg.Cycles*256)
 	for cyc := 0; cyc < cfg.Cycles; cyc++ {
-		cyc := cyc
 		base := cfg.Start + simnet.Time(cyc)*cfg.Interval
 		for slot := 0; slot < 256; slot++ {
 			at := base + simnet.Time(slot)*slotDur
-			slot := slot
-			sched.At(at, func() { s.sendSlot(cyc, slot) })
+			s.slotEvents = append(s.slotEvents, slotEvent{s: s, cycle: cyc, slot: slot})
+			sched.AtEvent(at, &s.slotEvents[len(s.slotEvents)-1])
 		}
 	}
 	// Sweeps run from start until all probes are resolved.
 	end := cfg.Start + simnet.Time(cfg.Cycles)*cfg.Interval
 	for t := cfg.Start + cfg.Sweep; t <= end+cfg.Timeout+2*cfg.Sweep; t += cfg.Sweep {
-		sched.At(t, s.sweep)
+		sched.AtEvent(t, &s.sweepEv)
 	}
 }
 
@@ -375,7 +410,7 @@ func (s *surveyor) sendSlot(cycle, slot int) {
 			s.o.timeouts.Inc()
 			delete(s.outstanding, dst)
 		}
-		echo := &wire.ICMPEcho{
+		s.echo = wire.ICMPEcho{
 			Type: wire.ICMPTypeEchoRequest,
 			ID:   uint16(xrand.Hash(s.cfg.Seed, uint64(dst))),
 			Seq:  uint16(cycle),
@@ -388,7 +423,9 @@ func (s *surveyor) sendSlot(cycle, slot int) {
 		// probe order — tags the deliveries it causes, so receive can order
 		// its records across shards.
 		s.net.SetSendRank(slotRank*uint64(s.blockTotal) + gbi)
-		s.net.Send(s.cfg.Vantage.Addr, wire.EncodeEcho(s.cfg.Vantage.Addr, dst, echo))
+		pkt := wire.AppendEcho((*s.buf)[:0], s.cfg.Vantage.Addr, dst, &s.echo)
+		*s.buf = pkt
+		s.net.Send(s.cfg.Vantage.Addr, pkt)
 	}
 }
 
@@ -409,7 +446,7 @@ func (s *surveyor) receive(at simnet.Time, data []byte, count int) {
 		}
 		count = kept
 	}
-	p, err := wire.Decode(data)
+	p, err := s.dec.Decode(data)
 	if err != nil {
 		// Corrupt packets are dropped like a kernel would drop them, but
 		// counted so a chaos run can audit what the wire did.

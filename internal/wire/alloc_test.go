@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"timeouts/internal/ipaddr"
+)
+
+var (
+	allocSrc = ipaddr.MustParse("240.0.0.1")
+	allocDst = ipaddr.MustParse("10.1.2.3")
+)
+
+// TestWireEncodeZeroAlloc proves the pooled encode path is allocation-free:
+// appending a full probe packet (with Zmap metadata payload) into a pooled
+// buffer costs zero heap allocations, as does decoding it back through a
+// reusable Decoder.
+func TestWireEncodeZeroAlloc(t *testing.T) {
+	buf := GetBuf()
+	defer PutBuf(buf)
+	payload := make([]byte, 0, ZmapPayloadLen)
+	echo := &ICMPEcho{Type: ICMPTypeEchoRequest, ID: 7, Seq: 3}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		payload = ZmapPayload{Dst: allocDst, SendTime: 5 * time.Second}.AppendTo(payload[:0])
+		echo.Payload = payload
+		*buf = AppendEcho((*buf)[:0], allocSrc, allocDst, echo)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendEcho allocated %.1f times per op, want 0", allocs)
+	}
+
+	var dec Decoder
+	pkt := *buf
+	allocs = testing.AllocsPerRun(1000, func() {
+		p, err := dec.Decode(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Echo == nil {
+			t.Fatal("no echo decoded")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Decoder.Decode allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestAppendMatchesEncode checks byte equality between the Encode* family
+// and the Append* family for every packet type, including into a non-empty
+// destination buffer.
+func TestAppendMatchesEncode(t *testing.T) {
+	echo := &ICMPEcho{Type: ICMPTypeEchoRequest, ID: 0xBEEF, Seq: 9,
+		Payload: ZmapPayload{Dst: allocDst, SendTime: time.Second}.Encode()}
+	udp := &UDP{SrcPort: 0x8001, DstPort: 33440, Payload: []byte{0xDE, 0xAD, 0xBE, 0xEF}}
+	tcp := &TCP{SrcPort: 0x8001, DstPort: 80, Ack: 0x5CA9, Flags: TCPFlagACK, Window: 1024}
+	ierr := &ICMPError{Type: ICMPTypeDstUnreachable, Code: ICMPCodePortUnreachable,
+		Original: EncodeUDP(allocSrc, allocDst, udp)[:IPv4HeaderLen+8]}
+
+	cases := []struct {
+		name   string
+		enc    func() []byte
+		append func(b []byte) []byte
+	}{
+		{"echo", func() []byte { return EncodeEcho(allocSrc, allocDst, echo) },
+			func(b []byte) []byte { return AppendEcho(b, allocSrc, allocDst, echo) }},
+		{"echo-ttl", func() []byte { return EncodeEchoTTL(allocSrc, allocDst, echo, 7) },
+			func(b []byte) []byte { return AppendEchoTTL(b, allocSrc, allocDst, echo, 7) }},
+		{"icmp-error", func() []byte { return EncodeICMPErrorTTL(allocDst, allocSrc, ierr, 33) },
+			func(b []byte) []byte { return AppendICMPErrorTTL(b, allocDst, allocSrc, ierr, 33) }},
+		{"udp", func() []byte { return EncodeUDP(allocSrc, allocDst, udp) },
+			func(b []byte) []byte { return AppendUDP(b, allocSrc, allocDst, udp) }},
+		{"tcp", func() []byte { return EncodeTCP(allocSrc, allocDst, tcp) },
+			func(b []byte) []byte { return AppendTCP(b, allocSrc, allocDst, tcp) }},
+		{"tcp-ttl", func() []byte { return EncodeTCPTTL(allocSrc, allocDst, tcp, 250) },
+			func(b []byte) []byte { return AppendTCPTTL(b, allocSrc, allocDst, tcp, 250) }},
+	}
+	for _, tc := range cases {
+		want := tc.enc()
+		if got := tc.append(nil); !bytes.Equal(got, want) {
+			t.Errorf("%s: append from nil differs from encode\n got %x\nwant %x", tc.name, got, want)
+		}
+		prefix := []byte{1, 2, 3}
+		if got := tc.append(append([]byte(nil), prefix...)); !bytes.Equal(got, append(append([]byte(nil), prefix...), want...)) {
+			t.Errorf("%s: append onto prefix differs from encode", tc.name)
+		}
+	}
+
+	// ZmapPayload AppendTo vs Encode.
+	zp := ZmapPayload{Dst: allocDst, SendTime: 42 * time.Millisecond}
+	if got, want := zp.AppendTo(nil), zp.Encode(); !bytes.Equal(got, want) {
+		t.Errorf("ZmapPayload.AppendTo differs from Encode: %x vs %x", got, want)
+	}
+
+	// ReplyInto vs Reply.
+	var into ICMPEcho
+	echo.ReplyInto(&into)
+	want := echo.Reply()
+	if into.Type != want.Type || into.Code != want.Code || into.ID != want.ID ||
+		into.Seq != want.Seq || !bytes.Equal(into.Payload, want.Payload) {
+		t.Errorf("ReplyInto differs from Reply: %+v vs %+v", into, *want)
+	}
+}
+
+// TestDecoderReuse checks a Decoder produces correct results across packets
+// of different layer-4 types, with pointers always into its own scratch.
+func TestDecoderReuse(t *testing.T) {
+	var dec Decoder
+	echoPkt := EncodeEcho(allocSrc, allocDst, &ICMPEcho{Type: ICMPTypeEchoRequest, ID: 1, Seq: 2})
+	udpPkt := EncodeUDP(allocSrc, allocDst, &UDP{SrcPort: 5, DstPort: 6, Payload: []byte{9}})
+
+	p, err := dec.Decode(echoPkt)
+	if err != nil || p.Echo == nil || p.Echo.ID != 1 {
+		t.Fatalf("echo decode: %v %+v", err, p)
+	}
+	p, err = dec.Decode(udpPkt)
+	if err != nil || p.UDP == nil || p.Echo != nil {
+		t.Fatalf("udp decode after echo: %v %+v", err, p)
+	}
+	if p.UDP.SrcPort != 5 || p.UDP.DstPort != 6 {
+		t.Fatalf("udp fields: %+v", p.UDP)
+	}
+	p, err = dec.Decode(echoPkt)
+	if err != nil || p.Echo == nil || p.UDP != nil {
+		t.Fatalf("echo decode after udp: %v %+v", err, p)
+	}
+}

@@ -71,7 +71,16 @@ func (m *ICMPEcho) Unmarshal(data []byte) error {
 // Reply constructs the echo reply to a request, echoing ID, Seq and payload
 // as RFC 792 requires.
 func (m *ICMPEcho) Reply() *ICMPEcho {
-	return &ICMPEcho{Type: ICMPTypeEchoReply, ID: m.ID, Seq: m.Seq, Payload: m.Payload}
+	r := new(ICMPEcho)
+	m.ReplyInto(r)
+	return r
+}
+
+// ReplyInto fills out with the echo reply to m — the allocation-free form of
+// Reply for responders that reuse a scratch message. The payload is shared,
+// not copied.
+func (m *ICMPEcho) ReplyInto(out *ICMPEcho) {
+	*out = ICMPEcho{Type: ICMPTypeEchoReply, ID: m.ID, Seq: m.Seq, Payload: m.Payload}
 }
 
 // ICMPError is an ICMP error message (destination unreachable, time

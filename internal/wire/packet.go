@@ -23,9 +23,31 @@ type Packet struct {
 }
 
 // Decode parses a full IPv4 packet into its layer stack, verifying every
-// checksum along the way.
+// checksum along the way. Each call allocates a fresh Packet; receive loops
+// decode through a reusable Decoder instead.
 func Decode(data []byte) (*Packet, error) {
-	var p Packet
+	return new(Decoder).Decode(data)
+}
+
+// Decoder decodes packets without per-call allocations: the returned Packet
+// and its layer-4 messages live inside the Decoder and are overwritten by
+// the next Decode call, so a prober's receive loop that consumes each packet
+// before reading the next pays zero allocations per packet. Retaining the
+// Packet (or any field of it) across Decode calls is a bug; copy what must
+// survive.
+type Decoder struct {
+	p    Packet
+	echo ICMPEcho
+	ierr ICMPError
+	udp  UDP
+	tcp  TCP
+}
+
+// Decode parses a full IPv4 packet into the Decoder's internal Packet,
+// verifying every checksum along the way.
+func (d *Decoder) Decode(data []byte) (*Packet, error) {
+	p := &d.p
+	p.Echo, p.Err, p.UDP, p.TCP = nil, nil, nil, nil
 	payload, err := p.IP.Unmarshal(data)
 	if err != nil {
 		return nil, err
@@ -38,32 +60,32 @@ func Decode(data []byte) (*Packet, error) {
 		}
 		switch payload[0] {
 		case ICMPTypeEchoRequest, ICMPTypeEchoReply:
-			p.Echo = new(ICMPEcho)
-			if err := p.Echo.Unmarshal(payload); err != nil {
+			if err := d.echo.Unmarshal(payload); err != nil {
 				return nil, err
 			}
+			p.Echo = &d.echo
 		case ICMPTypeDstUnreachable, ICMPTypeTimeExceeded:
-			p.Err = new(ICMPError)
-			if err := p.Err.Unmarshal(payload); err != nil {
+			if err := d.ierr.Unmarshal(payload); err != nil {
 				return nil, err
 			}
+			p.Err = &d.ierr
 		default:
 			return nil, fmt.Errorf("wire: unsupported ICMP type %d", payload[0])
 		}
 	case ProtoUDP:
-		p.UDP = new(UDP)
-		if err := p.UDP.Unmarshal(payload, p.IP.Src, p.IP.Dst); err != nil {
+		if err := d.udp.Unmarshal(payload, p.IP.Src, p.IP.Dst); err != nil {
 			return nil, err
 		}
+		p.UDP = &d.udp
 	case ProtoTCP:
-		p.TCP = new(TCP)
-		if err := p.TCP.Unmarshal(payload, p.IP.Src, p.IP.Dst); err != nil {
+		if err := d.tcp.Unmarshal(payload, p.IP.Src, p.IP.Dst); err != nil {
 			return nil, err
 		}
+		p.TCP = &d.tcp
 	default:
 		return nil, fmt.Errorf("wire: unsupported IP protocol %d", p.IP.Protocol)
 	}
-	return &p, nil
+	return p, nil
 }
 
 // defaultTTL is the initial TTL the probers use.
@@ -77,6 +99,19 @@ func EncodeEcho(src, dst ipaddr.Addr, m *ICMPEcho) []byte {
 // EncodeEchoTTL serializes an IPv4+ICMP echo packet with an explicit TTL;
 // the model uses it to deliver replies with their remaining (post-hop) TTL.
 func EncodeEchoTTL(src, dst ipaddr.Addr, m *ICMPEcho, ttl byte) []byte {
+	return AppendEchoTTL(make([]byte, 0, IPv4HeaderLen+ICMPEchoHeaderLen+len(m.Payload)), src, dst, m, ttl)
+}
+
+// AppendEcho appends an encoded IPv4+ICMP echo packet with the default TTL
+// to b. The Append* family is the allocation-free form of Encode*: probers
+// encode into pooled buffers (GetBuf/PutBuf) they recycle after Send.
+func AppendEcho(b []byte, src, dst ipaddr.Addr, m *ICMPEcho) []byte {
+	return AppendEchoTTL(b, src, dst, m, defaultTTL)
+}
+
+// AppendEchoTTL appends an encoded IPv4+ICMP echo packet with an explicit
+// TTL to b.
+func AppendEchoTTL(b []byte, src, dst ipaddr.Addr, m *ICMPEcho, ttl byte) []byte {
 	h := IPv4{
 		TotalLen: uint16(IPv4HeaderLen + ICMPEchoHeaderLen + len(m.Payload)),
 		TTL:      ttl,
@@ -84,7 +119,6 @@ func EncodeEchoTTL(src, dst ipaddr.Addr, m *ICMPEcho, ttl byte) []byte {
 		Src:      src,
 		Dst:      dst,
 	}
-	b := make([]byte, 0, h.TotalLen)
 	b = h.AppendTo(b)
 	return m.AppendTo(b)
 }
@@ -98,6 +132,12 @@ func EncodeICMPError(src, dst ipaddr.Addr, e *ICMPError) []byte {
 // EncodeICMPErrorTTL serializes an IPv4+ICMP error packet with an explicit
 // TTL.
 func EncodeICMPErrorTTL(src, dst ipaddr.Addr, e *ICMPError, ttl byte) []byte {
+	return AppendICMPErrorTTL(make([]byte, 0, IPv4HeaderLen+8+len(e.Original)), src, dst, e, ttl)
+}
+
+// AppendICMPErrorTTL appends an encoded IPv4+ICMP error packet with an
+// explicit TTL to b.
+func AppendICMPErrorTTL(b []byte, src, dst ipaddr.Addr, e *ICMPError, ttl byte) []byte {
 	h := IPv4{
 		TotalLen: uint16(IPv4HeaderLen + 8 + len(e.Original)),
 		TTL:      ttl,
@@ -105,13 +145,17 @@ func EncodeICMPErrorTTL(src, dst ipaddr.Addr, e *ICMPError, ttl byte) []byte {
 		Src:      src,
 		Dst:      dst,
 	}
-	b := make([]byte, 0, h.TotalLen)
 	b = h.AppendTo(b)
 	return e.AppendTo(b)
 }
 
 // EncodeUDP serializes an IPv4+UDP packet.
 func EncodeUDP(src, dst ipaddr.Addr, u *UDP) []byte {
+	return AppendUDP(make([]byte, 0, IPv4HeaderLen+UDPHeaderLen+len(u.Payload)), src, dst, u)
+}
+
+// AppendUDP appends an encoded IPv4+UDP packet to b.
+func AppendUDP(b []byte, src, dst ipaddr.Addr, u *UDP) []byte {
 	h := IPv4{
 		TotalLen: uint16(IPv4HeaderLen + UDPHeaderLen + len(u.Payload)),
 		TTL:      defaultTTL,
@@ -119,7 +163,6 @@ func EncodeUDP(src, dst ipaddr.Addr, u *UDP) []byte {
 		Src:      src,
 		Dst:      dst,
 	}
-	b := make([]byte, 0, h.TotalLen)
 	b = h.AppendTo(b)
 	return u.AppendTo(b, src, dst)
 }
@@ -133,6 +176,16 @@ func EncodeTCP(src, dst ipaddr.Addr, t *TCP) []byte {
 // distinguishes firewall-forged RSTs from host RSTs by TTL, as the paper's
 // authors did (§5.3).
 func EncodeTCPTTL(src, dst ipaddr.Addr, t *TCP, ttl byte) []byte {
+	return AppendTCPTTL(make([]byte, 0, IPv4HeaderLen+TCPHeaderLen), src, dst, t, ttl)
+}
+
+// AppendTCP appends an encoded IPv4+TCP packet with the default TTL to b.
+func AppendTCP(b []byte, src, dst ipaddr.Addr, t *TCP) []byte {
+	return AppendTCPTTL(b, src, dst, t, defaultTTL)
+}
+
+// AppendTCPTTL appends an encoded IPv4+TCP packet with an explicit TTL to b.
+func AppendTCPTTL(b []byte, src, dst ipaddr.Addr, t *TCP, ttl byte) []byte {
 	h := IPv4{
 		TotalLen: uint16(IPv4HeaderLen + TCPHeaderLen),
 		TTL:      ttl,
@@ -140,7 +193,6 @@ func EncodeTCPTTL(src, dst ipaddr.Addr, t *TCP, ttl byte) []byte {
 		Src:      src,
 		Dst:      dst,
 	}
-	b := make([]byte, 0, h.TotalLen)
 	b = h.AppendTo(b)
 	return t.AppendTo(b, src, dst)
 }
@@ -167,10 +219,16 @@ var ErrNotZmapPayload = errors.New("wire: payload does not carry Zmap metadata")
 
 // Encode serializes the payload.
 func (z ZmapPayload) Encode() []byte {
-	b := make([]byte, ZmapPayloadLen)
-	binary.BigEndian.PutUint32(b[0:], zmapMagic)
-	binary.BigEndian.PutUint32(b[4:], uint32(z.Dst))
-	binary.BigEndian.PutUint64(b[8:], uint64(z.SendTime))
+	return z.AppendTo(make([]byte, 0, ZmapPayloadLen))
+}
+
+// AppendTo appends the serialized payload to b.
+func (z ZmapPayload) AppendTo(b []byte) []byte {
+	n := len(b)
+	b = append(b, make([]byte, ZmapPayloadLen)...)
+	binary.BigEndian.PutUint32(b[n+0:], zmapMagic)
+	binary.BigEndian.PutUint32(b[n+4:], uint32(z.Dst))
+	binary.BigEndian.PutUint64(b[n+8:], uint64(z.SendTime))
 	return b
 }
 

@@ -1,0 +1,38 @@
+package wire
+
+import "sync"
+
+// Packet-buffer pool. Probers encode every probe into a pooled buffer with
+// the Append* functions and return it once simnet.Network.Send comes back —
+// safe because the network contract (simnet.Fabric) forbids deliveries from
+// aliasing the probe packet, and the event loop is single-threaded per
+// shard. sync.Pool keeps the buffers shareable across shard goroutines
+// without contention.
+//
+// The API trades in *[]byte so that Put does not itself allocate a slice
+// header escape: callers write the (possibly grown) buffer back through the
+// pointer before returning it.
+
+// packetBufCap comfortably fits every probe the tools send (IPv4 header +
+// ICMP/UDP/TCP header + payloads ≤ 16 bytes); larger packets just grow the
+// buffer, and the grown capacity is kept when it returns to the pool.
+const packetBufCap = 128
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, packetBufCap)
+		return &b
+	},
+}
+
+// GetBuf takes a length-zero packet buffer from the pool. Encode into it
+// with the Append* functions: b := wire.GetBuf(); pkt := wire.AppendEcho((*b)[:0], ...).
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf returns a buffer to the pool. The caller must not retain any slice
+// of it afterwards; store the final encoded slice back through the pointer
+// first so capacity growth is kept.
+func PutBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}

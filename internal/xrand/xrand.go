@@ -65,6 +65,15 @@ func New(seed uint64, keys ...uint64) *Rand {
 	return &Rand{s0: splitmix64(h), s1: splitmix64(h + 1)}
 }
 
+// Seeded returns a generator seeded from (seed, keys...) by value, producing
+// the same draw sequence as New with the same arguments. Hot paths that
+// create a short-lived generator per packet use it to keep the state on the
+// stack instead of allocating.
+func Seeded(seed uint64, keys ...uint64) Rand {
+	h := Hash(seed, keys...)
+	return Rand{s0: splitmix64(h), s1: splitmix64(h + 1)}
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
 	// xorshift128+

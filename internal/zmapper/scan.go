@@ -115,6 +115,102 @@ type rangeResult struct {
 	corrupt   uint64
 }
 
+// rangeRun is the per-range send/receive state: scratch buffers and decoder
+// shared by every probe in the range, so the steady-state probe path
+// performs no per-event allocations.
+type rangeRun struct {
+	net        *simnet.Network
+	res        *rangeResult
+	src        ipaddr.Addr
+	seed       uint64
+	tag        bool
+	collecting bool
+
+	dec     wire.Decoder
+	echo    wire.ICMPEcho
+	payload []byte  // ZmapPayload scratch, reused across probes
+	buf     *[]byte // pooled probe packet buffer
+
+	obsProbes    *obs.Counter
+	obsResponses *obs.Counter
+	obsCorrupt   *obs.Counter
+	obsRTT       *obs.Histogram
+	obsRTTSelf   *obs.Histogram
+	// First self-response tracking for the rtt_first_self histogram: every
+	// address is probed once per scan, so all its deliveries stay within
+	// the shard that sent its probe and "first" is shard-local.
+	seenSelf map[ipaddr.Addr]bool
+}
+
+// probeEvent is one scheduled probe: a preallocated simnet.Event replacing
+// the per-probe closure.
+type probeEvent struct {
+	r   *rangeRun
+	dst ipaddr.Addr
+	pos int
+}
+
+// Run sends the probe at permutation position pos.
+func (e *probeEvent) Run(now simnet.Time) {
+	r := e.r
+	r.payload = wire.ZmapPayload{Dst: e.dst, SendTime: time.Duration(now)}.AppendTo(r.payload[:0])
+	r.echo = wire.ICMPEcho{
+		Type:    wire.ICMPTypeEchoRequest,
+		ID:      uint16(xrand.Hash(r.seed, uint64(e.dst), 0x1D)),
+		Seq:     0,
+		Payload: r.payload,
+	}
+	r.res.probes++
+	r.obsProbes.Inc()
+	r.net.SetSendRank(uint64(e.pos))
+	pkt := wire.AppendEcho((*r.buf)[:0], r.src, e.dst, &r.echo)
+	*r.buf = pkt
+	r.net.Send(r.src, pkt)
+}
+
+// receive handles one delivery.
+func (r *rangeRun) receive(at simnet.Time, data []byte, count int) {
+	if !r.collecting {
+		return
+	}
+	res := r.res
+	res.packets += uint64(count)
+	p, err := r.dec.Decode(data)
+	if err != nil {
+		// Undecodable wire noise: count it and keep scanning.
+		res.corrupt += uint64(count)
+		r.obsCorrupt.Add(uint64(count))
+		return
+	}
+	if p.Echo == nil || p.Echo.Type != wire.ICMPTypeEchoReply {
+		return
+	}
+	zp, err := wire.DecodeZmapPayload(p.Echo.Payload)
+	if err != nil {
+		res.corrupt += uint64(count)
+		r.obsCorrupt.Add(uint64(count))
+		return
+	}
+	// Record one response per delivery; duplicate bursts add no RTT
+	// information to a stateless scanner.
+	rtt := time.Duration(at) - time.Duration(zp.SendTime)
+	res.responses = append(res.responses, Response{
+		Dst: zp.Dst,
+		Src: p.IP.Src,
+		RTT: rtt,
+	})
+	r.obsResponses.Inc()
+	r.obsRTT.Observe(rtt)
+	if r.seenSelf != nil && p.IP.Src == zp.Dst && !r.seenSelf[zp.Dst] {
+		r.seenSelf[zp.Dst] = true
+		r.obsRTTSelf.Observe(rtt)
+	}
+	if r.tag {
+		dt := r.net.LastDeliveryTag()
+		res.keys = append(res.keys, simnet.ShardKey{At: at, A: dt.Rank, B: uint64(dt.Index)})
+	}
+}
+
 // runRange drives the probes at permutation positions [lo, hi) on the given
 // network, scheduling them at the same absolute times the full sequential
 // scan would use, and collects the range's responses. With tag set, each
@@ -126,66 +222,29 @@ func runRange(net *simnet.Network, cfg Config, lo, hi int, tag bool) *rangeResul
 	sched := net.Scheduler()
 	net.SetFaults(cfg.Faults)
 	net.SetObserver(cfg.Obs)
-	var (
-		obsProbes    = cfg.Obs.Counter("zmap.probes_sent")
-		obsResponses = cfg.Obs.Counter("zmap.responses")
-		obsCorrupt   = cfg.Obs.Counter("zmap.corrupt_packets")
-		obsRTT       = cfg.Obs.Histogram("zmap.rtt")
-		obsRTTSelf   = cfg.Obs.Histogram("zmap.rtt_first_self")
-	)
-	// First self-response tracking for the rtt_first_self histogram: every
-	// address is probed once per scan, so all its deliveries stay within
-	// the shard that sent its probe and "first" is shard-local.
-	var seenSelf map[ipaddr.Addr]bool
+	rr := &rangeRun{
+		net: net, res: res, src: cfg.Src, seed: cfg.Seed, tag: tag,
+		collecting:   true,
+		buf:          wire.GetBuf(),
+		obsProbes:    cfg.Obs.Counter("zmap.probes_sent"),
+		obsResponses: cfg.Obs.Counter("zmap.responses"),
+		obsCorrupt:   cfg.Obs.Counter("zmap.corrupt_packets"),
+		obsRTT:       cfg.Obs.Histogram("zmap.rtt"),
+		obsRTTSelf:   cfg.Obs.Histogram("zmap.rtt_first_self"),
+	}
+	defer func() { wire.PutBuf(rr.buf); rr.buf = nil }()
 	if cfg.Obs != nil {
-		seenSelf = make(map[ipaddr.Addr]bool)
+		rr.seenSelf = make(map[ipaddr.Addr]bool)
 	}
 
-	collecting := true
-	net.AttachProber(cfg.Src, func(at simnet.Time, data []byte, count int) {
-		if !collecting {
-			return
-		}
-		res.packets += uint64(count)
-		p, err := wire.Decode(data)
-		if err != nil {
-			// Undecodable wire noise: count it and keep scanning.
-			res.corrupt += uint64(count)
-			obsCorrupt.Add(uint64(count))
-			return
-		}
-		if p.Echo == nil || p.Echo.Type != wire.ICMPTypeEchoReply {
-			return
-		}
-		zp, err := wire.DecodeZmapPayload(p.Echo.Payload)
-		if err != nil {
-			res.corrupt += uint64(count)
-			obsCorrupt.Add(uint64(count))
-			return
-		}
-		// Record one response per delivery; duplicate bursts add no RTT
-		// information to a stateless scanner.
-		rtt := time.Duration(at) - time.Duration(zp.SendTime)
-		res.responses = append(res.responses, Response{
-			Dst: zp.Dst,
-			Src: p.IP.Src,
-			RTT: rtt,
-		})
-		obsResponses.Inc()
-		obsRTT.Observe(rtt)
-		if seenSelf != nil && p.IP.Src == zp.Dst && !seenSelf[zp.Dst] {
-			seenSelf[zp.Dst] = true
-			obsRTTSelf.Observe(rtt)
-		}
-		if tag {
-			dt := net.LastDeliveryTag()
-			res.keys = append(res.keys, simnet.ShardKey{At: at, A: dt.Rank, B: uint64(dt.Index)})
-		}
-	})
+	net.AttachProber(cfg.Src, rr.receive)
 	defer net.DetachProber(cfg.Src)
 
 	perm := NewPermutation(cfg.TargetN, cfg.Seed)
 	gap := cfg.Duration / time.Duration(cfg.TargetN)
+	// One preallocated event per probe in the range; the exact capacity
+	// keeps element addresses stable across appends.
+	events := make([]probeEvent, 0, hi-lo)
 	i := 0
 	for {
 		idx, ok := perm.Next()
@@ -199,22 +258,11 @@ func runRange(net *simnet.Network, cfg Config, lo, hi int, tag bool) *rangeResul
 		}
 		dst := cfg.TargetAt(idx)
 		at := cfg.Start + simnet.Time(pos)*gap
-		sched.At(at, func() {
-			now := sched.Now()
-			echo := &wire.ICMPEcho{
-				Type:    wire.ICMPTypeEchoRequest,
-				ID:      uint16(xrand.Hash(cfg.Seed, uint64(dst), 0x1D)),
-				Seq:     0,
-				Payload: wire.ZmapPayload{Dst: dst, SendTime: time.Duration(now)}.Encode(),
-			}
-			res.probes++
-			obsProbes.Inc()
-			net.SetSendRank(uint64(pos))
-			net.Send(cfg.Src, wire.EncodeEcho(cfg.Src, dst, echo))
-		})
+		events = append(events, probeEvent{r: rr, dst: dst, pos: pos})
+		sched.AtEvent(at, &events[len(events)-1])
 	}
 	stop := cfg.Start + cfg.Duration + cfg.Drain
-	sched.At(stop, func() { collecting = false })
+	sched.At(stop, func() { rr.collecting = false })
 	sched.Run()
 	return res
 }
