@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke chaos bench bench-compare obs-check check ci
+.PHONY: all build vet test race fuzz fuzz-smoke chaos bench bench-compare obs-check transport-check check ci
 
 all: check
 
@@ -34,6 +34,7 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzP2AgainstExact -fuzztime=30s ./internal/stats
 	$(GO) test -run=Fuzz -fuzz=FuzzOpenSource -fuzztime=30s ./internal/survey
 	$(GO) test -run=Fuzz -fuzz=FuzzCompactReader -fuzztime=30s ./internal/survey
+	$(GO) test -run=Fuzz -fuzz=FuzzSessionPacket -fuzztime=30s ./internal/rtt
 
 # Faster fuzz smoke for CI: same targets, 10 s each.
 fuzz-smoke:
@@ -41,6 +42,7 @@ fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzP2AgainstExact -fuzztime=10s ./internal/stats
 	$(GO) test -run=Fuzz -fuzz=FuzzOpenSource -fuzztime=10s ./internal/survey
 	$(GO) test -run=Fuzz -fuzz=FuzzCompactReader -fuzztime=10s ./internal/survey
+	$(GO) test -run=Fuzz -fuzz=FuzzSessionPacket -fuzztime=10s ./internal/rtt
 
 # The chaos suite: every fault-injection test (TestChaos*) under the race
 # detector — fault-off byte-identity, fixed-seed fault determinism,
@@ -67,6 +69,17 @@ bench-compare:
 	$(GO) test -bench=. -benchmem -benchtime=10x ./... | $(GO) run ./cmd/benchjson > /tmp/bench_current.json
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) /tmp/bench_current.json
 
+# The transport boundary suite, raced (the UDP pump runs on its own
+# goroutine): the zero-alloc and deadline-semantics pins on both Transport
+# implementations, the full rtt session tests — sim-oracle determinism plus
+# the live UDP loopback integration (handshake, isochronous round trips,
+# injected drops, late-reply-after-timeout) — and the differential
+# equivalence test proving the refactored probers byte-identical through
+# SimTransport across -parallel 1 and 8.
+transport-check:
+	$(GO) test -race -count=1 ./internal/transport ./internal/rtt
+	$(GO) test -race -count=1 -run 'TestTransportDifferentialIdentity' ./internal/experiments
+
 # The observability determinism suite: vet, the obs package's unit tests
 # (merge commutativity, snapshot round-trip, paper-threshold histograms),
 # and the equivalence tests asserting fixed-seed metric snapshots and
@@ -81,5 +94,6 @@ check: build test race
 
 # The CI pipeline: build, vet, full tests, race pass on the concurrent
 # packages, the fault-injection suite under -race, the observability
-# determinism suite, then a short fuzz smoke of every fuzz target.
-ci: build vet test race chaos obs-check fuzz-smoke
+# determinism suite, the transport/rtt suite (loopback + differential,
+# raced), then a short fuzz smoke of every fuzz target.
+ci: build vet test race chaos obs-check transport-check fuzz-smoke

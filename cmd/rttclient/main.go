@@ -1,0 +1,100 @@
+// Command rttclient runs one isochronous measurement session against an
+// rttserver and reports per-probe and summary latency — the client half of
+// the live irtt-style measurement plane (DESIGN.md §13).
+//
+// Usage:
+//
+//	rttclient -addr HOST:2112 -key SECRET [-count 10] [-interval 100ms]
+//	          [-timeout 1s] [-wait 3s] [-plen 0] [-bind 0.0.0.0:0] [-json]
+//	          [-metrics FILE] [-manifest FILE]
+//
+// Probes leave on a fixed schedule — one every -interval, never coupled to
+// reply latency. A reply arriving after -timeout is reported under
+// rtt_after_timeout, not loss: the client keeps listening until -wait after
+// the last send, the long-listen methodology of the source paper. -json
+// prints the full per-probe result to stdout; the default is a one-line
+// human summary.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"timeouts/internal/obs"
+	"timeouts/internal/rtt"
+	"timeouts/internal/transport"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:2112", "server UDP address")
+		bind     = flag.String("bind", "0.0.0.0:0", "local UDP bind address")
+		key      = flag.String("key", "", "pre-shared HMAC key (required)")
+		count    = flag.Int("count", 10, "number of probes")
+		interval = flag.Duration("interval", 100*time.Millisecond, "isochronous send interval")
+		timeout  = flag.Duration("timeout", time.Second, "per-probe timeout (later replies count as rtt_after_timeout)")
+		wait     = flag.Duration("wait", 3*time.Second, "listen window after the last send")
+		plen     = flag.Int("plen", 0, "probe payload padding bytes")
+		seed     = flag.Uint64("seed", 1, "hello-nonce seed")
+		asJSON   = flag.Bool("json", false, "print the full result as JSON")
+	)
+	cli := obs.RegisterCLI()
+	flag.Parse()
+	if *key == "" {
+		fmt.Fprintln(os.Stderr, "rttclient: -key is required")
+		os.Exit(2)
+	}
+	if err := cli.Init(); err != nil {
+		fmt.Fprintln(os.Stderr, "rttclient:", err)
+		os.Exit(1)
+	}
+
+	server, err := transport.ResolveUDP(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rttclient:", err)
+		os.Exit(1)
+	}
+	tr, err := transport.NewUDP(*bind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rttclient:", err)
+		os.Exit(1)
+	}
+	defer tr.Close()
+
+	c := rtt.NewClient(tr, rtt.ClientConfig{
+		Server:     server,
+		Key:        []byte(*key),
+		Seed:       *seed,
+		Count:      *count,
+		Interval:   *interval,
+		Timeout:    *timeout,
+		Wait:       *wait,
+		PayloadLen: *plen,
+	})
+	c.SetObserver(cli.Reg)
+	res, err := c.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rttclient:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "rttclient:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("sent=%d received=%d lost=%d rtt_after_timeout=%d dups=%d\n",
+			res.Sent, res.Received, res.Lost, res.RTTAfterTimeout, res.Dups)
+		fmt.Printf("rtt p50=%v p90=%v p99=%v\n", res.RTT.P50, res.RTT.P90, res.RTT.P99)
+	}
+	if err := cli.Finish("rttclient", *seed, 1, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "rttclient:", err)
+		os.Exit(1)
+	}
+}

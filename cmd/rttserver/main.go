@@ -1,0 +1,75 @@
+// Command rttserver answers authenticated rtt session probes over UDP — the
+// server half of the live irtt-style measurement plane (DESIGN.md §13).
+//
+// Usage:
+//
+//	rttserver -addr :2112 -key SECRET [-max-conns 64] [-idle 2m] [-seed 1]
+//	          [-metrics FILE] [-manifest FILE] [-debug-addr ADDR]
+//
+// Sessions are HMAC-authenticated under the pre-shared -key; packets that
+// fail verification are counted and silently ignored, so an unauthenticated
+// scanner cannot tell the server is there. The server runs until SIGINT or
+// SIGTERM, then prints session counters and writes the observability
+// artifacts requested by the -metrics/-manifest flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"timeouts/internal/obs"
+	"timeouts/internal/rtt"
+	"timeouts/internal/transport"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":2112", "UDP listen address")
+		key      = flag.String("key", "", "pre-shared HMAC key (required)")
+		maxConns = flag.Int("max-conns", 64, "maximum concurrent sessions")
+		idle     = flag.Duration("idle", 2*time.Minute, "session idle expiry")
+		seed     = flag.Uint64("seed", 1, "session-token seed (tokens are deterministic in it)")
+	)
+	cli := obs.RegisterCLI()
+	flag.Parse()
+	if *key == "" {
+		fmt.Fprintln(os.Stderr, "rttserver: -key is required")
+		os.Exit(2)
+	}
+	if err := cli.Init(); err != nil {
+		fmt.Fprintln(os.Stderr, "rttserver:", err)
+		os.Exit(1)
+	}
+
+	tr, err := transport.NewUDP(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rttserver:", err)
+		os.Exit(1)
+	}
+	srv := rtt.NewServer(tr, rtt.ServerConfig{
+		Key:         []byte(*key),
+		Seed:        *seed,
+		MaxConns:    *maxConns,
+		IdleTimeout: *idle,
+	})
+	srv.SetObserver(cli.Reg)
+	srv.Start()
+	fmt.Printf("rttserver: listening on %s:%d\n", tr.LocalAddr().IP, tr.LocalAddr().Port)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	srv.Close()
+	tr.Close()
+	fmt.Printf("rttserver: packets=%d sessions=%d echoes=%d auth_failures=%d\n",
+		srv.Packets(), srv.Hellos(), srv.Echoes(), srv.AuthFailures())
+	if err := cli.Finish("rttserver", *seed, 1, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "rttserver:", err)
+		os.Exit(1)
+	}
+}

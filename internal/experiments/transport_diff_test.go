@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+
+	"timeouts/internal/obs"
+	"timeouts/internal/survey"
+)
+
+// diffScale fixes the workload whose outputs the golden hashes below pin.
+// Changing it invalidates the goldens, so it is deliberately private to this
+// test and never derived from the shared scales.
+var diffScale = Scale{Seed: 1837, Blocks: 96, SurveyCycles: 4, ZmapScans: 1, SampleAddrs: 50, TrainPings: 100}
+
+// transportGoldens are SHA-256 hashes of the fixed-seed survey dataset, scan
+// response stream, metric snapshot and deterministic manifest section,
+// captured on the pre-refactor code path where the probers called
+// simnet.Network directly. The post-refactor path — the same probers driving
+// I/O through transport.SimTransport — must reproduce them byte for byte, at
+// any shard count: the Transport boundary is required to be invisible on the
+// wire. For an intentional format change, blank a golden and rerun with -v:
+// the failure message prints the newly computed hash to re-pin.
+var transportGoldens = map[string]string{
+	"survey":   "963a3bbe82f61630da8a393f10678323f7e9d80b62f795eef92303419a07c5ca",
+	"scan":     "a8b4cc04f54a13a83841159ba7a63ce429168ad1f1724f349471f1271d95e2ff",
+	"snapshot": "54983731a0fbc7f9ae6aaaf4e21801c7c962a569ddb1f62547295251affdfc87",
+	"manifest": "5bff0d062eaec82c6184acc4c43646386380c0df1302e83c57e0effc13d962dd",
+}
+
+// runDiffWorkloads runs the fixed survey+scan workload at the given shard
+// count and returns the SHA-256 of each output component.
+func runDiffWorkloads(t *testing.T, parallel int) map[string]string {
+	t.Helper()
+	lab := NewLab(diffScale)
+	lab.Parallel = parallel
+	lab.Obs = obs.NewRegistry()
+	lab.Trace = obs.NewTracer()
+
+	recs, _, err := lab.Survey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("survey produced no records; differential check is vacuous")
+	}
+	var sbuf bytes.Buffer
+	w := survey.NewWriter(&sbuf, survey.Header{Seed: diffScale.Seed, Vantage: 'w'})
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	scans, err := lab.Scans(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scans[0].Responses) == 0 {
+		t.Fatal("scan produced no responses; differential check is vacuous")
+	}
+	zh := sha256.New()
+	for _, r := range scans[0].Responses {
+		binary.Write(zh, binary.BigEndian, uint32(r.Dst))
+		binary.Write(zh, binary.BigEndian, uint32(r.Src))
+		binary.Write(zh, binary.BigEndian, int64(r.RTT))
+	}
+
+	var snap bytes.Buffer
+	if err := lab.Obs.Snapshot().WriteJSON(&snap); err != nil {
+		t.Fatal(err)
+	}
+	man, err := obs.BuildManifest("transport-diff", diffScale.Seed, parallel, nil, nil, lab.Trace, lab.Obs).DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sum := func(b []byte) string { h := sha256.Sum256(b); return hex.EncodeToString(h[:]) }
+	return map[string]string{
+		"survey":   sum(sbuf.Bytes()),
+		"scan":     hex.EncodeToString(zh.Sum(nil)),
+		"snapshot": sum(snap.Bytes()),
+		"manifest": sum(man),
+	}
+}
+
+// TestTransportDifferentialIdentity is the differential equivalence suite for
+// the Transport refactor: fixed-seed survey and scan runs through
+// SimTransport must produce byte-identical records and obs manifests to the
+// pre-refactor direct-simnet path (pinned by golden hashes), across
+// -parallel 1 and 8 (extending the PR 4/5 identity suites).
+func TestTransportDifferentialIdentity(t *testing.T) {
+	seq := runDiffWorkloads(t, 1)
+	par := runDiffWorkloads(t, 8)
+	for comp, h := range seq {
+		if par[comp] != h {
+			t.Errorf("%s: -parallel 1 hash %s != -parallel 8 hash %s", comp, h, par[comp])
+		}
+		want := transportGoldens[comp]
+		if want == "" {
+			t.Errorf("%s: no golden recorded; pre-refactor hash is %s", comp, h)
+			continue
+		}
+		if h != want {
+			t.Errorf("%s: hash %s differs from pre-refactor golden %s", comp, h, want)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package rtt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"timeouts/internal/obs"
+	"timeouts/internal/stats"
+	"timeouts/internal/transport"
+	"timeouts/internal/xrand"
+)
+
+// siteNonce salts hello-nonce derivation.
+const siteNonce uint64 = 0x6e6f6e63 // "nonc"
+
+// ClientConfig configures one measurement session.
+type ClientConfig struct {
+	// Server is the server's transport address.
+	Server transport.Addr
+	// Key is the pre-shared HMAC key. Required, and must match the server's.
+	Key []byte
+	// Seed makes the hello nonce deterministic. Zero is a valid seed.
+	Seed uint64
+	// Count is the number of probes (default 10).
+	Count int
+	// Interval is the isochronous send spacing (default 100ms). Each probe
+	// is sent at handshake-end + i*Interval on the client clock, regardless
+	// of how long replies take — send pacing never couples to receive
+	// latency, which is what makes the schedule isochronous.
+	Interval time.Duration
+	// Timeout is the per-probe timeout (default 1s). A reply beyond it is
+	// counted as rtt_after_timeout — late, not lost (the paper's core
+	// distinction). It never gates listening: the client keeps receiving
+	// until Wait expires.
+	Timeout time.Duration
+	// Wait is the listen window after the last send (default 3*Timeout).
+	// Replies beyond it are genuinely counted lost — the one unavoidable
+	// horizon, made explicit and generous rather than hidden in a socket
+	// timeout.
+	Wait time.Duration
+	// PayloadLen pads echo requests with this many zero bytes (default 0).
+	PayloadLen int
+	// HandshakeTimeout bounds one hello/accept exchange (default 1s);
+	// HandshakeTries retries it (default 3).
+	HandshakeTimeout time.Duration
+	HandshakeTries   int
+}
+
+func (c *ClientConfig) fill() {
+	if c.Count <= 0 {
+		c.Count = 10
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.Wait <= 0 {
+		c.Wait = 3 * c.Timeout
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = time.Second
+	}
+	if c.HandshakeTries <= 0 {
+		c.HandshakeTries = 3
+	}
+}
+
+// Probe records the fate of one probe.
+type Probe struct {
+	Seq  uint64 `json:"seq"`
+	Sent int64  `json:"sent_ns"` // client clock, ns
+	// Received reports whether any reply arrived within the listen window.
+	Received bool  `json:"received"`
+	RecvAt   int64 `json:"recv_ns,omitempty"` // client clock, ns
+	// RTT is the full round-trip time, server turnaround included.
+	RTT time.Duration `json:"rtt_ns,omitempty"`
+	// ServerProc is the server's receive-to-send turnaround.
+	ServerProc time.Duration `json:"server_proc_ns,omitempty"`
+	// SendOWD and RecvOWD are the one-way delays computed from server
+	// timestamps. They are exact when both clocks share an epoch (always in
+	// the simulation); over real sockets they carry the unknown clock
+	// offset, like irtt without clock sync.
+	SendOWD time.Duration `json:"send_owd_ns,omitempty"`
+	RecvOWD time.Duration `json:"recv_owd_ns,omitempty"`
+	// AfterTimeout marks a reply that arrived after the per-probe timeout:
+	// reported late, never dropped.
+	AfterTimeout bool `json:"rtt_after_timeout,omitempty"`
+	// Dups counts extra replies to this probe beyond the first.
+	Dups int `json:"dups,omitempty"`
+}
+
+// Result is one session's outcome.
+type Result struct {
+	Sent     int `json:"sent"`
+	Received int `json:"received"`
+	// RTTAfterTimeout counts replies that beat the listen window but not
+	// the per-probe timeout — the paper's surprisingly-high-delay band.
+	RTTAfterTimeout int `json:"rtt_after_timeout"`
+	Lost            int `json:"lost"`
+	Dups            int `json:"dups"`
+	// BadPackets counts arrivals that failed decode or HMAC verification.
+	BadPackets int `json:"bad_packets"`
+	// RTT summarizes round-trip times over all received replies, late ones
+	// included, at the paper's standard percentiles.
+	RTT QuantilesJSON `json:"rtt"`
+	// Probes lists every probe in sequence order.
+	Probes []Probe `json:"probes"`
+}
+
+// QuantilesJSON renders stats.Quantiles with stable field names.
+type QuantilesJSON struct {
+	P1  time.Duration `json:"p1_ns"`
+	P50 time.Duration `json:"p50_ns"`
+	P80 time.Duration `json:"p80_ns"`
+	P90 time.Duration `json:"p90_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P98 time.Duration `json:"p98_ns"`
+	P99 time.Duration `json:"p99_ns"`
+}
+
+func quantilesJSON(q stats.Quantiles) QuantilesJSON {
+	return QuantilesJSON{P1: q.P1, P50: q.P50, P80: q.P80, P90: q.P90, P95: q.P95, P98: q.P98, P99: q.P99}
+}
+
+// Client runs measurement sessions over a Transport it does not own.
+type Client struct {
+	tr  transport.Transport
+	cfg ClientConfig
+	mac *MAC
+
+	token uint64
+
+	out     []byte // reusable send buffer
+	in      []byte // reusable receive buffer
+	pad     []byte // zero payload padding
+	hparams [helloParamsLen]byte
+	hdr     Header // reusable decode scratch
+	bad     int
+	dups    int
+
+	// Observability (nil-safe no-ops unless SetObserver installs them).
+	obsSent     *obs.Counter
+	obsReceived *obs.Counter
+	obsLate     *obs.Counter
+	obsLost     *obs.Counter
+	obsBad      *obs.Counter
+	obsRTT      *obs.Histogram
+}
+
+// NewClient creates a client speaking over tr.
+func NewClient(tr transport.Transport, cfg ClientConfig) *Client {
+	cfg.fill()
+	return &Client{
+		tr:  tr,
+		cfg: cfg,
+		mac: NewMAC(cfg.Key),
+		out: make([]byte, 0, HeaderLen+cfg.PayloadLen),
+		in:  make([]byte, MaxPacketLen),
+		pad: make([]byte, cfg.PayloadLen),
+	}
+}
+
+// SetObserver registers the client's metrics — including the
+// rtt_after_timeout counter — on reg. Call before Run.
+func (c *Client) SetObserver(reg *obs.Registry) {
+	c.obsSent = reg.Counter("rtt.client.sent")
+	c.obsReceived = reg.Counter("rtt.client.received")
+	c.obsLate = reg.Counter("rtt.client.rtt_after_timeout")
+	c.obsLost = reg.Counter("rtt.client.lost")
+	c.obsBad = reg.Counter("rtt.client.bad_packets")
+	c.obsRTT = reg.Histogram("rtt.client.rtt")
+}
+
+// Run performs one full session: handshake, Count isochronous probes, drain
+// window, close. It is synchronous and drives the transport's Recv path, so
+// over a SimTransport link it advances virtual time deterministically.
+func (c *Client) Run() (*Result, error) {
+	if err := c.handshake(); err != nil {
+		return nil, err
+	}
+	probes := make([]Probe, c.cfg.Count)
+	interval := transport.Time(c.cfg.Interval)
+	base := c.tr.Now() + interval // first send one interval after handshake
+	var lastSend transport.Time
+	for i := range probes {
+		target := base + transport.Time(i)*interval
+		c.drainUntil(probes, i, target)
+		now := c.tr.Now()
+		probes[i] = Probe{Seq: uint64(i), Sent: int64(now)}
+		h := Header{Type: TypeEchoRequest, Token: c.token, Seq: uint64(i), CTime: int64(now)}
+		c.out = AppendPacket(c.out[:0], c.mac, &h, c.pad)
+		if err := c.tr.SendTo(c.cfg.Server, c.out); err != nil {
+			return nil, fmt.Errorf("rtt: send probe %d: %w", i, err)
+		}
+		lastSend = now
+		c.obsSent.Inc()
+	}
+	c.drainUntil(probes, len(probes), lastSend+transport.Time(c.cfg.Wait))
+	c.sendClose()
+	return c.collect(probes), nil
+}
+
+// handshake opens the session: hello out, accept back, token stored.
+func (c *Client) handshake() error {
+	nonce := xrand.Hash(c.cfg.Seed, siteNonce)
+	var lastErr error = transport.ErrDeadlineExceeded
+	for try := 0; try < c.cfg.HandshakeTries; try++ {
+		now := c.tr.Now()
+		h := Header{Type: TypeHello, Seq: nonce, CTime: int64(now)}
+		c.out = AppendPacket(c.out[:0], c.mac, &h, appendHelloParams(c.hparams[:0], c.cfg.PayloadLen))
+		if err := c.tr.SendTo(c.cfg.Server, c.out); err != nil {
+			return fmt.Errorf("rtt: send hello: %w", err)
+		}
+		deadline := now + transport.Time(c.cfg.HandshakeTimeout)
+		for {
+			n, _, _, err := c.tr.Recv(c.in, deadline)
+			if err != nil {
+				if errors.Is(err, transport.ErrDeadlineExceeded) {
+					lastErr = err
+					break
+				}
+				return fmt.Errorf("rtt: handshake recv: %w", err)
+			}
+			if _, err := DecodePacket(c.in[:n], c.mac, &c.hdr); err != nil {
+				c.bad++
+				c.obsBad.Inc()
+				continue
+			}
+			if c.hdr.Type == TypeAccept && c.hdr.Seq == nonce {
+				c.token = c.hdr.Token
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("rtt: no accept after %d hellos: %w", c.cfg.HandshakeTries, lastErr)
+}
+
+// drainUntil receives replies until the absolute deadline on the client
+// clock, recording each against its probe. sent bounds which sequence
+// numbers can legitimately answer.
+func (c *Client) drainUntil(probes []Probe, sent int, deadline transport.Time) {
+	for {
+		if c.tr.Now() >= deadline {
+			return
+		}
+		n, _, at, err := c.tr.Recv(c.in, deadline)
+		if err != nil {
+			// Deadline reached, or the transport is gone; either way the
+			// schedule moves on.
+			return
+		}
+		c.record(probes, sent, c.in[:n], at)
+	}
+}
+
+// record matches one arriving packet to its probe.
+func (c *Client) record(probes []Probe, sent int, data []byte, at transport.Time) {
+	if _, err := DecodePacket(data, c.mac, &c.hdr); err != nil {
+		c.bad++
+		c.obsBad.Inc()
+		return
+	}
+	if c.hdr.Type != TypeEchoReply || c.hdr.Token != c.token {
+		return
+	}
+	seq := c.hdr.Seq
+	if seq >= uint64(sent) {
+		return // reply to a probe not sent yet
+	}
+	p := &probes[seq]
+	if p.Received {
+		p.Dups++
+		c.dups++
+		return
+	}
+	p.Received = true
+	p.RecvAt = int64(at)
+	p.RTT = time.Duration(int64(at) - c.hdr.CTime)
+	p.ServerProc = time.Duration(c.hdr.SSend - c.hdr.SRecv)
+	p.SendOWD = time.Duration(c.hdr.SRecv - c.hdr.CTime)
+	p.RecvOWD = time.Duration(int64(at) - c.hdr.SSend)
+	p.AfterTimeout = p.RTT > c.cfg.Timeout
+	c.obsReceived.Inc()
+	c.obsRTT.Observe(p.RTT)
+	if p.AfterTimeout {
+		c.obsLate.Inc()
+	}
+}
+
+// sendClose tells the server the session is done (best effort).
+func (c *Client) sendClose() {
+	h := Header{Type: TypeClose, Token: c.token, CTime: int64(c.tr.Now())}
+	c.out = AppendPacket(c.out[:0], c.mac, &h, nil)
+	c.tr.SendTo(c.cfg.Server, c.out)
+}
+
+// collect summarizes the session.
+func (c *Client) collect(probes []Probe) *Result {
+	r := &Result{Sent: len(probes), Probes: probes, BadPackets: c.bad, Dups: c.dups}
+	rtts := make([]time.Duration, 0, len(probes))
+	for i := range probes {
+		p := &probes[i]
+		switch {
+		case p.Received:
+			r.Received++
+			rtts = append(rtts, p.RTT)
+			if p.AfterTimeout {
+				r.RTTAfterTimeout++
+			}
+		default:
+			r.Lost++
+			c.obsLost.Inc()
+		}
+	}
+	r.RTT = quantilesJSON(stats.ComputeQuantiles(rtts))
+	return r
+}

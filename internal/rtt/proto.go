@@ -1,0 +1,189 @@
+// Package rtt is an irtt-style isochronous round-trip latency measurement
+// plane: a UDP server with HMAC-authenticated sessions and a client that
+// sends probes on a fixed schedule, tracks sequence numbers, and computes
+// round-trip and one-way delays from server timestamps.
+//
+// It exists to carry the paper's core lesson ("Timeouts: Beware Surprisingly
+// High Delay", IMC 2015) into a live measurement tool: a response that
+// arrives after the per-probe timeout is *late*, not *lost* — the client
+// keeps listening past each probe's timeout and reports such responses under
+// rtt_after_timeout instead of dropping them, exactly the long-listening
+// methodology the paper's surveyor uses in simulation.
+//
+// Both ends speak through the transport boundary (internal/transport), so
+// the same session logic runs over a real UDP socket and over the
+// deterministic simulation — the sim acts as the oracle for the live plane's
+// protocol behavior.
+//
+// # Session protocol
+//
+// Every packet is a 64-byte header followed by an optional payload:
+//
+//	[0:4]   magic "RTT1"
+//	[4]     type (hello, accept, echo-request, echo-reply, close)
+//	[5]     flags (reserved, zero)
+//	[6:8]   reserved (zero)
+//	[8:16]  token   — session identity, assigned by the server at accept
+//	[16:24] seq     — probe sequence number
+//	[24:32] ctime   — client send time, ns on the client clock
+//	[32:40] srecv   — server receive time, ns on the server clock
+//	[40:48] ssend   — server send time, ns on the server clock
+//	[48:64] HMAC-SHA256/128 over bytes [0:48] and the payload
+//
+// The truncated HMAC authenticates every packet under a pre-shared key;
+// packets that fail verification are counted and ignored, never answered —
+// an unauthenticated scanner cannot tell the server is there. The handshake
+// is one round trip: hello (client nonce in seq, params in the payload) /
+// accept (server-assigned token). Echo replies preserve seq and ctime and
+// add the two server timestamps, so the client needs no per-probe state
+// beyond its send log, and one-way delays fall out when the two clocks
+// share an epoch (always true in the simulation).
+package rtt
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"hash"
+)
+
+// Magic opens every session packet.
+const Magic = "RTT1"
+
+// Packet types.
+const (
+	TypeHello       = 1 // client → server: open a session
+	TypeAccept      = 2 // server → client: session granted, token assigned
+	TypeEchoRequest = 3 // client → server: one probe
+	TypeEchoReply   = 4 // server → client: probe echoed with timestamps
+	TypeClose       = 5 // client → server: session done
+)
+
+// Version is the protocol version carried in hello payloads.
+const Version = 1
+
+// Header and MAC geometry.
+const (
+	HeaderLen = 64 // full header, MAC included
+	macOff    = 48 // MAC field offset
+	MACLen    = 16 // HMAC-SHA256 truncated to 128 bits
+)
+
+// helloParamsLen is the hello payload prefix: version (u16) and the payload
+// length the client will use for echo requests (u16).
+const helloParamsLen = 4
+
+// MaxPacketLen bounds a session packet; payloads beyond this are rejected.
+const MaxPacketLen = 64 << 10
+
+// Decode/verify failures. Indistinguishable to the peer (no packet is ever
+// answered with an error), distinguished locally for counters.
+var (
+	ErrShort   = errors.New("rtt: packet shorter than header")
+	ErrMagic   = errors.New("rtt: bad magic")
+	ErrAuth    = errors.New("rtt: HMAC verification failed")
+	ErrType    = errors.New("rtt: unknown packet type")
+	ErrVersion = errors.New("rtt: protocol version mismatch")
+)
+
+// Header is the fixed-size packet header, MAC excluded.
+type Header struct {
+	Type  uint8
+	Flags uint8
+	Token uint64
+	Seq   uint64
+	CTime int64 // client send time, ns (client clock)
+	SRecv int64 // server receive time, ns (server clock)
+	SSend int64 // server send time, ns (server clock)
+}
+
+// MAC is a reusable HMAC-SHA256 state bound to one session key. Reset/Write/
+// Sum into a fixed-size scratch array keeps signing and verification
+// allocation-free on the per-packet path. Not safe for concurrent use; each
+// single-threaded endpoint owns one.
+type MAC struct {
+	h   hash.Hash
+	sum [sha256.Size]byte
+}
+
+// NewMAC binds a MAC state to key.
+func NewMAC(key []byte) *MAC {
+	return &MAC{h: hmac.New(sha256.New, key)}
+}
+
+// compute writes the packet MAC (header bytes before the MAC field, then the
+// payload after it) into m.sum and returns the truncated tag.
+func (m *MAC) compute(pkt []byte) []byte {
+	m.h.Reset()
+	m.h.Write(pkt[:macOff])
+	m.h.Write(pkt[HeaderLen:])
+	return m.h.Sum(m.sum[:0])[:MACLen]
+}
+
+// AppendPacket appends a signed session packet to b and returns the extended
+// slice. The payload may be nil.
+func AppendPacket(b []byte, m *MAC, h *Header, payload []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, HeaderLen)...)
+	b = append(b, payload...)
+	p := b[off:]
+	copy(p[0:4], Magic)
+	p[4] = h.Type
+	p[5] = h.Flags
+	binary.BigEndian.PutUint64(p[8:16], h.Token)
+	binary.BigEndian.PutUint64(p[16:24], h.Seq)
+	binary.BigEndian.PutUint64(p[24:32], uint64(h.CTime))
+	binary.BigEndian.PutUint64(p[32:40], uint64(h.SRecv))
+	binary.BigEndian.PutUint64(p[40:48], uint64(h.SSend))
+	copy(p[macOff:HeaderLen], m.compute(p))
+	return b
+}
+
+// DecodePacket parses and authenticates one session packet, filling h and
+// returning the payload (aliasing pkt). The header is parsed only after the
+// MAC verifies.
+func DecodePacket(pkt []byte, m *MAC, h *Header) ([]byte, error) {
+	if len(pkt) < HeaderLen {
+		return nil, ErrShort
+	}
+	if string(pkt[0:4]) != Magic {
+		return nil, ErrMagic
+	}
+	if !hmac.Equal(pkt[macOff:HeaderLen], m.compute(pkt)) {
+		return nil, ErrAuth
+	}
+	h.Type = pkt[4]
+	h.Flags = pkt[5]
+	h.Token = binary.BigEndian.Uint64(pkt[8:16])
+	h.Seq = binary.BigEndian.Uint64(pkt[16:24])
+	h.CTime = int64(binary.BigEndian.Uint64(pkt[24:32]))
+	h.SRecv = int64(binary.BigEndian.Uint64(pkt[32:40]))
+	h.SSend = int64(binary.BigEndian.Uint64(pkt[40:48]))
+	if h.Type < TypeHello || h.Type > TypeClose {
+		return nil, ErrType
+	}
+	return pkt[HeaderLen:], nil
+}
+
+// appendHelloParams appends the hello payload prefix.
+func appendHelloParams(b []byte, payloadLen int) []byte {
+	var p [helloParamsLen]byte
+	binary.BigEndian.PutUint16(p[0:2], Version)
+	binary.BigEndian.PutUint16(p[2:4], uint16(payloadLen))
+	return append(b, p[:]...)
+}
+
+// parseHelloParams extracts (version, echo payload length) from a hello
+// payload.
+func parseHelloParams(payload []byte) (version, payloadLen int, err error) {
+	if len(payload) < helloParamsLen {
+		return 0, 0, ErrShort
+	}
+	version = int(binary.BigEndian.Uint16(payload[0:2]))
+	payloadLen = int(binary.BigEndian.Uint16(payload[2:4]))
+	if version != Version {
+		return version, payloadLen, ErrVersion
+	}
+	return version, payloadLen, nil
+}

@@ -1,0 +1,388 @@
+package rtt
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"timeouts/internal/faults"
+	"timeouts/internal/obs"
+	"timeouts/internal/simnet"
+	"timeouts/internal/transport"
+)
+
+var testKey = []byte("rtt-test-shared-key")
+
+// linkSession runs one client/server session over a deterministic sim link
+// with a fixed one-way delay, returning the result and the server.
+func linkSession(t *testing.T, delay time.Duration, cfg ClientConfig, scfg ServerConfig) (*Result, *Server) {
+	t.Helper()
+	sched := &simnet.Scheduler{}
+	sa := transport.Addr{Port: 2112}
+	ca := transport.Addr{Port: 49000}
+	st, ct := transport.NewSimLink(sched, sa, ca,
+		func(from, to transport.Addr, size int, at transport.Time) transport.Time {
+			return transport.Time(delay)
+		})
+	scfg.Key = testKey
+	srv := NewServer(st, scfg)
+	srv.Start()
+	cfg.Server = sa
+	cfg.Key = testKey
+	cli := NewClient(ct, cfg)
+	res, err := cli.Run()
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	// Deliver the in-flight close before reading server state.
+	sched.RunUntil(sched.Now() + transport.Time(2*delay))
+	return res, srv
+}
+
+func TestSimLinkSessionExact(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	cfg := ClientConfig{
+		Count:    16,
+		Interval: 50 * time.Millisecond,
+		Timeout:  100 * time.Millisecond,
+		Wait:     500 * time.Millisecond,
+	}
+	res, srv := linkSession(t, delay, cfg, ServerConfig{Seed: 7})
+
+	if res.Sent != 16 || res.Received != 16 || res.Lost != 0 || res.RTTAfterTimeout != 0 {
+		t.Fatalf("counts: %+v", res)
+	}
+	for i, p := range res.Probes {
+		if !p.Received {
+			t.Fatalf("probe %d not received", i)
+		}
+		// The link is symmetric and the server turns around in zero virtual
+		// time, so every delay decomposes exactly.
+		if p.RTT != 2*delay {
+			t.Errorf("probe %d RTT = %v, want %v", i, p.RTT, 2*delay)
+		}
+		if p.SendOWD != delay || p.RecvOWD != delay {
+			t.Errorf("probe %d OWD = %v/%v, want %v each way", i, p.SendOWD, p.RecvOWD, delay)
+		}
+		if p.ServerProc != 0 {
+			t.Errorf("probe %d server turnaround = %v, want 0", i, p.ServerProc)
+		}
+		if i > 0 {
+			if got := p.Sent - res.Probes[i-1].Sent; got != int64(cfg.Interval) {
+				t.Errorf("probe %d send spacing = %dns, want %v", i, got, cfg.Interval)
+			}
+		}
+	}
+	if res.RTT.P50 != 2*delay || res.RTT.P99 != 2*delay {
+		t.Errorf("quantiles: %+v", res.RTT)
+	}
+	if srv.Hellos() != 1 || srv.Echoes() != 16 || srv.AuthFailures() != 0 {
+		t.Errorf("server: hellos=%d echoes=%d authfail=%d", srv.Hellos(), srv.Echoes(), srv.AuthFailures())
+	}
+	if srv.Conns() != 0 {
+		t.Errorf("server holds %d conns after close", srv.Conns())
+	}
+}
+
+// TestSimLinkSessionDeterministic runs the identical session twice and
+// demands identical results — the sim-as-oracle property the live plane's
+// differential tests lean on.
+func TestSimLinkSessionDeterministic(t *testing.T) {
+	cfg := ClientConfig{Count: 12, Interval: 30 * time.Millisecond, Timeout: 80 * time.Millisecond}
+	a, _ := linkSession(t, 17*time.Millisecond, cfg, ServerConfig{Seed: 3})
+	b, _ := linkSession(t, 17*time.Millisecond, cfg, ServerConfig{Seed: 3})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same configuration, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSimLinkLateRepliesCounted is the paper's core semantics on the sim
+// oracle: every reply outlives the per-probe timeout, and every one is
+// reported late — rtt_after_timeout — rather than lost.
+func TestSimLinkLateRepliesCounted(t *testing.T) {
+	const delay = 150 * time.Millisecond // RTT 300ms vs 100ms timeout
+	cfg := ClientConfig{
+		Count:    8,
+		Interval: 200 * time.Millisecond,
+		Timeout:  100 * time.Millisecond,
+		Wait:     time.Second,
+	}
+	res, _ := linkSession(t, delay, cfg, ServerConfig{})
+	if res.Received != 8 || res.Lost != 0 {
+		t.Fatalf("late replies mislaid: %+v", res)
+	}
+	if res.RTTAfterTimeout != 8 {
+		t.Fatalf("rtt_after_timeout = %d, want 8", res.RTTAfterTimeout)
+	}
+	for i, p := range res.Probes {
+		if !p.AfterTimeout || p.RTT != 2*delay {
+			t.Errorf("probe %d: after_timeout=%v rtt=%v", i, p.AfterTimeout, p.RTT)
+		}
+	}
+}
+
+// TestSimLinkDroppedProbes interposes the faulty wrapper on the client's
+// inbound path and checks losses match the plan's deterministic drop
+// decisions packet for packet.
+func TestSimLinkDroppedProbes(t *testing.T) {
+	const count = 24
+	plan := &faults.Plan{Seed: 5, Wire: faults.WireConfig{DropRate: 0.25}}
+	if plan.WireDropFor(0, 0) {
+		t.Fatal("test seed drops the accept; pick another seed")
+	}
+	// Client inbound arrivals: index 0 is the accept, 1..count the echo
+	// replies in order (the fixed-delay link cannot reorder).
+	wantLost := 0
+	for i := 1; i <= count; i++ {
+		if plan.WireDropFor(uint64(i), 0) {
+			wantLost++
+		}
+	}
+	if wantLost == 0 {
+		t.Fatal("test seed drops nothing; pick another seed")
+	}
+
+	sched := &simnet.Scheduler{}
+	sa := transport.Addr{Port: 2112}
+	ca := transport.Addr{Port: 49000}
+	st, ct := transport.NewSimLink(sched, sa, ca,
+		func(_, _ transport.Addr, _ int, _ transport.Time) transport.Time {
+			return transport.Time(5 * time.Millisecond)
+		})
+	srv := NewServer(st, ServerConfig{Key: testKey})
+	srv.Start()
+	faulty := transport.NewFaulty(ct, plan)
+	cli := NewClient(faulty, ClientConfig{
+		Server:   sa,
+		Key:      testKey,
+		Count:    count,
+		Interval: 20 * time.Millisecond,
+		Timeout:  15 * time.Millisecond,
+		Wait:     200 * time.Millisecond,
+	})
+	res, err := cli.Run()
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if res.Lost != wantLost || res.Received != count-wantLost {
+		t.Fatalf("lost=%d received=%d, want lost=%d received=%d",
+			res.Lost, res.Received, wantLost, count-wantLost)
+	}
+	if got := faulty.Dropped(); got != uint64(wantLost) {
+		t.Fatalf("wrapper dropped %d, want %d", got, wantLost)
+	}
+	// Every request still reached the server: only replies were dropped.
+	if srv.Echoes() != count {
+		t.Fatalf("server echoes = %d, want %d", srv.Echoes(), count)
+	}
+}
+
+// TestSimLinkAuthRejection: a client with the wrong key never completes a
+// handshake, and the server counts the rejects without ever answering.
+func TestSimLinkAuthRejection(t *testing.T) {
+	sched := &simnet.Scheduler{}
+	sa := transport.Addr{Port: 2112}
+	ca := transport.Addr{Port: 49000}
+	st, ct := transport.NewSimLink(sched, sa, ca, nil)
+	srv := NewServer(st, ServerConfig{Key: testKey})
+	srv.Start()
+	cli := NewClient(ct, ClientConfig{
+		Server:           sa,
+		Key:              []byte("not-the-key"),
+		HandshakeTimeout: 10 * time.Millisecond,
+		HandshakeTries:   2,
+	})
+	if _, err := cli.Run(); err == nil {
+		t.Fatal("session succeeded with the wrong key")
+	}
+	if srv.AuthFailures() != 2 {
+		t.Fatalf("server auth failures = %d, want 2", srv.AuthFailures())
+	}
+	if srv.Hellos() != 0 || srv.Conns() != 0 {
+		t.Fatalf("unauthenticated hello accepted: hellos=%d conns=%d", srv.Hellos(), srv.Conns())
+	}
+}
+
+// udpPair opens a loopback server/client transport pair.
+func udpPair(t *testing.T) (*transport.UDPTransport, *transport.UDPTransport) {
+	t.Helper()
+	st, err := transport.NewUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("server socket: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	ct, err := transport.NewUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("client socket: %v", err)
+	}
+	t.Cleanup(func() { ct.Close() })
+	return st, ct
+}
+
+// TestLoopbackUDPSession is the live-plane integration test: a full session
+// over real UDP sockets on 127.0.0.1 — handshake, isochronous round trips,
+// monotone sequencing and timestamp sanity.
+func TestLoopbackUDPSession(t *testing.T) {
+	st, ct := udpPair(t)
+	reg := obs.NewRegistry()
+	srv := NewServer(st, ServerConfig{Key: testKey})
+	srv.SetObserver(reg)
+	srv.Start()
+
+	const count = 20
+	cli := NewClient(ct, ClientConfig{
+		Server:     st.LocalAddr(),
+		Key:        testKey,
+		Count:      count,
+		Interval:   2 * time.Millisecond,
+		Timeout:    250 * time.Millisecond,
+		Wait:       2 * time.Second,
+		PayloadLen: 64,
+	})
+	cli.SetObserver(reg)
+	res, err := cli.Run()
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if res.Sent != count || res.Received != count || res.Lost != 0 {
+		t.Fatalf("loopback lost packets: %+v", res)
+	}
+	for i, p := range res.Probes {
+		if p.Seq != uint64(i) {
+			t.Fatalf("probe %d has seq %d", i, p.Seq)
+		}
+		if p.RTT <= 0 {
+			t.Errorf("probe %d RTT = %v", i, p.RTT)
+		}
+		if p.RecvAt < p.Sent {
+			t.Errorf("probe %d received before sent: %d < %d", i, p.RecvAt, p.Sent)
+		}
+		if i > 0 {
+			if p.Sent <= res.Probes[i-1].Sent {
+				t.Errorf("send times not monotone at probe %d", i)
+			}
+			// Server receive stamp reconstructed on the server clock.
+			srecv := func(q Probe) int64 { return q.Sent + int64(q.SendOWD) }
+			if srecv(p) < srecv(res.Probes[i-1]) {
+				t.Errorf("server receive stamps not monotone at probe %d", i)
+			}
+		}
+	}
+	if srv.Hellos() != 1 || srv.Echoes() != count {
+		t.Errorf("server: hellos=%d echoes=%d", srv.Hellos(), srv.Echoes())
+	}
+	// The close travels async; give the pump a moment to apply it.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Conns() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Conns() != 0 {
+		t.Errorf("server holds %d conns after close", srv.Conns())
+	}
+	snap := reg.Snapshot()
+	if got := counterValue(t, snap, "rtt.client.sent"); got != count {
+		t.Errorf("rtt.client.sent = %d", got)
+	}
+	if got := counterValue(t, snap, "rtt.server.echoes"); got != count {
+		t.Errorf("rtt.server.echoes = %d", got)
+	}
+}
+
+// TestLoopbackDroppedProbes interposes the faulty wrapper on a real socket:
+// losses stay consistent (sent = received + lost) and every loss is one the
+// wrapper injected — the server answered everything.
+func TestLoopbackDroppedProbes(t *testing.T) {
+	st, ct := udpPair(t)
+	srv := NewServer(st, ServerConfig{Key: testKey})
+	srv.Start()
+
+	const count = 40
+	plan := &faults.Plan{Seed: 5, Wire: faults.WireConfig{DropRate: 0.25}}
+	faulty := transport.NewFaulty(ct, plan)
+	cli := NewClient(faulty, ClientConfig{
+		Server:   st.LocalAddr(),
+		Key:      testKey,
+		Count:    count,
+		Interval: 2 * time.Millisecond,
+		Timeout:  100 * time.Millisecond,
+		Wait:     2 * time.Second,
+	})
+	res, err := cli.Run()
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if res.Received+res.Lost != count {
+		t.Fatalf("received %d + lost %d != sent %d", res.Received, res.Lost, count)
+	}
+	if res.Lost == 0 {
+		t.Fatal("drop plan injected no losses")
+	}
+	if faulty.Dropped() < uint64(res.Lost) {
+		t.Fatalf("wrapper dropped %d < client lost %d", faulty.Dropped(), res.Lost)
+	}
+	if srv.Echoes() != count {
+		t.Fatalf("server echoes = %d, want %d (requests travel clean)", srv.Echoes(), count)
+	}
+}
+
+// delayedSender defers every send by a fixed wall-clock delay — a
+// delayed-echo server for the timeout-semantics regression test.
+type delayedSender struct {
+	transport.Transport
+	delay time.Duration
+}
+
+func (d *delayedSender) SendTo(to transport.Addr, pkt []byte) error {
+	time.Sleep(d.delay)
+	return d.Transport.SendTo(to, pkt)
+}
+
+// TestUDPLateReplyAfterTimeout is the regression test for satellite 4:
+// over real sockets, a reply that misses the per-probe timeout must land in
+// rtt_after_timeout, not in lost — the read deadline bounds one Recv, never
+// the listening.
+func TestUDPLateReplyAfterTimeout(t *testing.T) {
+	st, ct := udpPair(t)
+	srv := NewServer(&delayedSender{Transport: st, delay: 120 * time.Millisecond},
+		ServerConfig{Key: testKey})
+	srv.Start()
+
+	const count = 3
+	cli := NewClient(ct, ClientConfig{
+		Server:           st.LocalAddr(),
+		Key:              testKey,
+		Count:            count,
+		Interval:         60 * time.Millisecond,
+		Timeout:          50 * time.Millisecond,
+		Wait:             3 * time.Second,
+		HandshakeTimeout: 2 * time.Second,
+	})
+	res, err := cli.Run()
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("late replies dropped as lost: %+v", res)
+	}
+	if res.Received != count || res.RTTAfterTimeout != count {
+		t.Fatalf("received=%d rtt_after_timeout=%d, want %d of each",
+			res.Received, res.RTTAfterTimeout, count)
+	}
+	for i, p := range res.Probes {
+		if !p.AfterTimeout || p.RTT <= 50*time.Millisecond {
+			t.Errorf("probe %d: after_timeout=%v rtt=%v", i, p.AfterTimeout, p.RTT)
+		}
+	}
+}
+
+// counterValue digs one counter out of a snapshot.
+func counterValue(t *testing.T, snap obs.Snapshot, name string) uint64 {
+	t.Helper()
+	for _, c := range snap.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	t.Fatalf("counter %q not in snapshot", name)
+	return 0
+}

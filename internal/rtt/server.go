@@ -1,0 +1,234 @@
+package rtt
+
+import (
+	"sync/atomic"
+	"time"
+
+	"timeouts/internal/obs"
+	"timeouts/internal/transport"
+	"timeouts/internal/xrand"
+)
+
+// siteToken salts session-token derivation so tokens are independent of any
+// other use of the server seed.
+const siteToken uint64 = 0x746f6b65 // "toke"
+
+// ServerConfig configures a session server.
+type ServerConfig struct {
+	// Key is the pre-shared HMAC key. Required.
+	Key []byte
+	// Seed makes session tokens deterministic (tokens are identity, not
+	// secrets — the HMAC authenticates). Zero is a valid seed.
+	Seed uint64
+	// MaxConns bounds concurrent sessions (default 64). Hellos beyond the
+	// bound are ignored, indistinguishable from an absent server.
+	MaxConns int
+	// IdleTimeout expires sessions with no traffic (default 2m). Expiry is
+	// lazy — swept as other packets arrive — so an idle server holds state
+	// but runs no timers.
+	IdleTimeout time.Duration
+}
+
+// sconn is one accepted session.
+type sconn struct {
+	token    uint64
+	from     transport.Addr
+	lastSeen transport.Time
+	echoes   uint64
+}
+
+// Server answers authenticated echo probes over a Transport. All packet
+// handling runs on the transport's delivery context (the simulation event
+// loop, or the UDP pump goroutine), single-threaded, with reusable scratch
+// so the echo path performs no steady-state allocations.
+type Server struct {
+	tr  transport.Transport
+	cfg ServerConfig
+	mac *MAC
+
+	// conns is touched only on the transport's delivery context; nconns
+	// mirrors its size atomically for cross-goroutine readers.
+	conns     map[uint64]*sconn
+	nconns    atomic.Int64
+	nextConn  uint64
+	lastSweep transport.Time
+
+	out []byte // reusable reply buffer
+	hdr Header // reusable decode scratch
+
+	// Stats are atomics: the handler runs on the transport's goroutine,
+	// readers on the caller's.
+	packets, authFails, hellos, echoes, closes, unknownToken atomic.Uint64
+
+	// Observability (nil-safe no-ops unless SetObserver installs them).
+	obsPackets  *obs.Counter
+	obsAuthFail *obs.Counter
+	obsEchoes   *obs.Counter
+	obsConns    *obs.Gauge
+	obsProc     *obs.Histogram
+}
+
+// NewServer creates a server speaking over tr. Call Start to begin serving.
+func NewServer(tr transport.Transport, cfg ServerConfig) *Server {
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 64
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 2 * time.Minute
+	}
+	return &Server{
+		tr:    tr,
+		cfg:   cfg,
+		mac:   NewMAC(cfg.Key),
+		conns: make(map[uint64]*sconn),
+		out:   make([]byte, 0, HeaderLen+512),
+	}
+}
+
+// SetObserver registers the server's metrics on reg. Call before Start.
+func (s *Server) SetObserver(reg *obs.Registry) {
+	s.obsPackets = reg.Counter("rtt.server.packets")
+	s.obsAuthFail = reg.Counter("rtt.server.auth_failures")
+	s.obsEchoes = reg.Counter("rtt.server.echoes")
+	s.obsConns = reg.Gauge("rtt.server.conns")
+	s.obsProc = reg.Histogram("rtt.server.turnaround")
+}
+
+// Start attaches the server to its transport and begins answering.
+func (s *Server) Start() { s.tr.SetHandler(s.handle) }
+
+// Close detaches the server. The transport itself is the caller's to close.
+func (s *Server) Close() { s.tr.SetHandler(nil) }
+
+// Packets returns how many packets arrived (authenticated or not).
+func (s *Server) Packets() uint64 { return s.packets.Load() }
+
+// AuthFailures returns how many packets failed decode or HMAC verification.
+func (s *Server) AuthFailures() uint64 { return s.authFails.Load() }
+
+// Hellos returns how many sessions were accepted.
+func (s *Server) Hellos() uint64 { return s.hellos.Load() }
+
+// Echoes returns how many echo requests were answered.
+func (s *Server) Echoes() uint64 { return s.echoes.Load() }
+
+// Conns returns the number of live sessions.
+func (s *Server) Conns() int { return int(s.nconns.Load()) }
+
+// handle processes one arriving packet. count collapses identical duplicate
+// deliveries; the server answers once per call — a duplicated probe yields
+// one reply, and the client's own duplicate accounting covers the rest.
+func (s *Server) handle(at transport.Time, from transport.Addr, data []byte, count int) {
+	_ = count
+	s.packets.Add(1)
+	s.obsPackets.Inc()
+	s.sweep(at)
+	payload, err := DecodePacket(data, s.mac, &s.hdr)
+	if err != nil {
+		s.authFails.Add(1)
+		s.obsAuthFail.Inc()
+		return
+	}
+	switch s.hdr.Type {
+	case TypeHello:
+		s.handleHello(at, from, payload)
+	case TypeEchoRequest:
+		s.handleEcho(at, from, payload)
+	case TypeClose:
+		if _, ok := s.conns[s.hdr.Token]; ok {
+			delete(s.conns, s.hdr.Token)
+			s.nconns.Store(int64(len(s.conns)))
+			s.closes.Add(1)
+			s.obsConns.Observe(int64(len(s.conns)))
+		}
+	default:
+		// Accept / echo-reply are server-to-client; ignore reflections.
+	}
+}
+
+// handleHello accepts a new session and answers with its token. The reply
+// carries the client's hello nonce back in Seq and preserves CTime, so the
+// client can match accept to attempt.
+func (s *Server) handleHello(at transport.Time, from transport.Addr, payload []byte) {
+	if _, _, err := parseHelloParams(payload); err != nil {
+		s.authFails.Add(1)
+		s.obsAuthFail.Inc()
+		return
+	}
+	if len(s.conns) >= s.cfg.MaxConns {
+		return
+	}
+	token := s.newToken()
+	s.conns[token] = &sconn{token: token, from: from, lastSeen: at}
+	s.nconns.Store(int64(len(s.conns)))
+	s.hellos.Add(1)
+	s.obsConns.Observe(int64(len(s.conns)))
+	h := Header{
+		Type:  TypeAccept,
+		Token: token,
+		Seq:   s.hdr.Seq,
+		CTime: s.hdr.CTime,
+		SRecv: int64(at),
+		SSend: int64(s.tr.Now()),
+	}
+	s.out = AppendPacket(s.out[:0], s.mac, &h, nil)
+	s.tr.SendTo(from, s.out)
+}
+
+// handleEcho answers one probe: same seq and ctime, plus the receive and
+// send stamps on the server clock, payload echoed verbatim.
+func (s *Server) handleEcho(at transport.Time, from transport.Addr, payload []byte) {
+	c, ok := s.conns[s.hdr.Token]
+	if !ok {
+		s.unknownToken.Add(1)
+		return
+	}
+	c.lastSeen = at
+	c.from = from
+	c.echoes++
+	s.echoes.Add(1)
+	s.obsEchoes.Inc()
+	now := s.tr.Now()
+	h := Header{
+		Type:  TypeEchoReply,
+		Token: c.token,
+		Seq:   s.hdr.Seq,
+		CTime: s.hdr.CTime,
+		SRecv: int64(at),
+		SSend: int64(now),
+	}
+	s.obsProc.Observe(time.Duration(now - at))
+	s.out = AppendPacket(s.out[:0], s.mac, &h, payload)
+	s.tr.SendTo(from, s.out)
+}
+
+// newToken derives the next session token: deterministic in (seed, session
+// ordinal), nonzero, collision-checked against live sessions.
+func (s *Server) newToken() uint64 {
+	for {
+		t := xrand.Hash(s.cfg.Seed, siteToken, s.nextConn)
+		s.nextConn++
+		if t == 0 {
+			continue
+		}
+		if _, taken := s.conns[t]; !taken {
+			return t
+		}
+	}
+}
+
+// sweep lazily expires idle sessions, at most once per idle-timeout window.
+func (s *Server) sweep(at transport.Time) {
+	idle := transport.Time(s.cfg.IdleTimeout)
+	if at-s.lastSweep < idle {
+		return
+	}
+	s.lastSweep = at
+	for tok, c := range s.conns {
+		if at-c.lastSeen >= idle {
+			delete(s.conns, tok)
+		}
+	}
+	s.nconns.Store(int64(len(s.conns)))
+	s.obsConns.Observe(int64(len(s.conns)))
+}

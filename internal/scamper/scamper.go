@@ -19,6 +19,7 @@ import (
 	"timeouts/internal/ipmeta"
 	"timeouts/internal/obs"
 	"timeouts/internal/simnet"
+	"timeouts/internal/transport"
 	"timeouts/internal/wire"
 )
 
@@ -59,7 +60,9 @@ type ProbeResult struct {
 // Prober is a stateful prober attached to the network. Create with New,
 // schedule experiments, run the scheduler, then read results.
 type Prober struct {
-	net       *simnet.Network
+	net       *simnet.Network // kept for SetObserver; probe I/O goes via tr
+	tr        transport.Transport
+	sched     *simnet.Scheduler
 	src       ipaddr.Addr
 	continent ipmeta.Continent
 	nextToken uint16
@@ -109,6 +112,8 @@ type probeKey struct {
 func New(net *simnet.Network, src ipaddr.Addr, continent ipmeta.Continent) *Prober {
 	p := &Prober{
 		net:       net,
+		tr:        transport.NewSim(net, src),
+		sched:     net.Scheduler(),
 		src:       src,
 		continent: continent,
 		nextToken: 0x8000, // tokens double as source ports; stay ephemeral
@@ -116,13 +121,13 @@ func New(net *simnet.Network, src ipaddr.Addr, continent ipmeta.Continent) *Prob
 		sentAt:    make(map[tracerouteKey]simnet.Time),
 		buf:       wire.GetBuf(),
 	}
-	net.AttachProber(src, p.receive)
+	p.tr.SetHandler(p.receive)
 	return p
 }
 
 // Close detaches the prober from the network.
 func (p *Prober) Close() {
-	p.net.DetachProber(p.src)
+	p.tr.Close()
 	if p.buf != nil {
 		wire.PutBuf(p.buf)
 		p.buf = nil
@@ -155,7 +160,7 @@ func (p *Prober) SchedulePing(dst ipaddr.Addr, proto Proto, start simnet.Time, c
 	if p.nextToken == 0 {
 		p.nextToken = 0x8000
 	}
-	sched := p.net.Scheduler()
+	sched := p.sched
 	// Exact capacity keeps element addresses stable across appends.
 	events := make([]pingEvent, 0, count)
 	for i := 0; i < count; i++ {
@@ -166,7 +171,7 @@ func (p *Prober) SchedulePing(dst ipaddr.Addr, proto Proto, start simnet.Time, c
 
 // send emits one probe and registers it for matching.
 func (p *Prober) send(dst ipaddr.Addr, proto Proto, token, seq uint16) {
-	now := p.net.Scheduler().Now()
+	now := p.sched.Now()
 	res := &ProbeResult{Dst: dst, Proto: proto, Seq: int(seq), SentAt: now}
 	key := probeKey{dst: dst, proto: proto, token: token, seq: seq}
 	if old, dup := p.pending[key]; dup {
@@ -204,7 +209,7 @@ func (p *Prober) send(dst ipaddr.Addr, proto Proto, token, seq uint16) {
 		panic(fmt.Sprintf("scamper: unknown protocol %d", proto))
 	}
 	*p.buf = pkt
-	p.net.Send(p.src, pkt)
+	p.tr.SendTo(transport.InPacket, pkt)
 }
 
 // DecodeErrors returns how many received packets failed to decode — wire
@@ -212,7 +217,8 @@ func (p *Prober) send(dst ipaddr.Addr, proto Proto, token, seq uint16) {
 func (p *Prober) DecodeErrors() uint64 { return p.decodeErr }
 
 // receive matches responses to outstanding probes.
-func (p *Prober) receive(at simnet.Time, data []byte, count int) {
+func (p *Prober) receive(at transport.Time, from transport.Addr, data []byte, count int) {
+	_ = from // the responder's address rides inside the wire packet
 	pkt, err := p.dec.Decode(data)
 	if err != nil {
 		p.decodeErr += uint64(count)

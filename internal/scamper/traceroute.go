@@ -6,6 +6,7 @@ import (
 
 	"timeouts/internal/ipaddr"
 	"timeouts/internal/simnet"
+	"timeouts/internal/transport"
 	"timeouts/internal/wire"
 )
 
@@ -49,7 +50,7 @@ func (p *Prober) ScheduleTraceroute(dst ipaddr.Addr, start simnet.Time, maxHops 
 		p.trPending = make(map[tracerouteKey]*HopResult)
 		p.trResults = make(map[ipaddr.Addr][]*HopResult)
 	}
-	sched := p.net.Scheduler()
+	sched := p.sched
 	// Exact capacity keeps element addresses stable across appends.
 	events := make([]hopEvent, 0, maxHops)
 	for hop := 1; hop <= maxHops; hop++ {
@@ -76,8 +77,8 @@ func (e *hopEvent) Run(simnet.Time) {
 	echo := &wire.ICMPEcho{Type: wire.ICMPTypeEchoRequest, ID: e.token, Seq: uint16(hop)}
 	pkt := wire.AppendEchoTTL((*p.buf)[:0], p.src, e.dst, echo, byte(hop))
 	*p.buf = pkt
-	p.sentAt[key] = p.net.Scheduler().Now()
-	p.net.Send(p.src, pkt)
+	p.sentAt[key] = p.sched.Now()
+	p.tr.SendTo(transport.InPacket, pkt)
 }
 
 // TracerouteResults returns the hops recorded for dst in hop order.

@@ -255,6 +255,11 @@ func (s *Scheduler) peek() (Time, bool) {
 	return s.curList[s.curIdx].at, true
 }
 
+// NextEventTime returns the time of the earliest pending event without
+// running it. Synchronous consumers (transport.SimTransport.Recv) use it to
+// pump the loop up to a deadline without overshooting.
+func (s *Scheduler) NextEventTime() (Time, bool) { return s.peek() }
+
 // Run drains the event queue until empty.
 func (s *Scheduler) Run() {
 	for s.Step() {

@@ -11,6 +11,7 @@ import (
 	"timeouts/internal/ipmeta"
 	"timeouts/internal/obs"
 	"timeouts/internal/simnet"
+	"timeouts/internal/transport"
 	"timeouts/internal/wire"
 	"timeouts/internal/xrand"
 )
@@ -195,16 +196,17 @@ func Run(net *simnet.Network, cfg Config, out RecordWriter) (Stats, error) {
 		return Stats{}, fmt.Errorf("survey: no blocks to probe")
 	}
 	cfg.traceSimPhases()
+	tr := transport.NewSim(net, cfg.Vantage.Addr)
 	s := &surveyor{
-		net: net, cfg: cfg, out: out,
+		tr: tr, seq: tr, sched: net.Scheduler(), cfg: cfg, out: out,
 		blockTotal:  len(cfg.Blocks),
 		outstanding: make(map[ipaddr.Addr]simnet.Time),
 		o:           newSurveyObs(cfg.Obs),
 	}
 	net.SetFaults(cfg.Faults)
 	net.SetObserver(cfg.Obs)
-	net.AttachProber(cfg.Vantage.Addr, s.receive)
-	defer net.DetachProber(cfg.Vantage.Addr)
+	tr.SetHandler(s.receive)
+	defer tr.Close()
 
 	s.scheduleAll()
 	defer s.close()
@@ -268,14 +270,16 @@ func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric, ou
 			scfg.Obs = shardRegs[k]
 		}
 		net.SetObserver(scfg.Obs)
+		tr := transport.NewSim(net, cfg.Vantage.Addr)
 		s := &surveyor{
-			net: net, cfg: scfg, tag: true,
+			tr: tr, seq: tr, sched: sched, cfg: scfg, tag: true,
 			blockOff: lo, blockTotal: len(cfg.Blocks),
 			outstanding: make(map[ipaddr.Addr]simnet.Time),
 			o:           newSurveyObs(scfg.Obs),
 		}
 		surveyors[k] = s
-		net.AttachProber(cfg.Vantage.Addr, s.receive)
+		tr.SetHandler(s.receive)
+		defer tr.Close()
 		s.scheduleAll()
 		sched.Run()
 		s.expireAll()
@@ -320,9 +324,14 @@ func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric, ou
 	return stats, err
 }
 
-// surveyor holds the run state of one survey (or one shard of one).
+// surveyor holds the run state of one survey (or one shard of one). Probe
+// I/O goes through the transport boundary — the surveyor never touches the
+// network directly — while the probing schedule itself lives on the sim
+// scheduler, which is what makes the run deterministic.
 type surveyor struct {
-	net         *simnet.Network
+	tr          transport.Transport
+	seq         transport.Sequencer
+	sched       *simnet.Scheduler
 	cfg         Config
 	out         RecordWriter
 	outstanding map[ipaddr.Addr]simnet.Time
@@ -371,7 +380,7 @@ func (s *surveyor) close() {
 
 // scheduleAll installs the survey's slot and sweep events on the scheduler.
 func (s *surveyor) scheduleAll() {
-	sched := s.net.Scheduler()
+	sched := s.sched
 	cfg := s.cfg
 	s.buf = wire.GetBuf()
 	s.sweepEv = sweepEvent{s: s}
@@ -405,7 +414,7 @@ func (s *surveyor) sendSlot(cycle, slot int) {
 		// configurations where Interval < Timeout) is force-expired first.
 		if send, ok := s.outstanding[dst]; ok {
 			s.record(Record{Type: RecTimeout, Addr: dst, When: TruncSecond(send)},
-				simnet.ShardKey{At: s.net.Scheduler().Now(), Phase: phaseSlot, A: slotRank, B: gbi})
+				simnet.ShardKey{At: s.sched.Now(), Phase: phaseSlot, A: slotRank, B: gbi})
 			s.stats.Timeouts++
 			s.o.timeouts.Inc()
 			delete(s.outstanding, dst)
@@ -415,22 +424,23 @@ func (s *surveyor) sendSlot(cycle, slot int) {
 			ID:   uint16(xrand.Hash(s.cfg.Seed, uint64(dst))),
 			Seq:  uint16(cycle),
 		}
-		now := s.net.Scheduler().Now()
+		now := s.sched.Now()
 		s.outstanding[dst] = now
 		s.stats.Probes++
 		s.o.probes.Inc()
 		// The probe's global rank — its position in the full unsharded
 		// probe order — tags the deliveries it causes, so receive can order
 		// its records across shards.
-		s.net.SetSendRank(slotRank*uint64(s.blockTotal) + gbi)
+		s.seq.SetSendRank(slotRank*uint64(s.blockTotal) + gbi)
 		pkt := wire.AppendEcho((*s.buf)[:0], s.cfg.Vantage.Addr, dst, &s.echo)
 		*s.buf = pkt
-		s.net.Send(s.cfg.Vantage.Addr, pkt)
+		s.tr.SendTo(transport.InPacket, pkt)
 	}
 }
 
 // receive handles a delivered packet (batch).
-func (s *surveyor) receive(at simnet.Time, data []byte, count int) {
+func (s *surveyor) receive(at transport.Time, from transport.Addr, data []byte, count int) {
+	_ = from // source address rides inside the wire packet
 	if s.cfg.ResponseDropRate > 0 {
 		// Vantage-side filtering drops response packets independently.
 		kept := 0
@@ -456,10 +466,10 @@ func (s *surveyor) receive(at simnet.Time, data []byte, count int) {
 	}
 	// All records of one delivery share its (probe rank, delivery index)
 	// key, ordered within the delivery by emission index.
-	dt := s.net.LastDeliveryTag()
+	rank, idx := s.seq.LastDeliveryTag()
 	recIdx := uint64(0)
 	emit := func(r Record) {
-		s.record(r, simnet.ShardKey{At: at, Phase: phaseDeliver, A: dt.Rank, B: uint64(dt.Index), C: recIdx})
+		s.record(r, simnet.ShardKey{At: at, Phase: phaseDeliver, A: rank, B: uint64(idx), C: recIdx})
 		recIdx++
 	}
 	switch {
@@ -503,13 +513,13 @@ func (s *surveyor) receive(at simnet.Time, data []byte, count int) {
 
 // sweep expires outstanding probes older than the timeout.
 func (s *surveyor) sweep() {
-	s.sweepPhase(phaseSweep, s.net.Scheduler().Now())
+	s.sweepPhase(phaseSweep, s.sched.Now())
 }
 
 // sweepPhase expires outstanding probes older than the timeout, keying the
 // records at the given phase and merge time.
 func (s *surveyor) sweepPhase(phase uint8, keyAt simnet.Time) {
-	now := s.net.Scheduler().Now()
+	now := s.sched.Now()
 	var expired []ipaddr.Addr
 	for a, send := range s.outstanding {
 		if now-send >= s.cfg.Timeout {

@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"sync/atomic"
+
+	"timeouts/internal/faults"
+)
+
+// Faulty wraps an inner Transport and applies a deterministic faults.Plan to
+// inbound packets: drops (WireConfig.DropRate), bit corruption, truncation
+// and duplication, keyed on the packet's arrival index. It is how the live
+// plane's tests exercise loss and noise on a real loopback socket with the
+// same seeded plans the simulation uses — fixed seed, fixed faults, as long
+// as the underlying delivery order is stable (single in-order flow).
+//
+// Outbound packets pass through untouched; faulting one direction keeps the
+// arrival index an unambiguous key.
+type Faulty struct {
+	inner Transport
+	plan  *faults.Plan
+
+	rank atomic.Uint64 // next inbound arrival index
+
+	// Stats counts applied faults (atomically; the handler pump is a
+	// separate goroutine on live transports).
+	dropped, corrupted, truncated, duplicated atomic.Uint64
+
+	// Receive-mode duplicate stash: extra copies handed out by later Recvs.
+	dupBuf  []byte
+	dupN    int
+	dupLeft int
+	dupFrom Addr
+	dupAt   Time
+}
+
+// NewFaulty wraps inner with the given fault plan (nil: transparent).
+func NewFaulty(inner Transport, plan *faults.Plan) *Faulty {
+	return &Faulty{inner: inner, plan: plan}
+}
+
+// Dropped returns how many inbound packets the wrapper dropped.
+func (f *Faulty) Dropped() uint64 { return f.dropped.Load() }
+
+// Corrupted returns how many inbound packets had a bit flipped.
+func (f *Faulty) Corrupted() uint64 { return f.corrupted.Load() }
+
+// Truncated returns how many inbound packets were cut short.
+func (f *Faulty) Truncated() uint64 { return f.truncated.Load() }
+
+// Duplicated returns how many inbound packets were duplicated.
+func (f *Faulty) Duplicated() uint64 { return f.duplicated.Load() }
+
+// LocalAddr implements Transport.
+func (f *Faulty) LocalAddr() Addr { return f.inner.LocalAddr() }
+
+// Now implements Transport.
+func (f *Faulty) Now() Time { return f.inner.Now() }
+
+// SendTo implements Transport (outbound passes through clean).
+func (f *Faulty) SendTo(to Addr, pkt []byte) error { return f.inner.SendTo(to, pkt) }
+
+// Close implements Transport.
+func (f *Faulty) Close() error { return f.inner.Close() }
+
+// apply mutates one inbound packet per the plan. It returns the packet's
+// (possibly truncated) length, how many extra copies to deliver, and whether
+// the packet survives at all.
+func (f *Faulty) apply(data []byte) (n, extra int, keep bool) {
+	n = len(data)
+	rank := f.rank.Add(1) - 1
+	if f.plan.WireDropFor(rank, 0) {
+		f.dropped.Add(1)
+		return 0, 0, false
+	}
+	if ft, ok := f.plan.WireFaultFor(rank, 0, n); ok {
+		switch ft.Kind {
+		case faults.WireCorrupt:
+			data[ft.Bit/8] ^= 1 << (ft.Bit % 8)
+			f.corrupted.Add(1)
+		case faults.WireTruncate:
+			n = ft.Len
+			f.truncated.Add(1)
+		case faults.WireDuplicate:
+			extra = ft.Extra
+			f.duplicated.Add(1)
+		}
+	}
+	return n, extra, true
+}
+
+// SetHandler implements Transport, interposing the fault plan ahead of h.
+// Duplicates become extra back-to-back handler calls.
+func (f *Faulty) SetHandler(h Handler) {
+	if h == nil {
+		f.inner.SetHandler(nil)
+		return
+	}
+	f.inner.SetHandler(func(at Time, from Addr, data []byte, count int) {
+		n, extra, keep := f.apply(data)
+		if !keep {
+			return
+		}
+		for i := 0; i <= extra; i++ {
+			h(at, from, data[:n], count)
+		}
+	})
+}
+
+// Recv implements Transport, applying the fault plan to each arriving
+// packet: dropped packets are skipped (the deadline still bounds the wait),
+// duplicated ones are stashed and re-delivered by subsequent Recv calls.
+func (f *Faulty) Recv(buf []byte, deadline Time) (int, Addr, Time, error) {
+	if f.dupLeft > 0 {
+		f.dupLeft--
+		return copy(buf, f.dupBuf[:f.dupN]), f.dupFrom, f.dupAt, nil
+	}
+	for {
+		n, from, at, err := f.inner.Recv(buf, deadline)
+		if err != nil {
+			return n, from, at, err
+		}
+		kn, extra, keep := f.apply(buf[:n])
+		if !keep {
+			continue
+		}
+		if extra > 0 {
+			if cap(f.dupBuf) < kn {
+				f.dupBuf = make([]byte, kn)
+			}
+			f.dupN = copy(f.dupBuf[:cap(f.dupBuf)], buf[:kn])
+			f.dupLeft, f.dupFrom, f.dupAt = extra, from, at
+		}
+		return kn, from, at, nil
+	}
+}

@@ -1,0 +1,241 @@
+package transport
+
+import (
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/simnet"
+	"timeouts/internal/wire"
+)
+
+// DelayFunc computes the one-way delay of a packet on a link-mode sim
+// transport, as a pure function of endpoints, size and send time — keeping
+// link sessions exactly reproducible per configuration.
+type DelayFunc func(from, to Addr, size int, at Time) Time
+
+// SimTransport is the Transport over the deterministic simulation. It runs
+// in one of two wirings:
+//
+//   - network mode (NewSim): the endpoint is a prober attached to a
+//     simnet.Network, whose fabric answers its probes. SendTo routes on the
+//     packet's own IPv4 header (pass InPacket); deliveries keep the exact
+//     scheduling, batching and (rank, index) tagging of the direct simnet
+//     path, so refactored probers stay byte-identical — and the transport
+//     implements Sequencer for the sharded merge.
+//
+//   - link mode (NewSimLink): two endpoints exchange datagrams with each
+//     other through a shared scheduler and a DelayFunc — a deterministic
+//     loopback for client/server sessions (the rtt plane's sim oracle).
+//
+// Everything runs on the single-threaded event loop; SimTransport is not
+// safe for concurrent use, matching the rest of the simulation.
+type SimTransport struct {
+	sched  *simnet.Scheduler
+	net    *simnet.Network // network mode; nil in link mode
+	addr   Addr
+	h      Handler
+	peer   *SimTransport // link mode
+	delay  DelayFunc     // link mode
+	closed bool
+
+	// Receive-mode inbound FIFO: packets copied into pooled buffers while
+	// waiting for Recv. Entry storage and buffers are recycled, so the
+	// steady state allocates nothing.
+	q     []simInPkt
+	qHead int
+
+	// Pooled link-mode delivery events (intrusive free list, single thread).
+	freeEv *linkEvent
+}
+
+// simInPkt is one queued inbound packet awaiting Recv.
+type simInPkt struct {
+	at    Time
+	from  Addr
+	buf   *[]byte
+	n     int
+	count int
+}
+
+// linkEvent delivers one link-mode packet to its destination endpoint.
+type linkEvent struct {
+	src  *SimTransport // owner of the free list this event recycles into
+	dst  *SimTransport
+	from Addr
+	buf  *[]byte
+	n    int
+	next *linkEvent
+}
+
+// Run implements simnet.Event: deliver and recycle.
+func (e *linkEvent) Run(now simnet.Time) {
+	src, dst, from, buf, n := e.src, e.dst, e.from, e.buf, e.n
+	e.src, e.dst, e.buf = nil, nil, nil
+	e.next = src.freeEv
+	src.freeEv = e
+	if dst.closed {
+		wire.PutBuf(buf)
+		return
+	}
+	if dst.h != nil {
+		dst.h(now, from, (*buf)[:n], 1)
+		wire.PutBuf(buf)
+		return
+	}
+	dst.enqueueOwned(now, from, buf, n, 1)
+}
+
+// NewSim attaches a network-mode endpoint for the prober at ip. Close
+// detaches it.
+func NewSim(net *simnet.Network, ip ipaddr.Addr) *SimTransport {
+	t := &SimTransport{sched: net.Scheduler(), net: net, addr: Addr{IP: ip}}
+	net.AttachProber(ip, t.dispatch)
+	return t
+}
+
+// NewSimLink creates a linked pair of endpoints exchanging datagrams through
+// sched with per-packet delays from delay (nil: zero delay).
+func NewSimLink(sched *simnet.Scheduler, a, b Addr, delay DelayFunc) (*SimTransport, *SimTransport) {
+	ta := &SimTransport{sched: sched, addr: a, delay: delay}
+	tb := &SimTransport{sched: sched, addr: b, delay: delay}
+	ta.peer, tb.peer = tb, ta
+	return ta, tb
+}
+
+// Scheduler returns the driving scheduler.
+func (t *SimTransport) Scheduler() *simnet.Scheduler { return t.sched }
+
+// Network returns the wrapped network in network mode (nil in link mode).
+func (t *SimTransport) Network() *simnet.Network { return t.net }
+
+// LocalAddr implements Transport.
+func (t *SimTransport) LocalAddr() Addr { return t.addr }
+
+// Now implements Transport: the simulation clock.
+func (t *SimTransport) Now() Time { return t.sched.Now() }
+
+// SetHandler implements Transport. Packets already queued for Recv stay
+// queued; new deliveries go to h.
+func (t *SimTransport) SetHandler(h Handler) { t.h = h }
+
+// SendTo implements Transport. In network mode the destination rides inside
+// the packet's IPv4 header and to is ignored; in link mode the packet is
+// copied into a pooled buffer and delivered to the peer after the link
+// delay. A closed peer loses the packet silently, like a datagram socket.
+func (t *SimTransport) SendTo(to Addr, pkt []byte) error {
+	if t.closed {
+		return ErrClosed
+	}
+	if t.net != nil {
+		t.net.Send(t.addr.IP, pkt)
+		return nil
+	}
+	p := t.peer
+	if p == nil || p.closed {
+		return nil
+	}
+	var d Time
+	if t.delay != nil {
+		d = t.delay(t.addr, p.addr, len(pkt), t.sched.Now())
+	}
+	ev := t.freeEv
+	if ev == nil {
+		ev = &linkEvent{}
+	} else {
+		t.freeEv = ev.next
+		ev.next = nil
+	}
+	buf := wire.GetBuf()
+	*buf = append((*buf)[:0], pkt...)
+	ev.src, ev.dst, ev.from, ev.buf, ev.n = t, p, t.addr, buf, len(pkt)
+	t.sched.AfterEvent(d, ev)
+	return nil
+}
+
+// Recv implements Transport. With the queue empty it pumps the shared
+// scheduler — advancing virtual time and running any endpoint's handlers
+// along the way — until a packet arrives for this endpoint or the deadline
+// passes. When the event queue runs dry nothing can ever arrive, which Recv
+// reports as ErrDeadlineExceeded, the same face a silent live socket wears.
+func (t *SimTransport) Recv(buf []byte, deadline Time) (int, Addr, Time, error) {
+	for {
+		if t.closed {
+			return 0, Addr{}, t.sched.Now(), ErrClosed
+		}
+		if t.qHead < len(t.q) {
+			pk := &t.q[t.qHead]
+			n := copy(buf, (*pk.buf)[:pk.n])
+			at, from := pk.at, pk.from
+			pk.count--
+			if pk.count <= 0 {
+				wire.PutBuf(pk.buf)
+				pk.buf = nil
+				t.qHead++
+				if t.qHead == len(t.q) {
+					t.q, t.qHead = t.q[:0], 0
+				}
+			}
+			return n, from, at, nil
+		}
+		next, ok := t.sched.NextEventTime()
+		if !ok || (deadline > 0 && next > deadline) {
+			if deadline > 0 && t.sched.Now() < deadline {
+				// Burn the virtual time a live socket would spend blocked.
+				t.sched.RunUntil(deadline)
+			}
+			return 0, Addr{}, t.sched.Now(), ErrDeadlineExceeded
+		}
+		t.sched.Step()
+	}
+}
+
+// Close implements Transport: detaches the endpoint and releases queued
+// buffers. Packets in flight to this endpoint are dropped on arrival.
+func (t *SimTransport) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	if t.net != nil {
+		t.net.DetachProber(t.addr.IP)
+	}
+	for i := t.qHead; i < len(t.q); i++ {
+		if t.q[i].buf != nil {
+			wire.PutBuf(t.q[i].buf)
+			t.q[i].buf = nil
+		}
+	}
+	t.q, t.qHead = nil, 0
+	return nil
+}
+
+// SetSendRank implements Sequencer (network mode; no-op on links).
+func (t *SimTransport) SetSendRank(r uint64) {
+	if t.net != nil {
+		t.net.SetSendRank(r)
+	}
+}
+
+// LastDeliveryTag implements Sequencer (network mode; zeros on links).
+func (t *SimTransport) LastDeliveryTag() (uint64, int) {
+	if t.net == nil {
+		return 0, 0
+	}
+	dt := t.net.LastDeliveryTag()
+	return dt.Rank, dt.Index
+}
+
+// dispatch is the simnet receive handler: hand to the user handler, or copy
+// into a pooled buffer and queue for Recv.
+func (t *SimTransport) dispatch(at simnet.Time, data []byte, count int) {
+	if t.h != nil {
+		t.h(at, InPacket, data, count)
+		return
+	}
+	buf := wire.GetBuf()
+	*buf = append((*buf)[:0], data...)
+	t.enqueueOwned(at, InPacket, buf, len(data), count)
+}
+
+// enqueueOwned appends a packet whose pooled buffer the queue now owns.
+func (t *SimTransport) enqueueOwned(at Time, from Addr, buf *[]byte, n, count int) {
+	t.q = append(t.q, simInPkt{at: at, from: from, buf: buf, n: n, count: count})
+}

@@ -1,0 +1,110 @@
+// Package transport is the probe I/O boundary: it carries encoded wire
+// packets between a local endpoint and a network, which may be the
+// deterministic simulation (SimTransport over simnet) or a real UDP socket
+// (UDPTransport over net.UDPConn). The probers (survey, zmapper, scamper)
+// and the rtt measurement plane drive all packet I/O through the Transport
+// interface, so the same encoders, decoders and session logic run unchanged
+// against either network — with the simulation serving as the byte-exact
+// oracle for everything the live path does (DESIGN.md §13).
+//
+// The hot path is allocation-free for both implementations: packets are
+// encoded into pooled wire buffers, sim deliveries ride pooled events, and
+// the UDP path sticks to the netip-based UDPConn methods that avoid per-op
+// allocations. alloc_test.go pins 0 allocs/op on send and receive for both.
+package transport
+
+import (
+	"errors"
+	"time"
+
+	"timeouts/internal/ipaddr"
+)
+
+// Time is a transport clock reading: the duration since the transport's
+// epoch. SimTransport's epoch is the simulation epoch, so its readings equal
+// simnet.Time; UDPTransport's is the (monotonic) instant the socket was
+// opened. Timestamps from different transports are not comparable.
+type Time = time.Duration
+
+// Addr identifies a transport peer: an IPv4 address plus UDP port.
+// Endpoints that exchange full IPv4-encapsulated wire packets (the probers
+// over the sim fabric) carry addressing inside the packet and use InPacket.
+type Addr struct {
+	IP   ipaddr.Addr
+	Port uint16
+}
+
+// InPacket is the destination to pass to SendTo on transports whose packets
+// carry their own addressing — full IPv4-encapsulated wire packets routed by
+// the sim fabric. Such transports ignore the argument.
+var InPacket = Addr{}
+
+// Handler receives inbound packets on a handler-driven transport. data is
+// only valid for the duration of the call (receive buffers are pooled or
+// reused); count is >= 1 — identical packets batched by the sim fabric share
+// one call, exactly as simnet delivers them.
+type Handler func(at Time, from Addr, data []byte, count int)
+
+// Errors returned by transports.
+var (
+	// ErrDeadlineExceeded reports that Recv's deadline passed with no
+	// packet. On the sim it also covers "the event queue ran dry": nothing
+	// can ever arrive, which a live socket expresses only as a timeout.
+	ErrDeadlineExceeded = errors.New("transport: receive deadline exceeded")
+	// ErrClosed reports I/O on a closed transport.
+	ErrClosed = errors.New("transport: closed")
+)
+
+// Transport carries encoded wire packets between the local endpoint and the
+// network. A transport is driven in exactly one of two modes:
+//
+//   - handler mode (SetHandler): inbound packets are pushed to the handler —
+//     inside the event loop for the sim, from a pump goroutine for UDP. This
+//     is how the probers and the rtt server consume the network.
+//   - receive mode (Recv): the caller pulls packets synchronously, bounded
+//     by a deadline. This is how the rtt client paces its isochronous
+//     schedule; on the sim, Recv pumps the shared scheduler, so a whole
+//     client/server session advances deterministically under the caller.
+//
+// Mixing the modes on one transport is a bug.
+type Transport interface {
+	// LocalAddr identifies the endpoint. Sim endpoints have port 0.
+	LocalAddr() Addr
+
+	// Now reads the transport clock.
+	Now() Time
+
+	// SendTo transmits pkt to the peer at to (ignored by transports whose
+	// packets carry their own addressing — pass InPacket there). The caller
+	// may reuse pkt as soon as SendTo returns: implementations either hand
+	// it off synchronously or copy into a pooled buffer.
+	SendTo(to Addr, pkt []byte) error
+
+	// Recv delivers the next inbound packet into buf, reporting its length,
+	// sender, and arrival time on the transport clock. deadline is absolute
+	// on that clock; once it passes, Recv returns ErrDeadlineExceeded — for
+	// the sim this advances the virtual clock to the deadline, mirroring the
+	// time a live socket would burn blocking. A zero deadline means no limit.
+	Recv(buf []byte, deadline Time) (n int, from Addr, at Time, err error)
+
+	// SetHandler switches the transport to handler mode (nil detaches).
+	SetHandler(h Handler)
+
+	// Close releases the endpoint. Pending handler callbacks stop.
+	Close() error
+}
+
+// Sequencer is the deterministic-merge extension implemented by transports
+// that can order deliveries globally — the sim, whose fabric tags every
+// delivery with the (send rank, delivery index) identity the sharded
+// byte-identical merge is keyed on. Probers type-assert for it; live
+// transports do not implement it, and sharded live runs would need an
+// ordering of their own.
+type Sequencer interface {
+	// SetSendRank sets the global probe rank recorded on deliveries caused
+	// by subsequent SendTo calls.
+	SetSendRank(rank uint64)
+	// LastDeliveryTag returns the (rank, index) identity of the delivery
+	// whose handler is currently executing.
+	LastDeliveryTag() (rank uint64, index int)
+}

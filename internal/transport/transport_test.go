@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"timeouts/internal/simnet"
+)
+
+// TestUDPDeadlineBoundsOneRecvOnly pins the paper-facing deadline contract:
+// a read deadline bounds a single Recv call, never the socket's lifetime. A
+// datagram that arrives after a Recv timed out is NOT lost — the next Recv
+// returns it, which is what lets callers count late responses
+// (rtt_after_timeout) instead of conflating them with loss.
+func TestUDPDeadlineBoundsOneRecvOnly(t *testing.T) {
+	a, err := NewUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Recv with nothing in flight: the deadline must fire as
+	// ErrDeadlineExceeded, roughly on time.
+	buf := make([]byte, 64)
+	start := time.Now()
+	_, _, _, err = b.Recv(buf, b.Now()+30*time.Millisecond)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("empty Recv: err = %v, want ErrDeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond || waited > 2*time.Second {
+		t.Fatalf("deadline fired after %v", waited)
+	}
+
+	// A "late" packet: sent after the receiver's deadline already expired.
+	if err := a.SendTo(b.LocalAddr(), []byte("late-reply")); err != nil {
+		t.Fatal(err)
+	}
+	n, from, _, err := b.Recv(buf, b.Now()+2*time.Second)
+	if err != nil {
+		t.Fatalf("post-deadline Recv: %v", err)
+	}
+	if string(buf[:n]) != "late-reply" {
+		t.Fatalf("got %q", buf[:n])
+	}
+	if from != a.LocalAddr() {
+		t.Fatalf("from = %+v, want %+v", from, a.LocalAddr())
+	}
+}
+
+// TestSimRecvDeadline pins the same contract on the simulated transport,
+// where an expired deadline burns virtual time instead of wall time.
+func TestSimRecvDeadline(t *testing.T) {
+	sched := &simnet.Scheduler{}
+	a, b := NewSimLink(sched, Addr{Port: 1}, Addr{Port: 2},
+		func(_, _ Addr, _ int, _ Time) Time { return Time(50 * time.Millisecond) })
+
+	// Nothing in flight: Recv advances the clock to the deadline and fails.
+	buf := make([]byte, 64)
+	_, _, _, err := b.Recv(buf, Time(30*time.Millisecond))
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if now := sched.Now(); now != Time(30*time.Millisecond) {
+		t.Fatalf("virtual clock at %v, want 30ms", now)
+	}
+
+	// A packet due at t=80ms: a Recv deadlined at 60ms must miss it without
+	// consuming it, and a later Recv must still deliver it.
+	if err := a.SendTo(b.LocalAddr(), []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = b.Recv(buf, Time(60*time.Millisecond))
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	n, _, at, err := b.Recv(buf, Time(200*time.Millisecond))
+	if err != nil || string(buf[:n]) != "slow" {
+		t.Fatalf("late sim packet: n=%d err=%v", n, err)
+	}
+	if at != Time(80*time.Millisecond) {
+		t.Fatalf("delivered at %v, want 80ms", at)
+	}
+	if sched.Now() != at {
+		t.Fatalf("clock %v != delivery time %v", sched.Now(), at)
+	}
+}
+
+// TestSimLinkClose pins the closed-endpoint contract both ways.
+func TestSimLinkClose(t *testing.T) {
+	sched := &simnet.Scheduler{}
+	a, b := NewSimLink(sched, Addr{Port: 1}, Addr{Port: 2}, nil)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Sending to a closed peer is silent loss, like a datagram socket.
+	if err := a.SendTo(b.LocalAddr(), []byte("x")); err != nil {
+		t.Fatalf("send to closed peer: %v", err)
+	}
+	if _, _, _, err := b.Recv(make([]byte, 8), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv on closed: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendTo(b.LocalAddr(), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on closed: %v", err)
+	}
+}

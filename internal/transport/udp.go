@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"os"
+	"sync"
+	"time"
+
+	"timeouts/internal/ipaddr"
+)
+
+// udpPumpSlice bounds how long the handler pump blocks in one read, so
+// SetHandler(nil) detaches promptly without closing the socket.
+const udpPumpSlice = 100 * time.Millisecond
+
+// udpRecvBufLen fits any UDP datagram the measurement plane exchanges.
+const udpRecvBufLen = 64 << 10
+
+// UDPTransport is the Transport over a real IPv4 UDP socket. Timestamps are
+// monotonic durations since the socket was opened; deadlines map onto the
+// kernel's read deadlines — and because a deadline only bounds one Recv
+// call, a datagram that arrives after a per-probe timeout still sits in the
+// socket buffer and is delivered by the next Recv, which is what lets the
+// rtt client count late responses (rtt_after_timeout) instead of losing
+// them, per the paper's core observation.
+//
+// The send and receive paths use the netip-based UDPConn methods, which
+// perform no per-operation allocations (pinned by alloc_test.go).
+type UDPTransport struct {
+	conn  *net.UDPConn
+	epoch time.Time
+	local Addr
+
+	mu      sync.Mutex
+	closed  bool
+	pumping bool
+	pumpGen int // incremented to stop the current pump
+	pumpWG  sync.WaitGroup
+}
+
+// NewUDP opens a UDP endpoint on laddr (e.g. "127.0.0.1:0" or ":2112").
+func NewUDP(laddr string) (*UDPTransport, error) {
+	ua, err := net.ResolveUDPAddr("udp4", laddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp4", ua)
+	if err != nil {
+		return nil, err
+	}
+	t := &UDPTransport{conn: conn, epoch: time.Now()}
+	if la, ok := conn.LocalAddr().(*net.UDPAddr); ok {
+		t.local = Addr{Port: uint16(la.Port)}
+		if ip4 := la.IP.To4(); ip4 != nil {
+			t.local.IP = ipaddr.FromBytes4([4]byte(ip4))
+		}
+	}
+	return t, nil
+}
+
+// ResolveUDP resolves "host:port" to a transport address (IPv4 only, like
+// the rest of the measurement plane).
+func ResolveUDP(s string) (Addr, error) {
+	ua, err := net.ResolveUDPAddr("udp4", s)
+	if err != nil {
+		return Addr{}, err
+	}
+	a := Addr{Port: uint16(ua.Port)}
+	if ip4 := ua.IP.To4(); ip4 != nil {
+		a.IP = ipaddr.FromBytes4([4]byte(ip4))
+	}
+	return a, nil
+}
+
+// LocalAddr implements Transport.
+func (t *UDPTransport) LocalAddr() Addr { return t.local }
+
+// Now implements Transport: monotonic time since the socket opened.
+func (t *UDPTransport) Now() Time { return time.Since(t.epoch) }
+
+// SendTo implements Transport.
+func (t *UDPTransport) SendTo(to Addr, pkt []byte) error {
+	ap := netip.AddrPortFrom(netip.AddrFrom4(to.IP.Bytes4()), to.Port)
+	_, err := t.conn.WriteToUDPAddrPort(pkt, ap)
+	if err != nil && t.isClosed() {
+		return ErrClosed
+	}
+	return err
+}
+
+// Recv implements Transport. deadline is absolute on the transport clock;
+// zero blocks until a packet or Close.
+func (t *UDPTransport) Recv(buf []byte, deadline Time) (int, Addr, Time, error) {
+	var dl time.Time
+	if deadline > 0 {
+		dl = t.epoch.Add(deadline)
+	}
+	if err := t.conn.SetReadDeadline(dl); err != nil {
+		return 0, Addr{}, t.Now(), err
+	}
+	n, ap, err := t.conn.ReadFromUDPAddrPort(buf)
+	at := time.Since(t.epoch)
+	if err != nil {
+		switch {
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			return 0, Addr{}, at, ErrDeadlineExceeded
+		case t.isClosed():
+			return 0, Addr{}, at, ErrClosed
+		}
+		return 0, Addr{}, at, err
+	}
+	a4 := ap.Addr().Unmap().As4()
+	return n, Addr{IP: ipaddr.FromBytes4(a4), Port: ap.Port()}, at, nil
+}
+
+// SetHandler implements Transport: starts (or, with nil, stops) a pump
+// goroutine that reads the socket and pushes packets to h. The packet slice
+// passed to h is reused by the pump and only valid during the call.
+func (t *UDPTransport) SetHandler(h Handler) {
+	t.mu.Lock()
+	t.pumpGen++
+	gen := t.pumpGen
+	wasPumping := t.pumping
+	t.pumping = h != nil
+	t.mu.Unlock()
+	if wasPumping {
+		t.pumpWG.Wait()
+	}
+	if h == nil {
+		return
+	}
+	t.pumpWG.Add(1)
+	go t.pump(gen, h)
+}
+
+// pump reads the socket in deadline slices until superseded or closed.
+func (t *UDPTransport) pump(gen int, h Handler) {
+	defer t.pumpWG.Done()
+	buf := make([]byte, udpRecvBufLen)
+	for {
+		t.mu.Lock()
+		stale := t.closed || t.pumpGen != gen
+		t.mu.Unlock()
+		if stale {
+			return
+		}
+		n, from, at, err := t.Recv(buf, t.Now()+udpPumpSlice)
+		switch {
+		case err == nil:
+			h(at, from, buf[:n], 1)
+		case errors.Is(err, ErrDeadlineExceeded):
+			// Idle slice; re-check for detach/close.
+		default:
+			return
+		}
+	}
+}
+
+// Close implements Transport: closes the socket and stops the pump.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.pumpGen++
+	t.mu.Unlock()
+	err := t.conn.Close()
+	t.pumpWG.Wait()
+	return err
+}
+
+func (t *UDPTransport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}

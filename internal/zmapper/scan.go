@@ -10,6 +10,7 @@ import (
 	"timeouts/internal/ipmeta"
 	"timeouts/internal/obs"
 	"timeouts/internal/simnet"
+	"timeouts/internal/transport"
 	"timeouts/internal/wire"
 	"timeouts/internal/xrand"
 )
@@ -117,9 +118,11 @@ type rangeResult struct {
 
 // rangeRun is the per-range send/receive state: scratch buffers and decoder
 // shared by every probe in the range, so the steady-state probe path
-// performs no per-event allocations.
+// performs no per-event allocations. All probe I/O flows through the
+// transport boundary; the scanner never touches the network directly.
 type rangeRun struct {
-	net        *simnet.Network
+	tr         transport.Transport
+	seq        transport.Sequencer
 	res        *rangeResult
 	src        ipaddr.Addr
 	seed       uint64
@@ -162,14 +165,15 @@ func (e *probeEvent) Run(now simnet.Time) {
 	}
 	r.res.probes++
 	r.obsProbes.Inc()
-	r.net.SetSendRank(uint64(e.pos))
+	r.seq.SetSendRank(uint64(e.pos))
 	pkt := wire.AppendEcho((*r.buf)[:0], r.src, e.dst, &r.echo)
 	*r.buf = pkt
-	r.net.Send(r.src, pkt)
+	r.tr.SendTo(transport.InPacket, pkt)
 }
 
 // receive handles one delivery.
-func (r *rangeRun) receive(at simnet.Time, data []byte, count int) {
+func (r *rangeRun) receive(at transport.Time, from transport.Addr, data []byte, count int) {
+	_ = from // the responder's address rides inside the wire packet
 	if !r.collecting {
 		return
 	}
@@ -206,8 +210,8 @@ func (r *rangeRun) receive(at simnet.Time, data []byte, count int) {
 		r.obsRTTSelf.Observe(rtt)
 	}
 	if r.tag {
-		dt := r.net.LastDeliveryTag()
-		res.keys = append(res.keys, simnet.ShardKey{At: at, A: dt.Rank, B: uint64(dt.Index)})
+		rank, idx := r.seq.LastDeliveryTag()
+		res.keys = append(res.keys, simnet.ShardKey{At: at, A: rank, B: uint64(idx)})
 	}
 }
 
@@ -222,8 +226,9 @@ func runRange(net *simnet.Network, cfg Config, lo, hi int, tag bool) *rangeResul
 	sched := net.Scheduler()
 	net.SetFaults(cfg.Faults)
 	net.SetObserver(cfg.Obs)
+	tr := transport.NewSim(net, cfg.Src)
 	rr := &rangeRun{
-		net: net, res: res, src: cfg.Src, seed: cfg.Seed, tag: tag,
+		tr: tr, seq: tr, res: res, src: cfg.Src, seed: cfg.Seed, tag: tag,
 		collecting:   true,
 		buf:          wire.GetBuf(),
 		obsProbes:    cfg.Obs.Counter("zmap.probes_sent"),
@@ -237,8 +242,8 @@ func runRange(net *simnet.Network, cfg Config, lo, hi int, tag bool) *rangeResul
 		rr.seenSelf = make(map[ipaddr.Addr]bool)
 	}
 
-	net.AttachProber(cfg.Src, rr.receive)
-	defer net.DetachProber(cfg.Src)
+	tr.SetHandler(rr.receive)
+	defer tr.Close()
 
 	perm := NewPermutation(cfg.TargetN, cfg.Seed)
 	gap := cfg.Duration / time.Duration(cfg.TargetN)
