@@ -11,7 +11,10 @@
 // Probes leave on a fixed schedule — one every -interval, never coupled to
 // reply latency. A reply arriving after -timeout is reported under
 // rtt_after_timeout, not loss: the client keeps listening until -wait after
-// the last send, the long-listen methodology of the source paper. -json
+// the last send, the long-listen methodology of the source paper. -wait
+// defaults to three times -timeout, so the listen window always outlasts the
+// per-probe timeout and trailing probes can still land in the
+// rtt_after_timeout band. -json
 // prints the full per-probe result to stdout; the default is a one-line
 // human summary.
 package main
@@ -36,7 +39,7 @@ func main() {
 		count    = flag.Int("count", 10, "number of probes")
 		interval = flag.Duration("interval", 100*time.Millisecond, "isochronous send interval")
 		timeout  = flag.Duration("timeout", time.Second, "per-probe timeout (later replies count as rtt_after_timeout)")
-		wait     = flag.Duration("wait", 3*time.Second, "listen window after the last send")
+		wait     = flag.Duration("wait", 0, "listen window after the last send (0: 3x -timeout)")
 		plen     = flag.Int("plen", 0, "probe payload padding bytes")
 		seed     = flag.Uint64("seed", 1, "hello-nonce seed")
 		asJSON   = flag.Bool("json", false, "print the full result as JSON")

@@ -315,6 +315,11 @@ func (c *Client) collect(probes []Probe) *Result {
 			c.obsLost.Inc()
 		}
 	}
-	r.RTT = quantilesJSON(stats.ComputeQuantiles(rtts))
+	// A session can legitimately receive nothing (server gone mid-session,
+	// total loss): report lost=N with zero quantiles rather than asking
+	// stats for percentiles of an empty sample.
+	if len(rtts) > 0 {
+		r.RTT = quantilesJSON(stats.ComputeQuantiles(rtts))
+	}
 	return r
 }

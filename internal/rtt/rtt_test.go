@@ -177,6 +177,122 @@ func TestSimLinkDroppedProbes(t *testing.T) {
 	}
 }
 
+// acceptOnly passes the first inbound packet (the accept) and drops every
+// later one — a server that vanishes right after the handshake.
+type acceptOnly struct {
+	transport.Transport
+	seen int
+}
+
+func (d *acceptOnly) Recv(buf []byte, deadline transport.Time) (int, transport.Addr, transport.Time, error) {
+	for {
+		n, from, at, err := d.Transport.Recv(buf, deadline)
+		if err != nil {
+			return n, from, at, err
+		}
+		d.seen++
+		if d.seen == 1 {
+			return n, from, at, nil
+		}
+	}
+}
+
+// TestSimLinkAllRepliesLost: the handshake succeeds but every probe reply is
+// lost. The session must complete with lost=N and zero quantiles — not panic
+// computing percentiles over an empty sample.
+func TestSimLinkAllRepliesLost(t *testing.T) {
+	const count = 6
+	sched := &simnet.Scheduler{}
+	sa := transport.Addr{Port: 2112}
+	ca := transport.Addr{Port: 49000}
+	st, ct := transport.NewSimLink(sched, sa, ca,
+		func(_, _ transport.Addr, _ int, _ transport.Time) transport.Time {
+			return transport.Time(5 * time.Millisecond)
+		})
+	srv := NewServer(st, ServerConfig{Key: testKey})
+	srv.Start()
+	cli := NewClient(&acceptOnly{Transport: ct}, ClientConfig{
+		Server:   sa,
+		Key:      testKey,
+		Count:    count,
+		Interval: 20 * time.Millisecond,
+		Timeout:  15 * time.Millisecond,
+		Wait:     100 * time.Millisecond,
+	})
+	res, err := cli.Run()
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if res.Sent != count || res.Received != 0 || res.Lost != count {
+		t.Fatalf("counts: %+v", res)
+	}
+	if res.RTT != (QuantilesJSON{}) {
+		t.Fatalf("quantiles over zero replies: %+v", res.RTT)
+	}
+	if srv.Echoes() != count {
+		t.Fatalf("server echoes = %d, want %d (requests travel clean)", srv.Echoes(), count)
+	}
+}
+
+// TestServerDuplicateHelloReusesSession: a handshake retry — same source,
+// same nonce — must be answered with the existing session's token, not mint
+// a second session that leaks against MaxConns.
+func TestServerDuplicateHelloReusesSession(t *testing.T) {
+	sched := &simnet.Scheduler{}
+	sa := transport.Addr{Port: 2112}
+	ca := transport.Addr{Port: 49000}
+	st, ct := transport.NewSimLink(sched, sa, ca, nil)
+	srv := NewServer(st, ServerConfig{Key: testKey, Seed: 11})
+	srv.Start()
+
+	mac := NewMAC(testKey)
+	var out []byte
+	hello := func(nonce uint64) {
+		t.Helper()
+		h := Header{Type: TypeHello, Seq: nonce, CTime: int64(ct.Now())}
+		out = AppendPacket(out[:0], mac, &h, appendHelloParams(nil, 0))
+		if err := ct.SendTo(sa, out); err != nil {
+			t.Fatalf("hello: %v", err)
+		}
+	}
+	accept := func() Header {
+		t.Helper()
+		buf := make([]byte, MaxPacketLen)
+		n, _, _, err := ct.Recv(buf, ct.Now()+time.Second)
+		if err != nil {
+			t.Fatalf("accept: %v", err)
+		}
+		var hdr Header
+		if _, err := DecodePacket(buf[:n], mac, &hdr); err != nil {
+			t.Fatalf("accept decode: %v", err)
+		}
+		if hdr.Type != TypeAccept {
+			t.Fatalf("accept type = %d", hdr.Type)
+		}
+		return hdr
+	}
+
+	hello(42)
+	hello(42) // retry after a "lost" accept
+	first, second := accept(), accept()
+	if first.Token != second.Token {
+		t.Fatalf("retried hello minted a new token: %d vs %d", first.Token, second.Token)
+	}
+	if srv.Conns() != 1 || srv.Hellos() != 1 {
+		t.Fatalf("retry leaked a session: conns=%d hellos=%d", srv.Conns(), srv.Hellos())
+	}
+
+	// A different nonce from the same source is a genuinely new session.
+	hello(43)
+	third := accept()
+	if third.Token == first.Token {
+		t.Fatal("distinct nonce reused the old session")
+	}
+	if srv.Conns() != 2 || srv.Hellos() != 2 {
+		t.Fatalf("conns=%d hellos=%d, want 2 each", srv.Conns(), srv.Hellos())
+	}
+}
+
 // TestSimLinkAuthRejection: a client with the wrong key never completes a
 // handshake, and the server counts the rejects without ever answering.
 func TestSimLinkAuthRejection(t *testing.T) {

@@ -31,8 +31,11 @@ type ServerConfig struct {
 
 // sconn is one accepted session.
 type sconn struct {
-	token    uint64
-	from     transport.Addr
+	token uint64
+	from  transport.Addr
+	// nonce is the client's hello nonce; (from, nonce) dedupes handshake
+	// retries onto the existing session.
+	nonce    uint64
 	lastSeen transport.Time
 	echoes   uint64
 }
@@ -148,25 +151,40 @@ func (s *Server) handle(at transport.Time, from transport.Addr, data []byte, cou
 
 // handleHello accepts a new session and answers with its token. The reply
 // carries the client's hello nonce back in Seq and preserves CTime, so the
-// client can match accept to attempt.
+// client can match accept to attempt. A hello repeating a live session's
+// (from, nonce) — a handshake retry after a lost accept — reuses that
+// session and resends its token instead of minting another, so retries never
+// leak extra sessions against MaxConns.
 func (s *Server) handleHello(at transport.Time, from transport.Addr, payload []byte) {
 	if _, _, err := parseHelloParams(payload); err != nil {
 		s.authFails.Add(1)
 		s.obsAuthFail.Inc()
 		return
 	}
-	if len(s.conns) >= s.cfg.MaxConns {
-		return
+	nonce := s.hdr.Seq
+	var c *sconn
+	for _, sc := range s.conns {
+		if sc.from == from && sc.nonce == nonce {
+			c = sc
+			break
+		}
 	}
-	token := s.newToken()
-	s.conns[token] = &sconn{token: token, from: from, lastSeen: at}
-	s.nconns.Store(int64(len(s.conns)))
-	s.hellos.Add(1)
-	s.obsConns.Observe(int64(len(s.conns)))
+	if c == nil {
+		if len(s.conns) >= s.cfg.MaxConns {
+			return
+		}
+		c = &sconn{token: s.newToken(), from: from, nonce: nonce, lastSeen: at}
+		s.conns[c.token] = c
+		s.nconns.Store(int64(len(s.conns)))
+		s.hellos.Add(1)
+		s.obsConns.Observe(int64(len(s.conns)))
+	} else {
+		c.lastSeen = at
+	}
 	h := Header{
 		Type:  TypeAccept,
-		Token: token,
-		Seq:   s.hdr.Seq,
+		Token: c.token,
+		Seq:   nonce,
 		CTime: s.hdr.CTime,
 		SRecv: int64(at),
 		SSend: int64(s.tr.Now()),

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -88,6 +89,57 @@ func TestSimRecvDeadline(t *testing.T) {
 	}
 	if sched.Now() != at {
 		t.Fatalf("clock %v != delivery time %v", sched.Now(), at)
+	}
+}
+
+// TestUDPSetHandlerNilFromHandler pins that a handler may detach itself:
+// SetHandler(nil) called from inside the handler returns instead of waiting
+// on the pump goroutine it is running on (which would deadlock), and no
+// further packets are delivered to the handler afterwards.
+func TestUDPSetHandlerNilFromHandler(t *testing.T) {
+	a, err := NewUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	detached := make(chan struct{})
+	var calls atomic.Int32
+	b.SetHandler(func(at Time, from Addr, data []byte, count int) {
+		if calls.Add(1) == 1 {
+			b.SetHandler(nil)
+			close(detached)
+		}
+	})
+	if err := a.SendTo(b.LocalAddr(), []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-detached:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SetHandler(nil) from inside the handler deadlocked")
+	}
+
+	// The pump is gone: a packet sent now sits in the socket buffer until a
+	// Recv pulls it, and the old handler never sees it.
+	if err := a.SendTo(b.LocalAddr(), []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, _, _, err := b.Recv(buf, b.Now()+2*time.Second)
+	if err != nil {
+		t.Fatalf("Recv after self-detach: %v", err)
+	}
+	if string(buf[:n]) != "second" {
+		t.Fatalf("got %q", buf[:n])
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("handler ran %d times after detaching itself", got)
 	}
 }
 

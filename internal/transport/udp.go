@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/netip"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -36,7 +37,8 @@ type UDPTransport struct {
 	mu      sync.Mutex
 	closed  bool
 	pumping bool
-	pumpGen int // incremented to stop the current pump
+	pumpGen int    // incremented to stop the current pump
+	pumpGID uint64 // goroutine id of the current pump, for re-entry detection
 	pumpWG  sync.WaitGroup
 }
 
@@ -118,14 +120,22 @@ func (t *UDPTransport) Recv(buf []byte, deadline Time) (int, Addr, Time, error) 
 // SetHandler implements Transport: starts (or, with nil, stops) a pump
 // goroutine that reads the socket and pushes packets to h. The packet slice
 // passed to h is reused by the pump and only valid during the call.
+//
+// On return the old handler is detached: it will not be invoked again. The
+// one exception is SetHandler called from inside the handler itself (e.g. a
+// server detaching on its final packet) — then the in-progress call finishes
+// and the pump exits right after, without SetHandler waiting on it, which
+// would deadlock.
 func (t *UDPTransport) SetHandler(h Handler) {
+	self := goid()
 	t.mu.Lock()
 	t.pumpGen++
 	gen := t.pumpGen
 	wasPumping := t.pumping
+	fromPump := wasPumping && t.pumpGID == self
 	t.pumping = h != nil
 	t.mu.Unlock()
-	if wasPumping {
+	if wasPumping && !fromPump {
 		t.pumpWG.Wait()
 	}
 	if h == nil {
@@ -138,6 +148,11 @@ func (t *UDPTransport) SetHandler(h Handler) {
 // pump reads the socket in deadline slices until superseded or closed.
 func (t *UDPTransport) pump(gen int, h Handler) {
 	defer t.pumpWG.Done()
+	t.mu.Lock()
+	if t.pumpGen == gen {
+		t.pumpGID = goid()
+	}
+	t.mu.Unlock()
 	buf := make([]byte, udpRecvBufLen)
 	for {
 		t.mu.Lock()
@@ -177,4 +192,21 @@ func (t *UDPTransport) isClosed() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.closed
+}
+
+// goid returns the current goroutine's id, parsed from the runtime stack
+// header ("goroutine N [...]"). Used only on the cold SetHandler/pump-start
+// path to tell whether SetHandler is re-entered from the pump's own handler
+// call.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	var id uint64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
 }
