@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke chaos bench bench-compare obs-check transport-check check ci
+.PHONY: all build vet test race fuzz fuzz-smoke chaos bench bench-compare obs-check transport-check advisor-check check ci
 
 all: check
 
@@ -61,13 +61,20 @@ bench:
 
 # The benchmark-regression gate: a short bench run compared against the
 # newest checked-in BENCH_*.json, failing (exit 1) when any benchmark's
-# ns/op grew by more than 10%. Short -benchtime keeps it CI-cheap; override
-# the baseline with BENCH_BASELINE=path.
+# ns/op grew by more than 10%. The short -benchtime is time-based, not a
+# fixed iteration count: at 10 iterations a sub-microsecond benchmark
+# measures mostly harness overhead and reads as a phantom 10-50× regression
+# against the full-benchtime baseline, while 100ms gives fast paths
+# thousands of iterations and still runs the multi-second table/figure
+# benchmarks just once. Override the baseline with BENCH_BASELINE=path,
+# and the regression threshold with BENCH_THRESHOLD=pct (shared or
+# throttled machines drift well past the default 10%).
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+BENCH_THRESHOLD ?= 10
 bench-compare:
 	@test -n "$(BENCH_BASELINE)" || { echo "bench-compare: no BENCH_*.json baseline found"; exit 2; }
-	$(GO) test -bench=. -benchmem -benchtime=10x ./... | $(GO) run ./cmd/benchjson > /tmp/bench_current.json
-	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) /tmp/bench_current.json
+	$(GO) test -bench=. -benchmem -benchtime=100ms ./... | $(GO) run ./cmd/benchjson > /tmp/bench_current.json
+	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) $(BENCH_BASELINE) /tmp/bench_current.json
 
 # The transport boundary suite, raced (the UDP pump runs on its own
 # goroutine): the zero-alloc and deadline-semantics pins on both Transport
@@ -90,10 +97,19 @@ obs-check:
 	$(GO) test -count=1 ./internal/obs
 	$(GO) test -count=1 -run 'TestObs|TestRenderReportGolden' ./internal/experiments ./internal/core
 
+# The advice-serving suite, raced: the epoch-swap consistency hammer (many
+# readers on Lookup and the HTTP handler while a writer publishes epochs),
+# the shard-invariance check (sequential vs sharded vs merge-order ingest,
+# byte-identical snapshots), the ingest attribution rules and the zero-alloc
+# pin on the lock-free read path.
+advisor-check:
+	$(GO) test -race -count=1 ./internal/advisor
+
 check: build test race
 
 # The CI pipeline: build, vet, full tests, race pass on the concurrent
 # packages, the fault-injection suite under -race, the observability
 # determinism suite, the transport/rtt suite (loopback + differential,
+# raced), the advice-serving suite (epoch-swap hammer + shard invariance,
 # raced), then a short fuzz smoke of every fuzz target.
-ci: build vet test race chaos obs-check transport-check fuzz-smoke
+ci: build vet test race chaos obs-check transport-check advisor-check fuzz-smoke

@@ -1,0 +1,141 @@
+// Command advisord is the long-running timeout-advice service: it ingests a
+// survey dataset (or generates one in-process with the sim engine), builds
+// per-/24 latency sketches, and serves timeout recommendations over
+// HTTP/JSON:
+//
+//	GET /timeout?addr=X[&capture=p][&coverage=r]  one recommendation
+//	GET /healthz                                  liveness + current epoch
+//	GET /snapshot                                 full advice dump
+//
+// Usage:
+//
+//	advisord -i survey.tosv [-listen :8080]
+//	advisord -sim [-blocks 512] [-cycles 24] [-seed 42] [-vantage w]
+//	         [-parallel N] [-listen :8080]
+//	         [-metrics FILE] [-trace FILE] [-manifest FILE] [-debug-addr ADDR]
+//
+// With -i, the dataset is streamed through the advisor's bounded ingest
+// (delayed responses recovered by the StreamMatcher attribution rule) —
+// memory stays proportional to the number of /24 prefixes, not records.
+// With -sim, the same survey the surveyor would write to disk is probed
+// straight into the store; -parallel N uses the sharded engine, whose
+// published advice is byte-identical to the sequential run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"timeouts/internal/advisor"
+	"timeouts/internal/netmodel"
+	"timeouts/internal/obs"
+	"timeouts/internal/simnet"
+	"timeouts/internal/survey"
+)
+
+func main() {
+	var (
+		in       = flag.String("i", "", "survey dataset to ingest (any format cmd/analyze reads)")
+		listen   = flag.String("listen", ":8080", "HTTP listen address")
+		sim      = flag.Bool("sim", false, "generate the ingest in-process with the sim engine")
+		blocks   = flag.Int("blocks", 512, "-sim: population size in /24 blocks")
+		cycles   = flag.Int("cycles", 24, "-sim: probing rounds")
+		seed     = flag.Uint64("seed", 42, "-sim: population seed")
+		vantage  = flag.String("vantage", "w", "-sim: vantage point: w, c, j or g")
+		parallel = flag.Int("parallel", 1, "-sim: shard count (1 = sequential, 0 = one per CPU)")
+	)
+	cli := obs.RegisterCLI()
+	flag.Parse()
+	if *parallel == 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+	if err := cli.Init(); err != nil {
+		fail(err)
+	}
+
+	st := advisor.NewStore()
+	st.SetObserver(cli.Reg)
+	start := time.Now()
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		src, hdr, err := survey.OpenSource(f)
+		if err != nil {
+			fail(err)
+		}
+		n, err := advisor.IngestSource(st, src)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("ingested %d records (vantage %c) from %s in %v\n",
+			n, hdr.Vantage, *in, time.Since(start).Round(time.Millisecond))
+	case *sim:
+		var vp survey.Vantage
+		found := false
+		for _, v := range survey.Vantages {
+			if string(v.Name) == *vantage {
+				vp, found = v, true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "advisord: unknown vantage %q\n", *vantage)
+			os.Exit(2)
+		}
+		pop := netmodel.New(netmodel.Config{Seed: *seed, Blocks: *blocks})
+		cfg := survey.Config{
+			Vantage: vp,
+			Blocks:  pop.Blocks(),
+			Cycles:  *cycles,
+			Seed:    *seed,
+			Obs:     cli.Reg,
+			Trace:   cli.Tracer,
+		}
+		fabric := func(int) simnet.Fabric {
+			model := netmodel.NewModel(pop)
+			model.AddVantage(vp.Addr, vp.Continent)
+			return model
+		}
+		var err error
+		if *parallel > 1 {
+			_, err = survey.RunSharded(cfg, *parallel, fabric, st)
+		} else {
+			_, err = survey.Run(simnet.NewNetwork(&simnet.Scheduler{}, fabric(0)), cfg, st)
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("surveyed %d blocks x %d cycles from %c in %v\n",
+			*blocks, *cycles, vp.Name, time.Since(start).Round(time.Millisecond))
+	default:
+		fmt.Fprintln(os.Stderr, "advisord: need -i DATASET or -sim (see -h)")
+		os.Exit(2)
+	}
+
+	adv := advisor.New()
+	adv.SetObserver(cli.Reg)
+	snap := adv.Publish(st)
+	fmt.Printf("advice: %d prefixes, %d samples, epoch %d\n",
+		snap.Prefixes(), snap.Samples(), snap.Epoch())
+
+	if err := cli.Finish("advisord", *seed, *parallel, nil); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("serving on %s\n", *listen)
+	if err := http.ListenAndServe(*listen, advisor.NewHandler(adv)); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "advisord:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+package advisor
+
+import (
+	"sync/atomic"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/obs"
+)
+
+// Advisor is the serving core: an atomic pointer to the current advice
+// Snapshot, swapped whole on every publish (epoch swap). Readers load the
+// pointer once per query and answer entirely from that immutable snapshot,
+// so the read path takes no locks, performs no allocations, and every
+// response is internally consistent with exactly one epoch even while a
+// writer is mid-publish. Writers build the next snapshot off to the side
+// and swap; the old snapshot stays valid for readers still holding it.
+type Advisor struct {
+	cur   atomic.Pointer[Snapshot]
+	epoch atomic.Uint64
+
+	// Observability (nil-safe no-ops unless SetObserver installs them).
+	// Query counters are diagnostic-class: they measure serving traffic,
+	// not the seed-determined record stream.
+	obsQueries   *obs.Counter
+	obsPrefixHit *obs.Counter
+	obsFallback  *obs.Counter
+	obsNoData    *obs.Counter
+	obsBadLevel  *obs.Counter
+	obsPublishes *obs.Counter
+	obsPrefixes  *obs.Gauge
+	obsEpoch     *obs.Gauge
+}
+
+// New creates an advisor with no snapshot: every lookup reports ErrNoData
+// until the first Publish.
+func New() *Advisor {
+	return &Advisor{}
+}
+
+// SetObserver registers the advisor's serving metrics on reg.
+func (a *Advisor) SetObserver(reg *obs.Registry) {
+	a.obsQueries = reg.DiagCounter("advisor.queries")
+	a.obsPrefixHit = reg.DiagCounter("advisor.prefix_hits")
+	a.obsFallback = reg.DiagCounter("advisor.population_fallbacks")
+	a.obsNoData = reg.DiagCounter("advisor.no_data")
+	a.obsBadLevel = reg.DiagCounter("advisor.bad_level")
+	a.obsPublishes = reg.DiagCounter("advisor.publishes")
+	a.obsPrefixes = reg.DiagGauge("advisor.prefixes")
+	a.obsEpoch = reg.DiagGauge("advisor.epoch")
+}
+
+// Publish builds a snapshot of st under the next epoch and swaps it in as
+// the current advice, returning it. Publish is the only writer of the
+// snapshot pointer; callers serialize their own publishes (one ingest
+// loop), while readers need no coordination at all.
+func (a *Advisor) Publish(st *Store) *Snapshot {
+	snap := st.Snapshot(a.epoch.Add(1))
+	a.cur.Store(snap)
+	a.obsPublishes.Inc()
+	a.obsPrefixes.Observe(int64(len(snap.prefixes)))
+	a.obsEpoch.Observe(int64(snap.epoch))
+	return snap
+}
+
+// Current returns the current snapshot (nil before the first Publish).
+func (a *Advisor) Current() *Snapshot { return a.cur.Load() }
+
+// Lookup answers one advice query against the current snapshot. See
+// Snapshot.Lookup for semantics; with no snapshot published yet it reports
+// ErrNoData.
+func (a *Advisor) Lookup(addr ipaddr.Addr, capture, coverage float64) (Advice, error) {
+	a.obsQueries.Inc()
+	snap := a.cur.Load()
+	if snap == nil {
+		a.obsNoData.Inc()
+		return Advice{}, ErrNoData
+	}
+	adv, err := snap.Lookup(addr, capture, coverage)
+	switch {
+	case err == ErrBadLevel:
+		a.obsBadLevel.Inc()
+	case err == ErrNoData:
+		a.obsNoData.Inc()
+	case adv.Source == SourcePrefix:
+		a.obsPrefixHit.Inc()
+	default:
+		a.obsFallback.Inc()
+	}
+	return adv, err
+}

@@ -1,0 +1,64 @@
+package advisor
+
+import (
+	"testing"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/survey"
+)
+
+// benchAdvisor builds an advisor with a published snapshot over nPrefixes
+// /24s, sized like a real survey ingest (thousands of prefixes).
+func benchAdvisor(nPrefixes int) *Advisor {
+	st := NewStore()
+	for i := 0; i < nPrefixes; i++ {
+		addr := ipaddr.Addr(0x0a000001 + uint32(i)<<8)
+		for j := 0; j < 8; j++ {
+			st.Add(addr, time.Duration(1+(i+j)%500)*time.Millisecond)
+		}
+	}
+	adv := New()
+	adv.Publish(st)
+	return adv
+}
+
+// BenchmarkAdvisorLookup measures the serving hot path — atomic snapshot
+// load, level resolution, prefix binary search, flat-array read — mixing
+// prefix hits across ranks with population fallbacks. The gate
+// (make bench-compare) holds it to the checked-in baseline; the allocation
+// pin is TestLookupZeroAlloc, and concurrent-reader correctness is
+// TestAdvisorEpochConsistencyUnderSwap.
+func BenchmarkAdvisorLookup(b *testing.B) {
+	adv := benchAdvisor(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := ipaddr.Addr(0x0a000001 + uint32(i&4095)<<8)
+		if i&7 == 7 {
+			addr = ipaddr.Addr(0xc0a80001 + uint32(i))
+		}
+		if _, err := adv.Lookup(addr, 95, 95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreObserve measures the steady-state ingest cost: one matched
+// record folded into an existing prefix sketch plus open-probe bookkeeping.
+// The address set is pre-populated so the timer never sees map growth.
+func BenchmarkStoreObserve(b *testing.B) {
+	st := NewStore()
+	rec := survey.Record{Type: survey.RecMatched, RTT: time.Millisecond, When: time.Second}
+	for i := 0; i < 1024; i++ {
+		rec.Addr = ipaddr.Addr(0x0a000001 + uint32(i)<<8)
+		st.Observe(rec)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Addr = ipaddr.Addr(0x0a000001 + uint32(i&1023)<<8)
+		rec.RTT = time.Duration(i%1000) * time.Millisecond
+		st.Observe(rec)
+	}
+}

@@ -1,0 +1,132 @@
+package advisor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"timeouts/internal/ipaddr"
+)
+
+// adviceResponse is the JSON body of one /timeout answer.
+type adviceResponse struct {
+	Addr      string  `json:"addr"`
+	Prefix    string  `json:"prefix"`
+	Capture   float64 `json:"capture"`
+	Coverage  float64 `json:"coverage"`
+	TimeoutS  float64 `json:"timeout_s"`
+	TimeoutNS int64   `json:"timeout_ns"`
+	Source    string  `json:"source"`
+	Samples   uint64  `json:"samples"`
+	Epoch     uint64  `json:"epoch"`
+}
+
+// healthResponse is the JSON body of /healthz.
+type healthResponse struct {
+	OK       bool   `json:"ok"`
+	Epoch    uint64 `json:"epoch"`
+	Prefixes int    `json:"prefixes"`
+	Samples  uint64 `json:"samples"`
+}
+
+// NewHandler wraps an Advisor in the advice HTTP API:
+//
+//	GET /timeout?addr=X[&capture=p][&coverage=r]  one recommendation
+//	GET /healthz                                  liveness + current epoch
+//	GET /snapshot                                 full advice snapshot dump
+//
+// capture and coverage default to 95 (the paper's headline row: a 5 s
+// timeout captures 95% of pings from 95% of the population). Bad addresses
+// or non-standard levels answer 400; "no data yet" answers 404 — never a
+// fabricated 0 s timeout. Handlers read exactly one snapshot per request,
+// so a response can never mix epochs.
+func NewHandler(adv *Advisor) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/timeout", func(w http.ResponseWriter, r *http.Request) {
+		serveTimeout(adv, w, r)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := healthResponse{OK: true}
+		if snap := adv.Current(); snap != nil {
+			h.Epoch = snap.Epoch()
+			h.Prefixes = snap.Prefixes()
+			h.Samples = snap.Samples()
+		}
+		writeJSON(w, http.StatusOK, h)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		snap := adv.Current()
+		if snap == nil {
+			http.Error(w, "no snapshot published yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+	})
+	return mux
+}
+
+// serveTimeout answers one GET /timeout query.
+func serveTimeout(adv *Advisor, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	addrStr := q.Get("addr")
+	if addrStr == "" {
+		http.Error(w, "missing addr parameter", http.StatusBadRequest)
+		return
+	}
+	addr, err := ipaddr.Parse(addrStr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	capture, err := levelParam(q.Get("capture"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad capture: %v", err), http.StatusBadRequest)
+		return
+	}
+	coverage, err := levelParam(q.Get("coverage"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad coverage: %v", err), http.StatusBadRequest)
+		return
+	}
+	adv2, err := adv.Lookup(addr, capture, coverage)
+	switch err {
+	case nil:
+	case ErrBadLevel:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case ErrNoData:
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, adviceResponse{
+		Addr:      addrStr,
+		Prefix:    addr.Prefix().String(),
+		Capture:   capture,
+		Coverage:  coverage,
+		TimeoutS:  adv2.Timeout.Seconds(),
+		TimeoutNS: int64(adv2.Timeout),
+		Source:    adv2.Source.String(),
+		Samples:   adv2.Samples,
+		Epoch:     adv2.Epoch,
+	})
+}
+
+// levelParam parses a percentile query parameter, defaulting to 95.
+func levelParam(s string) (float64, error) {
+	if s == "" {
+		return 95, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// writeJSON writes v as a JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

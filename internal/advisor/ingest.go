@@ -1,0 +1,33 @@
+package advisor
+
+import (
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/rtt"
+	"timeouts/internal/survey"
+)
+
+// IngestSource streams a survey record source (any of the dataset formats
+// behind survey.OpenSource, or a live survey run) into the store, returning
+// the record count. Memory stays bounded by the store's own per-prefix and
+// open-probe state, never by the dataset size.
+func IngestSource(st *Store, src survey.RecordSource) (uint64, error) {
+	before := st.Records()
+	err := st.Consume(src)
+	return st.Records() - before, err
+}
+
+// IngestResult folds one live rtt measurement session into the store: every
+// received reply's round-trip time — late (after-timeout) replies included,
+// the paper's whole point — becomes a sample for the server's /24 prefix.
+// It returns how many samples were added.
+func IngestResult(st *Store, server ipaddr.Addr, res *rtt.Result) int {
+	n := 0
+	for _, p := range res.Probes {
+		if !p.Received {
+			continue
+		}
+		st.Add(server, p.RTT)
+		n++
+	}
+	return n
+}

@@ -1,0 +1,104 @@
+package advisor
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"timeouts/internal/netmodel"
+	"timeouts/internal/simnet"
+	"timeouts/internal/survey"
+)
+
+// snapshotBytes serializes a store's advice snapshot — the form in which the
+// advisor's shard-invariance is promised.
+func snapshotBytes(t *testing.T, st *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := st.Snapshot(1).WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestAdvisorShardInvariance proves the advisor inherits the engine's
+// determinism contract end to end: advice published from a sequential survey
+// run, from the sharded engine at several widths, and from per-shard stores
+// merged in opposite orders is byte-identical — the same discipline
+// TestObsShardInvariance pins for metric snapshots.
+func TestAdvisorShardInvariance(t *testing.T) {
+	const seed = 17
+	pop := netmodel.New(netmodel.Config{Seed: seed, Blocks: 48})
+	cfg := survey.Config{Vantage: survey.VantageW, Blocks: pop.Blocks(), Cycles: 3, Seed: seed}
+	fabric := func(int) simnet.Fabric {
+		model := netmodel.NewModel(pop)
+		model.AddVantage(survey.VantageW.Addr, survey.VantageW.Continent)
+		return model
+	}
+
+	// Sequential reference: record the stream too, for the split-merge leg.
+	seqStore := NewStore()
+	var mem survey.MemWriter
+	if _, err := survey.Run(simnet.NewNetwork(&simnet.Scheduler{}, fabric(0)), cfg, &mem); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(mem.Records) == 0 {
+		t.Fatal("sequential survey wrote no records; invariance check is vacuous")
+	}
+	for _, r := range mem.Records {
+		seqStore.Observe(r)
+	}
+	if seqStore.Samples() == 0 || seqStore.Prefixes() < 2 {
+		t.Fatalf("degenerate ingest: %d samples, %d prefixes", seqStore.Samples(), seqStore.Prefixes())
+	}
+	want := snapshotBytes(t, seqStore)
+
+	// Sharded engine, several widths, streaming straight into a store.
+	for _, shards := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			parStore := NewStore()
+			if _, err := survey.RunSharded(cfg, shards, fabric, parStore); err != nil {
+				t.Fatalf("RunSharded(%d): %v", shards, err)
+			}
+			if got := snapshotBytes(t, parStore); !bytes.Equal(got, want) {
+				t.Errorf("sharded(%d) snapshot differs from sequential", shards)
+			}
+		})
+	}
+
+	// Split the stream across per-shard stores (by address, preserving each
+	// address's record order — the sharded engine's partition discipline) and
+	// merge in opposite orders: Merge must be order-independent.
+	t.Run("merge-order", func(t *testing.T) {
+		const parts = 4
+		mk := func() []*Store {
+			sub := make([]*Store, parts)
+			for i := range sub {
+				sub[i] = NewStore()
+			}
+			for _, r := range mem.Records {
+				sub[int(r.Addr)%parts].Observe(r)
+			}
+			return sub
+		}
+
+		fwd := mk()
+		acc1 := NewStore()
+		for i := 0; i < parts; i++ {
+			acc1.Merge(fwd[i])
+		}
+		rev := mk()
+		acc2 := NewStore()
+		for i := parts - 1; i >= 0; i-- {
+			acc2.Merge(rev[i])
+		}
+
+		got1, got2 := snapshotBytes(t, acc1), snapshotBytes(t, acc2)
+		if !bytes.Equal(got1, want) {
+			t.Errorf("forward-merged snapshot differs from sequential")
+		}
+		if !bytes.Equal(got1, got2) {
+			t.Errorf("merge order changed the snapshot")
+		}
+	})
+}

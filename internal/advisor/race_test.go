@@ -1,0 +1,117 @@
+package advisor
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"timeouts/internal/ipaddr"
+)
+
+// epochAdvice is the deterministic per-epoch advice the hammer tests
+// publish: epoch e's store holds exactly one sample, bucketBounds[e%len],
+// so the advice at every level is that bound — a pure function of the
+// epoch. A torn read (fields from two different snapshots) would pair an
+// epoch with another epoch's timeout and fail the check.
+func epochAdvice(e uint64) time.Duration {
+	return bucketBounds[int(e)%len(bucketBounds)]
+}
+
+// TestAdvisorEpochConsistencyUnderSwap hammers Lookup and the HTTP handler
+// from many readers while a writer publishes a stream of epochs, asserting
+// every response is internally consistent with exactly one snapshot. Run
+// under -race (make advisor-check), this also proves the epoch-swap
+// protocol publishes safely: the snapshot's contents happen-before the
+// pointer swap that exposes them.
+func TestAdvisorEpochConsistencyUnderSwap(t *testing.T) {
+	const (
+		epochs  = 300
+		readers = 4
+	)
+	addr := ipaddr.Addr(0x0a000001)
+	adv := New()
+	handler := NewHandler(adv)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	check := func(epoch uint64, got time.Duration) {
+		if want := epochAdvice(epoch); got != want {
+			t.Errorf("epoch %d answered %v, want %v — response mixed snapshots", epoch, got, want)
+		}
+	}
+
+	// Direct Lookup readers.
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				a, err := adv.Lookup(addr, 95, 95)
+				if err == ErrNoData {
+					continue // before the first publish
+				}
+				if err != nil {
+					t.Errorf("Lookup: %v", err)
+					return
+				}
+				check(a.Epoch, a.Timeout)
+			}
+		}()
+	}
+
+	// HTTP readers, through the full handler path.
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				w := httptest.NewRecorder()
+				handler.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/timeout?addr=10.0.0.1", nil))
+				if w.Code == http.StatusNotFound {
+					continue // before the first publish
+				}
+				if w.Code != http.StatusOK {
+					t.Errorf("GET /timeout: %d: %s", w.Code, w.Body.Bytes())
+					return
+				}
+				var resp adviceResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+					t.Errorf("bad JSON: %v", err)
+					return
+				}
+				check(resp.Epoch, time.Duration(resp.TimeoutNS))
+			}
+		}()
+	}
+
+	// The single writer: each publish swaps in a snapshot whose advice is
+	// the pure function of its epoch that the readers verify.
+	for next := uint64(1); next <= epochs; next++ {
+		st := NewStore()
+		st.Add(addr, epochAdvice(next))
+		snap := adv.Publish(st)
+		if snap.Epoch() != next {
+			t.Fatalf("Publish assigned epoch %d, want %d", snap.Epoch(), next)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	if cur := adv.Current(); cur.Epoch() != epochs {
+		t.Errorf("final epoch = %d, want %d", cur.Epoch(), epochs)
+	}
+}

@@ -1,0 +1,203 @@
+package advisor
+
+import (
+	"io"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/obs"
+	"timeouts/internal/survey"
+)
+
+// Store is the advisor's ingest side: per-/24 latency sketches plus the
+// core.StreamMatcher-style bounded attribution state that recovers delayed
+// responses — the paper's central trick, without which advice would miss
+// exactly the surprisingly-high-delay tail it exists to serve. Memory is
+// O(prefixes + addresses-with-open-probes): each address holds at most the
+// last two probes (the only ones a future unmatched response can still be
+// attributed to), each prefix one fixed-size Sketch.
+//
+// A Store is single-writer: the sharded engine gives each shard its own
+// Store and merges afterwards (Merge), exactly as it does per-shard
+// obs.Registries. Publishing advice from a store while it keeps ingesting
+// is the Advisor's job — Publish reads the sketches into an immutable
+// snapshot, so the store itself needs no locks.
+type Store struct {
+	sketches map[ipaddr.Prefix24]*Sketch
+	open     map[ipaddr.Addr]openPair
+	records  uint64
+	matched  uint64
+	delayed  uint64
+
+	// Observability (nil-safe no-ops unless SetObserver installs them).
+	obsRecords  *obs.Counter
+	obsSamples  *obs.Counter
+	obsPrefixes *obs.Gauge
+}
+
+// openPair is one address's open-probe ring: the last two probe send times,
+// mirroring core.StreamMatcher's eviction discipline.
+type openPair struct {
+	send     [2]int64 // send times, ns; [n-1] newest
+	resolved [2]bool  // matched or already credited with a delayed response
+	n        int8
+}
+
+// NewStore creates an empty ingest store.
+func NewStore() *Store {
+	return &Store{
+		sketches: make(map[ipaddr.Prefix24]*Sketch),
+		open:     make(map[ipaddr.Addr]openPair),
+	}
+}
+
+// SetObserver registers the store's ingest metrics on reg. All three are
+// deterministic-class: record streams arrive in dataset emission order,
+// identical across sequential and sharded runs.
+func (s *Store) SetObserver(reg *obs.Registry) {
+	s.obsRecords = reg.Counter("advisor.ingest.records")
+	s.obsSamples = reg.Counter("advisor.ingest.samples")
+	s.obsPrefixes = reg.Gauge("advisor.prefixes_hwm")
+}
+
+// Records returns how many records have been consumed.
+func (s *Store) Records() uint64 { return s.records }
+
+// Samples returns how many latency samples reached the sketches (matched
+// plus recovered-delayed).
+func (s *Store) Samples() uint64 { return s.matched + s.delayed }
+
+// Prefixes returns how many /24 prefixes hold a sketch.
+func (s *Store) Prefixes() int { return len(s.sketches) }
+
+// sketch returns (creating if needed) the prefix's sketch.
+func (s *Store) sketch(p ipaddr.Prefix24) *Sketch {
+	sk := s.sketches[p]
+	if sk == nil {
+		sk = NewSketch()
+		s.sketches[p] = sk
+		s.obsPrefixes.Observe(int64(len(s.sketches)))
+	}
+	return sk
+}
+
+// Add folds one directly measured latency sample for addr into its prefix
+// sketch — the entry point for the live rtt plane, where the RTT is known
+// without record-stream attribution.
+func (s *Store) Add(addr ipaddr.Addr, rtt time.Duration) {
+	s.sketch(addr.Prefix()).Add(rtt)
+	s.matched++
+	s.obsSamples.Inc()
+}
+
+// Write implements survey.RecordWriter, so a survey (sequential or sharded)
+// can probe straight into the advisor with no intermediate dataset.
+func (s *Store) Write(rec survey.Record) error {
+	s.Observe(rec)
+	return nil
+}
+
+// Observe folds one survey record into the store. Matched records
+// contribute their RTT directly; timeout records open probes; unmatched
+// responses are attributed to the newest open probe sent strictly before
+// their arrival — core.StreamMatcher's recovery rule — yielding the delayed
+// samples that populate the advice tail.
+func (s *Store) Observe(rec survey.Record) {
+	s.records++
+	s.obsRecords.Inc()
+	switch rec.Type {
+	case survey.RecMatched:
+		st := s.open[rec.Addr]
+		st.push(int64(rec.When), true)
+		s.open[rec.Addr] = st
+		s.sketch(rec.Addr.Prefix()).Add(rec.RTT)
+		s.matched++
+		s.obsSamples.Inc()
+	case survey.RecTimeout:
+		st := s.open[rec.Addr]
+		st.push(int64(rec.When), false)
+		s.open[rec.Addr] = st
+	case survey.RecUnmatched:
+		st, ok := s.open[rec.Addr]
+		if !ok {
+			return
+		}
+		for i := int(st.n) - 1; i >= 0; i-- {
+			if st.send[i] >= int64(rec.When) {
+				continue
+			}
+			if !st.resolved[i] {
+				st.resolved[i] = true
+				s.open[rec.Addr] = st
+				lat := rec.When - time.Duration(st.send[i])
+				s.sketch(rec.Addr.Prefix()).Add(lat)
+				s.delayed++
+				s.obsSamples.Inc()
+			}
+			break
+		}
+	case survey.RecError:
+		// ICMP errors carry no latency; the analysis pipeline discards such
+		// probes and so does the advisor.
+	}
+}
+
+// push opens a probe on the pair, evicting the oldest beyond two.
+func (p *openPair) push(send int64, matched bool) {
+	if p.n == 2 {
+		p.send[0], p.resolved[0] = p.send[1], p.resolved[1]
+		p.n = 1
+	}
+	p.send[p.n] = send
+	p.resolved[p.n] = matched
+	p.n++
+}
+
+// Consume drains a RecordSource into the store, stopping at io.EOF or the
+// first error.
+func (s *Store) Consume(src survey.RecordSource) error {
+	for {
+		rec, err := src.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.Observe(rec)
+	}
+}
+
+// Merge folds other's state into s: sketches add bucket-wise (commutative
+// and associative, the obs.Registry.Merge discipline), counters add, and
+// open attribution state unions. Shards partition the address space, so
+// open-state keys never collide in sharded use; on a collision the entry
+// with more recent probes wins, keeping the merge deterministic for any
+// fixed merge order.
+func (s *Store) Merge(other *Store) {
+	for p, sk := range other.sketches {
+		mine := s.sketches[p]
+		if mine == nil {
+			s.sketch(p).Merge(sk)
+			continue
+		}
+		mine.Merge(sk)
+	}
+	for a, st := range other.open {
+		if cur, ok := s.open[a]; !ok || st.newest() > cur.newest() {
+			s.open[a] = st
+		}
+	}
+	s.records += other.records
+	s.matched += other.matched
+	s.delayed += other.delayed
+	s.obsPrefixes.Observe(int64(len(s.sketches)))
+}
+
+// newest returns the newest open probe send time (or a sentinel past).
+func (p openPair) newest() int64 {
+	if p.n == 0 {
+		return -1
+	}
+	return p.send[p.n-1]
+}

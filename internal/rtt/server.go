@@ -1,6 +1,7 @@
 package rtt
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -24,9 +25,17 @@ type ServerConfig struct {
 	// bound are ignored, indistinguishable from an absent server.
 	MaxConns int
 	// IdleTimeout expires sessions with no traffic (default 2m). Expiry is
-	// lazy — swept as other packets arrive — so an idle server holds state
-	// but runs no timers.
+	// swept as other packets arrive and, so a quiet listener cannot hold
+	// dead sessions forever, by a periodic background sweeper.
 	IdleTimeout time.Duration
+	// SweepInterval is the background sweeper's period (default
+	// IdleTimeout/2). The sweeper is what reclaims expired sessions when no
+	// packet arrives to trigger the lazy sweep; without it the session table
+	// and its MaxConns slots stay occupied until the next hello. Negative
+	// disables the sweeper explicitly; it also stays off on transports that
+	// are not transport.WallClocked (the sim), whose clocks only advance
+	// under the event loop and must not be read from a timer goroutine.
+	SweepInterval time.Duration
 }
 
 // sconn is one accepted session.
@@ -43,18 +52,26 @@ type sconn struct {
 // Server answers authenticated echo probes over a Transport. All packet
 // handling runs on the transport's delivery context (the simulation event
 // loop, or the UDP pump goroutine), single-threaded, with reusable scratch
-// so the echo path performs no steady-state allocations.
+// so the echo path performs no steady-state allocations. The only other
+// goroutine that touches session state is the periodic idle sweeper, which
+// mu serializes against the handler.
 type Server struct {
 	tr  transport.Transport
 	cfg ServerConfig
 	mac *MAC
 
-	// conns is touched only on the transport's delivery context; nconns
-	// mirrors its size atomically for cross-goroutine readers.
+	// mu guards conns and lastSweep: the handler runs on the transport's
+	// delivery context, the background sweeper on its own timer goroutine.
+	// nconns mirrors the table size atomically for lock-free readers.
+	mu        sync.Mutex
 	conns     map[uint64]*sconn
 	nconns    atomic.Int64
 	nextConn  uint64
 	lastSweep transport.Time
+
+	// sweepStop/sweepDone bracket the background sweeper's lifetime.
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 
 	out []byte // reusable reply buffer
 	hdr Header // reusable decode scratch
@@ -79,6 +96,12 @@ func NewServer(tr transport.Transport, cfg ServerConfig) *Server {
 	if cfg.IdleTimeout <= 0 {
 		cfg.IdleTimeout = 2 * time.Minute
 	}
+	switch {
+	case cfg.SweepInterval == 0:
+		cfg.SweepInterval = cfg.IdleTimeout / 2
+	case cfg.SweepInterval < 0:
+		cfg.SweepInterval = 0 // sweeper disabled
+	}
 	return &Server{
 		tr:    tr,
 		cfg:   cfg,
@@ -97,11 +120,46 @@ func (s *Server) SetObserver(reg *obs.Registry) {
 	s.obsProc = reg.Histogram("rtt.server.turnaround")
 }
 
-// Start attaches the server to its transport and begins answering.
-func (s *Server) Start() { s.tr.SetHandler(s.handle) }
+// Start attaches the server to its transport and begins answering. On
+// wall-clocked transports it also starts the periodic idle sweeper, so a
+// listener that goes quiet still reclaims expired sessions.
+func (s *Server) Start() {
+	s.tr.SetHandler(s.handle)
+	if s.cfg.SweepInterval > 0 && transport.IsWallClocked(s.tr) && s.sweepStop == nil {
+		s.sweepStop = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go s.sweeper()
+	}
+}
 
-// Close detaches the server. The transport itself is the caller's to close.
-func (s *Server) Close() { s.tr.SetHandler(nil) }
+// Close detaches the server and stops the idle sweeper. The transport
+// itself is the caller's to close.
+func (s *Server) Close() {
+	s.tr.SetHandler(nil)
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		<-s.sweepDone
+		s.sweepStop, s.sweepDone = nil, nil
+	}
+}
+
+// sweeper periodically expires idle sessions so a listener that stops
+// hearing traffic still reclaims session state and MaxConns slots.
+func (s *Server) sweeper() {
+	defer close(s.sweepDone)
+	t := time.NewTicker(s.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.expire(s.tr.Now())
+			s.mu.Unlock()
+		}
+	}
+}
 
 // Packets returns how many packets arrived (authenticated or not).
 func (s *Server) Packets() uint64 { return s.packets.Load() }
@@ -125,6 +183,8 @@ func (s *Server) handle(at transport.Time, from transport.Addr, data []byte, cou
 	_ = count
 	s.packets.Add(1)
 	s.obsPackets.Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.sweep(at)
 	payload, err := DecodePacket(data, s.mac, &s.hdr)
 	if err != nil {
@@ -236,12 +296,18 @@ func (s *Server) newToken() uint64 {
 }
 
 // sweep lazily expires idle sessions, at most once per idle-timeout window.
+// The caller holds mu.
 func (s *Server) sweep(at transport.Time) {
-	idle := transport.Time(s.cfg.IdleTimeout)
-	if at-s.lastSweep < idle {
+	if at-s.lastSweep < transport.Time(s.cfg.IdleTimeout) {
 		return
 	}
+	s.expire(at)
+}
+
+// expire removes every session idle past the timeout. The caller holds mu.
+func (s *Server) expire(at transport.Time) {
 	s.lastSweep = at
+	idle := transport.Time(s.cfg.IdleTimeout)
 	for tok, c := range s.conns {
 		if at-c.lastSeen >= idle {
 			delete(s.conns, tok)

@@ -1,0 +1,123 @@
+package rtt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/simnet"
+	"timeouts/internal/transport"
+)
+
+// clockTransport is a wall-clocked Transport stub with a hand-advanced
+// clock: packets are injected by calling the registered handler directly,
+// and nothing ever arrives on its own — exactly the "listener gone quiet"
+// condition the sweep regression pins down.
+type clockTransport struct {
+	now     atomic.Int64
+	mu      sync.Mutex
+	h       transport.Handler
+	replies int
+}
+
+func (c *clockTransport) LocalAddr() transport.Addr { return transport.Addr{Port: 2112} }
+func (c *clockTransport) Now() transport.Time       { return transport.Time(c.now.Load()) }
+func (c *clockTransport) WallClockSafe() bool       { return true }
+
+func (c *clockTransport) SendTo(to transport.Addr, pkt []byte) error {
+	c.mu.Lock()
+	c.replies++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *clockTransport) Recv(buf []byte, deadline transport.Time) (int, transport.Addr, transport.Time, error) {
+	return 0, transport.Addr{}, 0, transport.ErrDeadlineExceeded
+}
+
+func (c *clockTransport) SetHandler(h transport.Handler) {
+	c.mu.Lock()
+	c.h = h
+	c.mu.Unlock()
+}
+
+func (c *clockTransport) Close() error { return nil }
+
+// deliver injects one packet through the registered handler, as the pump
+// goroutine of a live transport would.
+func (c *clockTransport) deliver(at transport.Time, from transport.Addr, data []byte) {
+	c.mu.Lock()
+	h := c.h
+	c.mu.Unlock()
+	if h != nil {
+		h(at, from, data, 1)
+	}
+}
+
+// TestServerSweepReclaimsIdleSessionsWithoutTraffic pins the fix for lazy-
+// only expiry: before it, a server that stopped hearing packets held every
+// expired session (and its MaxConns slot, and its (from, nonce) dedup
+// entry) forever, because the sweep only ran on packet arrival. The
+// periodic sweeper must reclaim them with no new traffic at all.
+func TestServerSweepReclaimsIdleSessionsWithoutTraffic(t *testing.T) {
+	tr := &clockTransport{}
+	srv := NewServer(tr, ServerConfig{
+		Key:           testKey,
+		IdleTimeout:   30 * time.Millisecond,
+		SweepInterval: 2 * time.Millisecond,
+	})
+	srv.Start()
+	defer srv.Close()
+
+	mac := NewMAC(testKey)
+	var pkt []byte
+	for i := 0; i < 3; i++ {
+		h := Header{Type: TypeHello, Seq: uint64(100 + i), CTime: 1}
+		pkt = AppendPacket(pkt[:0], mac, &h, appendHelloParams(nil, 0))
+		tr.deliver(tr.Now(), transport.Addr{IP: ipaddr.Addr(0x0a000001 + uint32(i)), Port: 40000}, pkt)
+	}
+	if got := srv.Conns(); got != 3 {
+		t.Fatalf("sessions after hellos = %d, want 3", got)
+	}
+
+	// Advance the wall clock past the idle timeout and deliver nothing.
+	// Only the background sweeper can reclaim the sessions now.
+	tr.now.Store(int64(time.Second))
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Conns() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions still held %v after expiry with no traffic: conns=%d",
+				2*time.Second, srv.Conns())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The reclaimed slots must be usable again: a fresh hello is accepted.
+	h := Header{Type: TypeHello, Seq: 999, CTime: 2}
+	pkt = AppendPacket(pkt[:0], mac, &h, appendHelloParams(nil, 0))
+	tr.deliver(tr.Now(), transport.Addr{IP: ipaddr.Addr(0x0a0000ff), Port: 40001}, pkt)
+	if got := srv.Conns(); got != 1 {
+		t.Fatalf("sessions after post-sweep hello = %d, want 1", got)
+	}
+}
+
+// TestServerSimTransportStartsNoSweeper pins that Start on a transport
+// without a concurrently readable clock leaves the sweeper off: sim runs
+// must stay deterministic, with no goroutine reading the sim clock.
+func TestServerSimTransportStartsNoSweeper(t *testing.T) {
+	sched := &simnet.Scheduler{}
+	st, ct := transport.NewSimLink(sched, transport.Addr{Port: 2112}, transport.Addr{Port: 49000},
+		func(from, to transport.Addr, size int, at transport.Time) transport.Time {
+			return transport.Time(time.Millisecond)
+		})
+	defer st.Close()
+	defer ct.Close()
+	srv := NewServer(st, ServerConfig{Key: testKey})
+	srv.Start()
+	defer srv.Close()
+	if srv.sweepStop != nil {
+		t.Fatal("sweeper started on a non-wall-clocked transport")
+	}
+}

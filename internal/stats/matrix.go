@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 )
@@ -46,22 +47,48 @@ func BuildTimeoutMatrix(perAddress []Quantiles) TimeoutMatrix {
 	return m
 }
 
-// At returns the cell for row percentile r and column percentile c, which
-// must be standard levels.
-func (m TimeoutMatrix) At(r, c float64) time.Duration {
-	ri, ci := -1, -1
-	for i, l := range m.Levels {
-		if l == r {
-			ri = i
-		}
-		if l == c {
-			ci = i
+// levelEpsilon is the tolerance for matching percentile levels. Levels that
+// reach lookups are often computed (100*0.8 yields 80.00000000000001), so
+// exact float equality would reject values that are standard levels in every
+// sense that matters; anything within the epsilon resolves to its slot.
+const levelEpsilon = 1e-6
+
+// LevelIndex returns the index of percentile level p in levels, matching
+// within levelEpsilon so float noise in computed levels cannot miss a slot.
+func LevelIndex(levels []float64, p float64) (int, bool) {
+	for i, l := range levels {
+		if math.Abs(l-p) <= levelEpsilon {
+			return i, true
 		}
 	}
-	if ri < 0 || ci < 0 {
+	return 0, false
+}
+
+// AtLevel returns the cell for row percentile r and column percentile c,
+// matched against the matrix's levels within levelEpsilon. Non-standard
+// levels return an error rather than panicking — the form a serving layer
+// can turn into a 4xx instead of a crash.
+func (m TimeoutMatrix) AtLevel(r, c float64) (time.Duration, error) {
+	ri, ok := LevelIndex(m.Levels, r)
+	if !ok {
+		return 0, fmt.Errorf("stats: TimeoutMatrix: row level %v not in %v", r, m.Levels)
+	}
+	ci, ok := LevelIndex(m.Levels, c)
+	if !ok {
+		return 0, fmt.Errorf("stats: TimeoutMatrix: column level %v not in %v", c, m.Levels)
+	}
+	return m.Cell[ri][ci], nil
+}
+
+// At returns the cell for row percentile r and column percentile c, which
+// must be standard levels (within levelEpsilon). Unknown levels panic; use
+// AtLevel where the levels come from untrusted input.
+func (m TimeoutMatrix) At(r, c float64) time.Duration {
+	d, err := m.AtLevel(r, c)
+	if err != nil {
 		panic(fmt.Sprintf("stats: TimeoutMatrix.At(%v, %v): non-standard level", r, c))
 	}
-	return m.Cell[ri][ci]
+	return d
 }
 
 // FormatSeconds renders the matrix in the paper's Table 2 style: seconds with
@@ -84,11 +111,16 @@ func (m TimeoutMatrix) FormatSeconds() string {
 }
 
 // FormatDurSeconds formats a duration the way the paper's tables do:
-// "0.19" for sub-10-second values, "41" for larger ones.
+// "0.19" for sub-10-second values, "41" for larger ones. The branch is
+// chosen by the *rounded* value: raw values in [9.995s, 10s) round up to
+// ten and must render as "10", not "10.00" — two-decimal output always
+// means the value is below ten seconds.
 func FormatDurSeconds(d time.Duration) string {
 	s := d.Seconds()
 	if s < 10 {
-		return fmt.Sprintf("%.2f", s)
+		if out := fmt.Sprintf("%.2f", s); out != "10.00" {
+			return out
+		}
 	}
 	return fmt.Sprintf("%.0f", s)
 }

@@ -131,6 +131,10 @@ func (e *P2Quantile) linear(i int, s float64) float64 {
 // N returns the observation count.
 func (e *P2Quantile) N() int { return e.n }
 
+// Ok reports whether any observations back the estimate — the guard that
+// distinguishes "no data" (Value is NaN) from a genuine estimate.
+func (e *P2Quantile) Ok() bool { return e.n > 0 }
+
 // Value returns the current quantile estimate. With fewer than five
 // observations it falls back to the exact small-sample percentile.
 func (e *P2Quantile) Value() float64 {
@@ -158,13 +162,28 @@ func (d *P2Duration) Add(v time.Duration) { d.est.Add(v.Seconds()) }
 // N returns the observation count.
 func (d *P2Duration) N() int { return d.est.N() }
 
-// Value returns the current estimate.
+// Ok reports whether any observations back the estimate.
+func (d *P2Duration) Ok() bool { return d.est.Ok() }
+
+// Value returns the current estimate. An empty stream reads as 0, which is
+// indistinguishable from a genuine zero estimate; callers that must tell
+// "no data" from "0s" (the advisor serving layer) use ValueOk.
 func (d *P2Duration) Value() time.Duration {
+	v, _ := d.ValueOk()
+	return v
+}
+
+// ValueOk returns the current estimate and whether any observations back
+// it: (0, false) means the stream is empty, not that the estimate is zero.
+func (d *P2Duration) ValueOk() (time.Duration, bool) {
+	if !d.est.Ok() {
+		return 0, false
+	}
 	v := d.est.Value()
 	if math.IsNaN(v) {
-		return 0
+		return 0, false
 	}
-	return time.Duration(v * float64(time.Second))
+	return time.Duration(v * float64(time.Second)), true
 }
 
 // StreamingQuantiles tracks the standard percentile set of a stream in
@@ -231,13 +250,20 @@ func (s *StreamingQuantiles) Quantiles() Quantiles {
 		tmp := append([]time.Duration(nil), s.buf...)
 		return ComputeQuantiles(tmp)
 	}
+	// Estimators are never empty once graduated (the buffer replay seeds
+	// them); ValueOk keeps the read explicit about that invariant instead
+	// of leaning on the NaN→0 conflation it replaces.
+	at := func(p float64) time.Duration {
+		v, _ := s.ests[p].ValueOk()
+		return v
+	}
 	return Quantiles{
-		P1:  s.ests[1].Value(),
-		P50: s.ests[50].Value(),
-		P80: s.ests[80].Value(),
-		P90: s.ests[90].Value(),
-		P95: s.ests[95].Value(),
-		P98: s.ests[98].Value(),
-		P99: s.ests[99].Value(),
+		P1:  at(1),
+		P50: at(50),
+		P80: at(80),
+		P90: at(90),
+		P95: at(95),
+		P98: at(98),
+		P99: at(99),
 	}
 }

@@ -100,6 +100,26 @@ func TestP2DurationWrapper(t *testing.T) {
 	}
 }
 
+func TestP2DurationValueOkDistinguishesEmptyFromZero(t *testing.T) {
+	d := NewP2Duration(50)
+	if d.Ok() {
+		t.Error("empty estimator reports Ok")
+	}
+	if v, ok := d.ValueOk(); ok || v != 0 {
+		t.Errorf("empty ValueOk = (%v, %v), want (0, false)", v, ok)
+	}
+	// A stream of genuine zeros must be distinguishable from no data: the
+	// estimate is 0s *and* ok — the case P2Duration.Value alone conflates.
+	d.Add(0)
+	d.Add(0)
+	if v, ok := d.ValueOk(); !ok || v != 0 {
+		t.Errorf("all-zero ValueOk = (%v, %v), want (0, true)", v, ok)
+	}
+	if !d.Ok() {
+		t.Error("estimator with samples reports !Ok")
+	}
+}
+
 func TestStreamingQuantilesMatchesExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	s := NewStreamingQuantiles()

@@ -339,12 +339,62 @@ func TestTimeoutMatrixBruteForce(t *testing.T) {
 }
 
 func TestFormatDurSeconds(t *testing.T) {
-	if got := FormatDurSeconds(190 * time.Millisecond); got != "0.19" {
-		t.Errorf("got %q", got)
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{190 * time.Millisecond, "0.19"},
+		{41 * time.Second, "41"},
+		{0, "0.00"},
+		{9990 * time.Millisecond, "9.99"},
+		// 9.995s as a float64 sits a hair below the half-way point, so it
+		// still rounds down; the band that used to break starts just above.
+		{9995 * time.Millisecond, "9.99"},
+		// The boundary band: raw values below 10 s whose two-decimal
+		// rendering rounds up to ten must take the integer branch — the
+		// paper-table invariant is that two decimals imply < 10 s.
+		{9996 * time.Millisecond, "10"},
+		{9999 * time.Millisecond, "10"},
+		{10 * time.Second, "10"},
+		{10*time.Second + 4*time.Millisecond, "10"},
 	}
-	if got := FormatDurSeconds(41 * time.Second); got != "41" {
-		t.Errorf("got %q", got)
+	for _, c := range cases {
+		if got := FormatDurSeconds(c.d); got != c.want {
+			t.Errorf("FormatDurSeconds(%v) = %q, want %q", c.d, got, c.want)
+		}
 	}
+}
+
+func TestTimeoutMatrixAtToleratesFloatNoise(t *testing.T) {
+	m := BuildTimeoutMatrix([]Quantiles{
+		{P1: 100 * time.Millisecond, P50: 200 * time.Millisecond, P80: 250 * time.Millisecond,
+			P90: 260 * time.Millisecond, P95: 270 * time.Millisecond, P98: 280 * time.Millisecond, P99: 300 * time.Millisecond},
+	})
+	// Computed levels carry float noise (e.g. accumulating 0.1 eight times
+	// and scaling by 100 yields 80.00000000000001, not 80): such a value
+	// must still resolve to its standard slot instead of panicking.
+	noisy := 80.00000000000001
+	if noisy == 80 {
+		t.Fatal("test premise broken: noisy level compares equal to 80")
+	}
+	if got := m.At(noisy, noisy); got != 250*time.Millisecond {
+		t.Errorf("At(%v, %v) = %v, want 250ms", noisy, noisy, got)
+	}
+	if _, err := m.AtLevel(42, 95); err == nil {
+		t.Error("AtLevel(42, 95) should report a non-standard level")
+	}
+	if _, err := m.AtLevel(95, 42); err == nil {
+		t.Error("AtLevel(95, 42) should report a non-standard level")
+	}
+	if d, err := m.AtLevel(99, 1); err != nil || d != 100*time.Millisecond {
+		t.Errorf("AtLevel(99, 1) = %v, %v", d, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At with a genuinely non-standard level should still panic")
+		}
+	}()
+	m.At(42, 42)
 }
 
 func TestMatrixFormatSmoke(t *testing.T) {

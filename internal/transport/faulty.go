@@ -56,6 +56,9 @@ func (f *Faulty) LocalAddr() Addr { return f.inner.LocalAddr() }
 // Now implements Transport.
 func (f *Faulty) Now() Time { return f.inner.Now() }
 
+// WallClockSafe forwards the inner transport's wall-clock property.
+func (f *Faulty) WallClockSafe() bool { return IsWallClocked(f.inner) }
+
 // SendTo implements Transport (outbound passes through clean).
 func (f *Faulty) SendTo(to Addr, pkt []byte) error { return f.inner.SendTo(to, pkt) }
 

@@ -94,6 +94,25 @@ type Transport interface {
 	Close() error
 }
 
+// WallClocked marks transports whose clock advances in real time and whose
+// Now may be read from any goroutine (UDPTransport; Faulty forwards the
+// property of its inner transport). Timer-driven components — the rtt
+// server's periodic idle sweeper — key on it: a simulation clock advances
+// only under its event loop and must not be read concurrently, so such
+// components stay quiescent on sim transports and leave all timekeeping to
+// the deterministic schedule.
+type WallClocked interface {
+	// WallClockSafe reports whether Now is safe to call from any goroutine.
+	WallClockSafe() bool
+}
+
+// IsWallClocked reports whether tr declares a concurrently readable
+// wall clock.
+func IsWallClocked(tr Transport) bool {
+	w, ok := tr.(WallClocked)
+	return ok && w.WallClockSafe()
+}
+
 // Sequencer is the deterministic-merge extension implemented by transports
 // that can order deliveries globally — the sim, whose fabric tags every
 // delivery with the (send rank, delivery index) identity the sharded

@@ -82,6 +82,11 @@ func (t *UDPTransport) LocalAddr() Addr { return t.local }
 // Now implements Transport: monotonic time since the socket opened.
 func (t *UDPTransport) Now() Time { return time.Since(t.epoch) }
 
+// WallClockSafe reports that the UDP clock (monotonic time since the socket
+// opened) may be read from any goroutine — the property the rtt server's
+// periodic idle sweeper requires.
+func (t *UDPTransport) WallClockSafe() bool { return true }
+
 // SendTo implements Transport.
 func (t *UDPTransport) SendTo(to Addr, pkt []byte) error {
 	ap := netip.AddrPortFrom(netip.AddrFrom4(to.IP.Bytes4()), to.Port)
