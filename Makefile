@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke chaos bench bench-compare obs-check transport-check advisor-check check ci
+.PHONY: all build vet test race fuzz fuzz-smoke chaos advisor-chaos bench bench-compare obs-check transport-check advisor-check check ci
 
 all: check
 
@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzOpenSource -fuzztime=30s ./internal/survey
 	$(GO) test -run=Fuzz -fuzz=FuzzCompactReader -fuzztime=30s ./internal/survey
 	$(GO) test -run=Fuzz -fuzz=FuzzSessionPacket -fuzztime=30s ./internal/rtt
+	$(GO) test -run=Fuzz -fuzz=FuzzCheckpointRoundTrip -fuzztime=30s ./internal/advisor
 
 # Faster fuzz smoke for CI: same targets, 10 s each.
 fuzz-smoke:
@@ -43,6 +44,7 @@ fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzOpenSource -fuzztime=10s ./internal/survey
 	$(GO) test -run=Fuzz -fuzz=FuzzCompactReader -fuzztime=10s ./internal/survey
 	$(GO) test -run=Fuzz -fuzz=FuzzSessionPacket -fuzztime=10s ./internal/rtt
+	$(GO) test -run=Fuzz -fuzz=FuzzCheckpointRoundTrip -fuzztime=10s ./internal/advisor
 
 # The chaos suite: every fault-injection test (TestChaos*) under the race
 # detector — fault-off byte-identity, fixed-seed fault determinism,
@@ -50,6 +52,16 @@ fuzz-smoke:
 # reads of corrupted datasets.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/simnet ./internal/survey ./internal/zmapper ./internal/scamper
+
+# The advisord kill/restore chaos suite, raced: an exhaustive kill-point sweep
+# over the checkpoint write path (every durable step — temp create, chunked
+# writes, sync, rename, dir sync, GC — killed once), seeded random kill
+# schedules across multi-phase ingest/restart chains with concurrent readers,
+# and corrupt-stream ingest equivalence. The invariant throughout: a recovered
+# store equals some previously published epoch, byte for byte — never torn,
+# never fabricated.
+advisor-chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/advisor
 
 # `make bench` runs the full benchmark suite and stores a machine-readable
 # snapshot as BENCH_<date>.json next to the human-readable output, so perf
@@ -100,16 +112,19 @@ obs-check:
 # The advice-serving suite, raced: the epoch-swap consistency hammer (many
 # readers on Lookup and the HTTP handler while a writer publishes epochs),
 # the shard-invariance check (sequential vs sharded vs merge-order ingest,
-# byte-identical snapshots), the ingest attribution rules and the zero-alloc
-# pin on the lock-free read path.
+# byte-identical snapshots), the ingest attribution rules, the zero-alloc
+# pin on the lock-free read path (TTL paths included), checkpoint
+# encode/decode and recovery, the supervised ingest loop, overload shedding
+# and graceful drain, plus the advisord binary end-to-end lifecycle test.
 advisor-check:
-	$(GO) test -race -count=1 ./internal/advisor
+	$(GO) test -race -count=1 ./internal/advisor ./cmd/advisord
 
 check: build test race
 
 # The CI pipeline: build, vet, full tests, race pass on the concurrent
-# packages, the fault-injection suite under -race, the observability
-# determinism suite, the transport/rtt suite (loopback + differential,
-# raced), the advice-serving suite (epoch-swap hammer + shard invariance,
-# raced), then a short fuzz smoke of every fuzz target.
-ci: build vet test race chaos obs-check transport-check advisor-check fuzz-smoke
+# packages, the fault-injection suite under -race, the advisord kill/restore
+# chaos suite, the observability determinism suite, the transport/rtt suite
+# (loopback + differential, raced), the advice-serving suite (epoch-swap
+# hammer + shard invariance + serve/drain/ingest robustness, raced), then a
+# short fuzz smoke of every fuzz target.
+ci: build vet test race chaos advisor-chaos obs-check transport-check advisor-check fuzz-smoke

@@ -4,7 +4,7 @@
 // HTTP/JSON:
 //
 //	GET /timeout?addr=X[&capture=p][&coverage=r]  one recommendation
-//	GET /healthz                                  liveness + current epoch
+//	GET /healthz                                  state + epoch + snapshot age
 //	GET /snapshot                                 full advice dump
 //
 // Usage:
@@ -12,22 +12,42 @@
 //	advisord -i survey.tosv [-listen :8080]
 //	advisord -sim [-blocks 512] [-cycles 24] [-seed 42] [-vantage w]
 //	         [-parallel N] [-listen :8080]
+//	advisord -checkpoint-dir DIR   # recover and serve, no ingest needed
+//	         [-checkpoint-keep N] [-checkpoint-every RECORDS]
+//	         [-checkpoint-interval D] [-stale-after D]
+//	         [-max-inflight N] [-retry-after D] [-request-timeout D]
+//	         [-drain-timeout D] [-max-skip N]
 //	         [-metrics FILE] [-trace FILE] [-manifest FILE] [-debug-addr ADDR]
 //
-// With -i, the dataset is streamed through the advisor's bounded ingest
-// (delayed responses recovered by the StreamMatcher attribution rule) —
-// memory stays proportional to the number of /24 prefixes, not records.
-// With -sim, the same survey the surveyor would write to disk is probed
-// straight into the store; -parallel N uses the sharded engine, whose
-// published advice is byte-identical to the sequential run.
+// With -i, the dataset is streamed through the advisor's resilient ingest
+// loop (delayed responses recovered by the StreamMatcher attribution rule,
+// corrupt records counted and skipped) — memory stays proportional to the
+// number of /24 prefixes, not records. With -sim, the same survey the
+// surveyor would write to disk is probed straight into the store; -parallel N
+// uses the sharded engine, whose published advice is byte-identical to the
+// sequential run.
+//
+// With -checkpoint-dir, the store is checkpointed durably (temp file +
+// atomic rename, newest -checkpoint-keep generations retained) and recovered
+// on startup from the newest valid generation; a recovered advisord serves
+// the checkpointed advice immediately, before — or entirely without — fresh
+// ingest. The listener binds and /healthz answers from the start (reporting
+// "recovering" until advice is published); advice routes shed load beyond
+// -max-inflight with 503 + Retry-After; SIGTERM/SIGINT drains gracefully:
+// stop accepting, finish in-flight requests, write a final checkpoint,
+// exit 0.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
+	"net"
 	"os"
+	"os/signal"
 	"runtime"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"timeouts/internal/advisor"
@@ -47,6 +67,17 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "-sim: population seed")
 		vantage  = flag.String("vantage", "w", "-sim: vantage point: w, c, j or g")
 		parallel = flag.Int("parallel", 1, "-sim: shard count (1 = sequential, 0 = one per CPU)")
+
+		ckptDir      = flag.String("checkpoint-dir", "", "durable checkpoint directory (recovery source and save target)")
+		ckptKeep     = flag.Int("checkpoint-keep", 3, "checkpoint generations to retain")
+		ckptEvery    = flag.Uint64("checkpoint-every", 1<<20, "checkpoint every N ingested records (0 = only on completion and drain)")
+		ckptInterval = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic checkpoint interval while serving (0 disables)")
+		staleAfter   = flag.Duration("stale-after", 0, "per-prefix staleness TTL: older prefixes degrade to the population fallback (0 disables)")
+		maxInflight  = flag.Int("max-inflight", 256, "max concurrent advice requests before shedding with 503")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint sent with shed responses")
+		reqTimeout   = flag.Duration("request-timeout", 5*time.Second, "per-request handling deadline")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+		maxSkip      = flag.Uint64("max-skip", 0, "corrupt-record budget for -i ingest (0 = unlimited)")
 	)
 	cli := obs.RegisterCLI()
 	flag.Parse()
@@ -57,26 +88,101 @@ func main() {
 		fail(err)
 	}
 
+	var ck *advisor.Checkpointer
+	if *ckptDir != "" {
+		ck = &advisor.Checkpointer{Dir: *ckptDir, Keep: *ckptKeep}
+		ck.SetObserver(cli.Reg)
+	}
+
+	adv := advisor.New()
+	adv.SetObserver(cli.Reg)
+	adv.SetTTL(*staleAfter)
+
+	// Recovery: newest valid generation wins; torn or corrupt ones are
+	// skipped. A recovered store serves immediately at its original epoch.
 	st := advisor.NewStore()
+	recovered := false
+	if ck != nil {
+		rst, epoch, rs, err := ck.Load()
+		if err != nil {
+			fail(err)
+		}
+		if rs.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "advisord: recovery skipped %d invalid checkpoint generation(s): %v\n",
+				rs.Skipped, rs.SkippedNames)
+		}
+		if rst != nil {
+			st = rst
+			recovered = true
+			snap := adv.Restore(st, epoch)
+			fmt.Printf("recovered checkpoint epoch %d: %d prefixes, %d samples, age %v\n",
+				epoch, snap.Prefixes(), snap.Samples(),
+				advisor.CheckpointAge(st, time.Now().UnixNano()).Round(time.Second))
+		}
+	}
 	st.SetObserver(cli.Reg)
+
+	if *in == "" && !*sim && !recovered {
+		fmt.Fprintln(os.Stderr, "advisord: need -i DATASET, -sim, or a recoverable -checkpoint-dir (see -h)")
+		os.Exit(2)
+	}
+
+	// Bind and serve before ingest: /healthz answers (and reports
+	// "recovering") from the first moment the address is printed, and a
+	// recovered advisord answers advice queries while fresh ingest runs.
+	gate := advisor.NewGate(*maxInflight, *retryAfter)
+	gate.SetObserver(cli.Reg)
+	if !recovered {
+		gate.SetState(advisor.GateRecovering)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("serving on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	serverDone := make(chan error, 1)
+	go func() {
+		serverDone <- advisor.RunServer(ctx, advisor.ServerConfig{
+			Listener:     ln,
+			Handler:      advisor.NewHandler(adv, advisor.WithGate(gate), advisor.WithRequestTimeout(*reqTimeout)),
+			Gate:         gate,
+			DrainTimeout: *drainTimeout,
+		})
+	}()
+
 	start := time.Now()
 	switch {
 	case *in != "":
-		f, err := os.Open(*in)
+		var f atomic.Pointer[os.File]
+		stats, err := advisor.RunIngest(ctx, advisor.IngestConfig{
+			Open: func() (survey.RecordSource, error) {
+				if old := f.Load(); old != nil {
+					old.Close()
+				}
+				nf, err := os.Open(*in)
+				if err != nil {
+					return nil, err
+				}
+				f.Store(nf)
+				src, _, err := survey.OpenSourceLenient(nf)
+				return src, err
+			},
+			Seed:            *seed,
+			CheckpointEvery: *ckptEvery,
+			MaxSkip:         *maxSkip,
+		}, st, adv, ck)
+		if last := f.Load(); last != nil {
+			last.Close()
+		}
+		advisor.RegisterIngestObs(cli.Reg, stats)
 		if err != nil {
 			fail(err)
 		}
-		src, hdr, err := survey.OpenSource(f)
-		if err != nil {
-			fail(err)
-		}
-		n, err := advisor.IngestSource(st, src)
-		f.Close()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("ingested %d records (vantage %c) from %s in %v\n",
-			n, hdr.Vantage, *in, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("ingested %d records (%d skipped) from %s in %v\n",
+			stats.Records, stats.Skipped, *in, time.Since(start).Round(time.Millisecond))
 	case *sim:
 		var vp survey.Vantage
 		found := false
@@ -112,27 +218,72 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		adv.Publish(st)
+		if _, err := ck.Save(st, adv.Current().Epoch()); err != nil {
+			fmt.Fprintln(os.Stderr, "advisord: checkpoint:", err)
+		}
 		fmt.Printf("surveyed %d blocks x %d cycles from %c in %v\n",
 			*blocks, *cycles, vp.Name, time.Since(start).Round(time.Millisecond))
-	default:
-		fmt.Fprintln(os.Stderr, "advisord: need -i DATASET or -sim (see -h)")
-		os.Exit(2)
 	}
 
-	adv := advisor.New()
-	adv.SetObserver(cli.Reg)
-	snap := adv.Publish(st)
-	fmt.Printf("advice: %d prefixes, %d samples, epoch %d\n",
-		snap.Prefixes(), snap.Samples(), snap.Epoch())
+	if snap := adv.Current(); snap != nil {
+		fmt.Printf("advice: %d prefixes, %d samples, epoch %d\n",
+			snap.Prefixes(), snap.Samples(), snap.Epoch())
+		gate.SetState(advisor.GateServing)
+	}
 
 	if err := cli.Finish("advisord", *seed, *parallel, nil); err != nil {
 		fail(err)
 	}
 
-	fmt.Printf("serving on %s\n", *listen)
-	if err := http.ListenAndServe(*listen, advisor.NewHandler(adv)); err != nil {
-		fail(err)
+	// Serve until a signal. The store is quiescent now (ingest done), so the
+	// periodic checkpoint re-saves the current epoch — cheap insurance for
+	// long-lived instances whose disk may outlive the next restart's feed.
+	var tick <-chan time.Time
+	if ck != nil && *ckptInterval > 0 {
+		t := time.NewTicker(*ckptInterval)
+		defer t.Stop()
+		tick = t.C
 	}
+serveLoop:
+	for {
+		select {
+		case <-ctx.Done():
+			break serveLoop
+		case err := <-serverDone:
+			if err != nil {
+				fail(err)
+			}
+			return // listener gone without a signal: nothing left to do
+		case <-tick:
+			epoch := uint64(0)
+			if snap := adv.Current(); snap != nil {
+				epoch = snap.Epoch()
+			}
+			if _, err := ck.Save(st, epoch); err != nil {
+				fmt.Fprintln(os.Stderr, "advisord: checkpoint:", err)
+			}
+		}
+	}
+
+	// Graceful drain: RunServer has flipped the gate to draining and is
+	// finishing in-flight requests; once it returns, write the final
+	// checkpoint and exit 0 — the SIGTERM contract.
+	if err := <-serverDone; err != nil {
+		fmt.Fprintln(os.Stderr, "advisord: drain:", err)
+	}
+	if ck != nil {
+		epoch := uint64(0)
+		if snap := adv.Current(); snap != nil {
+			epoch = snap.Epoch()
+		}
+		if _, err := ck.Save(st, epoch); err != nil {
+			fail(err)
+		}
+		fmt.Println("drained; final checkpoint written")
+		return
+	}
+	fmt.Println("drained")
 }
 
 func fail(err error) {

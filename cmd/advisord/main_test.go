@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/survey"
+)
+
+// buildAdvisord compiles the binary once per test run into a shared temp dir.
+func buildAdvisord(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "advisord")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeDataset writes a small survey CSV: n matched probes spread over 16
+// prefixes plus one timeout, the same shape the surveyor emits.
+func writeDataset(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "survey.tosv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := survey.NewCSVWriter(f)
+	for i := 0; i < n; i++ {
+		if err := w.Write(survey.Record{
+			Type: survey.RecMatched,
+			Addr: ipaddr.Addr(0x0a000001 + uint32(i%16)<<8),
+			When: time.Duration(i+1) * time.Second,
+			RTT:  time.Duration(10+i%200) * time.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Write(survey.Record{Type: survey.RecTimeout, Addr: 0x0a000001, When: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+type advisordProc struct {
+	cmd  *exec.Cmd
+	addr string
+	out  *bufio.Scanner
+	done chan error
+}
+
+// startAdvisord launches the binary and blocks until it prints its listen
+// address — the point at which /healthz is answering.
+func startAdvisord(t *testing.T, bin string, args ...string) *advisordProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-listen", "127.0.0.1:0"}, args...)...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &advisordProc{cmd: cmd, out: bufio.NewScanner(stdout), done: make(chan error, 1)}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	for p.out.Scan() {
+		line := p.out.Text()
+		if rest, ok := strings.CutPrefix(line, "serving on "); ok {
+			p.addr = rest
+			return p
+		}
+	}
+	t.Fatalf("advisord exited before printing its address: %v", p.out.Err())
+	return nil
+}
+
+// drainOutput consumes remaining stdout lines (returning them) and waits for
+// exit, so SIGTERM can't block on a full pipe.
+func (p *advisordProc) wait(t *testing.T) ([]string, error) {
+	t.Helper()
+	var lines []string
+	for p.out.Scan() {
+		lines = append(lines, p.out.Text())
+	}
+	return lines, p.cmd.Wait()
+}
+
+func (p *advisordProc) get(t *testing.T, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + p.addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// TestAdvisordEndToEnd drives the real binary through its lifecycle: ingest a
+// CSV, serve advice, drain on SIGTERM with a final checkpoint, then restart
+// from the checkpoint alone and keep serving the same epoch.
+func TestAdvisordEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildAdvisord(t)
+	dataset := writeDataset(t, 160)
+	ckptDir := filepath.Join(t.TempDir(), "ckpt")
+
+	p := startAdvisord(t, bin, "-i", dataset, "-checkpoint-dir", ckptDir)
+
+	// Ingest of 160 records is near-instant but asynchronous to the address
+	// line; poll /healthz until the gate opens.
+	var health string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body := p.get(t, "/healthz")
+		if code != http.StatusOK {
+			t.Fatalf("/healthz: %d %s", code, body)
+		}
+		health = body
+		if strings.Contains(body, `"state":"serving"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached serving state; last health: %s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(health, `"ok":true`) {
+		t.Errorf("serving health not ok: %s", health)
+	}
+
+	code, body := p.get(t, "/timeout?addr=10.0.1.1")
+	if code != http.StatusOK || !strings.Contains(body, `"source":"prefix"`) {
+		t.Fatalf("/timeout = %d %s, want prefix advice", code, body)
+	}
+
+	// SIGTERM: graceful drain, final checkpoint, exit 0.
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := p.wait(t)
+	if err != nil {
+		t.Fatalf("exit after SIGTERM: %v (output: %q)", err, lines)
+	}
+	if len(lines) == 0 || !strings.Contains(strings.Join(lines, "\n"), "final checkpoint written") {
+		t.Errorf("drain output missing checkpoint confirmation: %q", lines)
+	}
+	gens, err := filepath.Glob(filepath.Join(ckptDir, "ckpt-*.tadv"))
+	if err != nil || len(gens) == 0 {
+		t.Fatalf("no checkpoint generations in %s (%v)", ckptDir, err)
+	}
+
+	// Restart from the checkpoint alone: no -i, no -sim. It must recover,
+	// open the gate immediately, and serve the same advice epoch.
+	p2 := startAdvisord(t, bin, "-checkpoint-dir", ckptDir)
+	code, body = p2.get(t, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"state":"serving"`) {
+		t.Fatalf("recovered /healthz = %d %s, want serving", code, body)
+	}
+	code, body = p2.get(t, "/timeout?addr=10.0.1.1")
+	if code != http.StatusOK || !strings.Contains(body, `"source":"prefix"`) {
+		t.Fatalf("recovered /timeout = %d %s, want prefix advice", code, body)
+	}
+	resp, err := http.Get("http://" + p2.addr + "/timeout?addr=10.0.1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if e := resp.Header.Get("X-Advisor-Epoch"); e == "" || e == "0" {
+		t.Errorf("recovered X-Advisor-Epoch = %q, want the checkpointed epoch", e)
+	}
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.wait(t); err != nil {
+		t.Fatalf("recovered instance exit after SIGTERM: %v", err)
+	}
+}
+
+// TestAdvisordRequiresInput pins the operator error: no dataset, no sim, no
+// recoverable checkpoint directory must exit 2 before binding the listener.
+func TestAdvisordRequiresInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildAdvisord(t)
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-checkpoint-dir", filepath.Join(t.TempDir(), "empty"))
+	out, err := cmd.CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+		t.Fatalf("exit = %v (output %q), want exit code 2", err, out)
+	}
+	if !strings.Contains(string(out), "need -i DATASET") {
+		t.Errorf("usage hint missing: %q", out)
+	}
+}
+
+// TestAdvisordSimServesAndDrains covers the -sim boot path end to end with a
+// tiny population: advice must come from the in-process survey and SIGTERM
+// must still exit 0 even with no checkpoint directory configured.
+func TestAdvisordSimServesAndDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildAdvisord(t)
+	p := startAdvisord(t, bin, "-sim", "-blocks", "64", "-cycles", "2")
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, body := p.get(t, "/healthz")
+		if strings.Contains(body, `"state":"serving"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sim never reached serving; last health: %s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code, body := p.get(t, "/snapshot"); code != http.StatusOK || !strings.Contains(body, "prefixes") {
+		t.Fatalf("/snapshot = %d %s", code, body)
+	}
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := p.wait(t)
+	if err != nil {
+		t.Fatalf("exit after SIGTERM: %v (output %q)", err, lines)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "drained") {
+		t.Errorf("missing drain confirmation: %q", lines)
+	}
+}

@@ -2,6 +2,7 @@ package advisor
 
 import (
 	"sync/atomic"
+	"time"
 
 	"timeouts/internal/ipaddr"
 	"timeouts/internal/obs"
@@ -18,12 +19,23 @@ type Advisor struct {
 	cur   atomic.Pointer[Snapshot]
 	epoch atomic.Uint64
 
+	// published is the wall time (unix ns) of the last publish — what
+	// /healthz reports as snapshot age, so operators and load balancers
+	// can tell a serving-but-stalled advisor from a live one.
+	published atomic.Int64
+
+	// ttl is the staleness TTL stamped onto published snapshots; zero
+	// disables staleness. clock is injectable for tests (nil = wall).
+	ttl   atomic.Int64
+	clock func() int64
+
 	// Observability (nil-safe no-ops unless SetObserver installs them).
 	// Query counters are diagnostic-class: they measure serving traffic,
 	// not the seed-determined record stream.
 	obsQueries   *obs.Counter
 	obsPrefixHit *obs.Counter
 	obsFallback  *obs.Counter
+	obsStale     *obs.Counter
 	obsNoData    *obs.Counter
 	obsBadLevel  *obs.Counter
 	obsPublishes *obs.Counter
@@ -37,11 +49,34 @@ func New() *Advisor {
 	return &Advisor{}
 }
 
+// wallNano is the default advisor clock.
+func wallNano() int64 { return time.Now().UnixNano() }
+
+// SetTTL sets the per-prefix staleness TTL stamped onto every snapshot
+// published from now on: lookups against a prefix whose newest sample is
+// older than ttl degrade to the population fallback with Advice.Stale set.
+// Zero (the default) disables staleness. Configure before serving; the TTL
+// applies from the next Publish.
+func (a *Advisor) SetTTL(ttl time.Duration) { a.ttl.Store(int64(ttl)) }
+
+// SetClock installs the clock used for staleness checks and publish
+// timestamps (nil restores the wall clock). Configure before serving.
+func (a *Advisor) SetClock(fn func() int64) { a.clock = fn }
+
+// clockFn returns the advisor's clock.
+func (a *Advisor) clockFn() func() int64 {
+	if a.clock != nil {
+		return a.clock
+	}
+	return wallNano
+}
+
 // SetObserver registers the advisor's serving metrics on reg.
 func (a *Advisor) SetObserver(reg *obs.Registry) {
 	a.obsQueries = reg.DiagCounter("advisor.queries")
 	a.obsPrefixHit = reg.DiagCounter("advisor.prefix_hits")
 	a.obsFallback = reg.DiagCounter("advisor.population_fallbacks")
+	a.obsStale = reg.DiagCounter("advisor.stale_lookups")
 	a.obsNoData = reg.DiagCounter("advisor.no_data")
 	a.obsBadLevel = reg.DiagCounter("advisor.bad_level")
 	a.obsPublishes = reg.DiagCounter("advisor.publishes")
@@ -54,13 +89,35 @@ func (a *Advisor) SetObserver(reg *obs.Registry) {
 // snapshot pointer; callers serialize their own publishes (one ingest
 // loop), while readers need no coordination at all.
 func (a *Advisor) Publish(st *Store) *Snapshot {
-	snap := st.Snapshot(a.epoch.Add(1))
+	return a.publish(st, a.epoch.Add(1))
+}
+
+// Restore publishes st as the recovered snapshot under exactly the given
+// epoch — the crash-recovery entry point. The recovered store republishes
+// the advice byte-identically to the generation that was checkpointed
+// (TestCheckpointRecoveryByteIdentity), and subsequent Publishes continue
+// the epoch sequence from there, so clients watching X-Advisor-Epoch see
+// the restart as the same epoch, not a fabricated new one.
+func (a *Advisor) Restore(st *Store, epoch uint64) *Snapshot {
+	a.epoch.Store(epoch)
+	return a.publish(st, epoch)
+}
+
+func (a *Advisor) publish(st *Store, epoch uint64) *Snapshot {
+	snap := st.Snapshot(epoch)
+	snap.ttl = a.ttl.Load()
+	snap.clock = a.clockFn()
 	a.cur.Store(snap)
+	a.published.Store(a.clockFn()())
 	a.obsPublishes.Inc()
 	a.obsPrefixes.Observe(int64(len(snap.prefixes)))
 	a.obsEpoch.Observe(int64(snap.epoch))
 	return snap
 }
+
+// PublishedAt returns the wall time (unix ns) of the last publish, zero
+// before the first.
+func (a *Advisor) PublishedAt() int64 { return a.published.Load() }
 
 // Current returns the current snapshot (nil before the first Publish).
 func (a *Advisor) Current() *Snapshot { return a.cur.Load() }
@@ -85,6 +142,9 @@ func (a *Advisor) Lookup(addr ipaddr.Addr, capture, coverage float64) (Advice, e
 		a.obsPrefixHit.Inc()
 	default:
 		a.obsFallback.Inc()
+	}
+	if adv.Stale {
+		a.obsStale.Inc()
 	}
 	return adv, err
 }

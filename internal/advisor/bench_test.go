@@ -1,6 +1,8 @@
 package advisor
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -43,6 +45,82 @@ func BenchmarkAdvisorLookup(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAdvisorLookupTTL measures the same hot path with a staleness TTL
+// armed, mixing fresh hits, TTL-degraded prefixes, and population fallbacks.
+// The TTL check is one clock call against immutable per-prefix stamps, so
+// this must stay 0 allocs/op (pinned by TestLookupTTLZeroAlloc) and within
+// noise of the TTL-free BenchmarkAdvisorLookup.
+func BenchmarkAdvisorLookupTTL(b *testing.B) {
+	var now int64 = int64(time.Hour)
+	clock := func() int64 { return now }
+	st := NewStore()
+	st.SetClock(clock)
+	// First half stamped at 1h (stale under the TTL below), second half at 2h.
+	for i := 0; i < 4096; i++ {
+		if i == 2048 {
+			now = int64(2 * time.Hour)
+		}
+		addr := ipaddr.Addr(0x0a000001 + uint32(i)<<8)
+		for j := 0; j < 8; j++ {
+			st.Add(addr, time.Duration(1+(i+j)%500)*time.Millisecond)
+		}
+	}
+	adv := New()
+	adv.SetClock(clock)
+	adv.SetTTL(30 * time.Minute)
+	adv.Publish(st)
+	now = int64(2*time.Hour + 10*time.Minute)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := ipaddr.Addr(0x0a000001 + uint32(i&4095)<<8)
+		if i&7 == 7 {
+			addr = ipaddr.Addr(0xc0a80001 + uint32(i))
+		}
+		if _, err := adv.Lookup(addr, 95, 95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGateShed measures the overload rejection path: with the admission
+// semaphore full, every request must be turned away in a few hundred
+// nanoseconds — shedding that is slower than serving defeats its purpose.
+func BenchmarkGateShed(b *testing.B) {
+	gate := NewGate(1, time.Second)
+	gate.sem <- struct{}{} // saturate admission so every request sheds
+	h := gate.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b.Fatal("admitted a request past a full gate")
+	}))
+	req := httptest.NewRequest(http.MethodGet, "/timeout", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := &shedSinkWriter{}
+		h.ServeHTTP(w, req)
+		if w.code != http.StatusServiceUnavailable {
+			b.Fatalf("code = %d, want 503", w.code)
+		}
+	}
+}
+
+// shedSinkWriter is a minimal ResponseWriter so the benchmark measures the
+// gate, not httptest.ResponseRecorder's buffer management.
+type shedSinkWriter struct {
+	h    http.Header
+	code int
+}
+
+func (w *shedSinkWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header, 4)
+	}
+	return w.h
+}
+func (w *shedSinkWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *shedSinkWriter) WriteHeader(code int)        { w.code = code }
 
 // BenchmarkStoreObserve measures the steady-state ingest cost: one matched
 // record folded into an existing prefix sketch plus open-probe bookkeeping.

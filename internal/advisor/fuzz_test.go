@@ -1,0 +1,81 @@
+package advisor
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/survey"
+)
+
+// FuzzCheckpointRoundTrip drives DecodeCheckpoint with arbitrary bytes and
+// pins two invariants on everything it accepts:
+//
+//  1. Canonical identity: encode(decode(data)) re-decodes to the same store
+//     and re-encodes byte-identically — the accepted grammar is exactly the
+//     canonical encoding, so checkpoints never drift across save/load
+//     cycles.
+//  2. Tamper rejection: flipping any single byte of a valid encoding makes
+//     it undecodable (CRC-32C catches every 8-bit burst; structure checks
+//     catch the rest). The offset is fuzz-chosen; the exhaustive all-offsets
+//     sweep is TestCheckpointCorruptionRejected.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	// Corpus: an empty store, a small mixed store, and a sliced-up variant.
+	empty := &bytes.Buffer{}
+	if err := EncodeCheckpoint(empty, NewStore(), 0); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes(), uint16(3))
+
+	now := int64(1_000_000_000)
+	st := NewStore()
+	st.SetClock(func() int64 { return now })
+	for i := 0; i < 8; i++ {
+		now += int64(time.Minute)
+		st.Add(ipaddr.Addr(0x0a000001+uint32(i)<<8), time.Duration(1+i*100)*time.Millisecond)
+	}
+	st.Observe(survey.Record{Type: survey.RecTimeout, Addr: 0x0a000001, When: time.Hour})
+	st.Observe(survey.Record{Type: survey.RecTimeout, Addr: 0x0a000001, When: 2 * time.Hour})
+	st.Observe(survey.Record{Type: survey.RecUnmatched, Addr: 0x0a000001, When: 3 * time.Hour})
+	full := &bytes.Buffer{}
+	if err := EncodeCheckpoint(full, st, 99); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full.Bytes(), uint16(17))
+	f.Add(full.Bytes()[:full.Len()/2], uint16(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, tamperAt uint16) {
+		st1, epoch1, err := DecodeCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: nothing more to hold it to
+		}
+		var enc1 bytes.Buffer
+		if err := EncodeCheckpoint(&enc1, st1, epoch1); err != nil {
+			t.Fatalf("re-encoding a decoded checkpoint failed: %v", err)
+		}
+		st2, epoch2, err := DecodeCheckpoint(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding rejected by its own decoder: %v", err)
+		}
+		if epoch2 != epoch1 {
+			t.Fatalf("epoch drifted: %d -> %d", epoch1, epoch2)
+		}
+		var enc2 bytes.Buffer
+		if err := EncodeCheckpoint(&enc2, st2, epoch2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatal("encode∘decode is not idempotent: second round trip changed bytes")
+		}
+
+		// Single-byte tamper at a fuzz-chosen offset must never decode.
+		tampered := append([]byte{}, enc1.Bytes()...)
+		off := int(tamperAt) % len(tampered)
+		bit := byte(1) << (tamperAt % 8)
+		tampered[off] ^= bit
+		if _, _, err := DecodeCheckpoint(bytes.NewReader(tampered)); err == nil {
+			t.Fatalf("tampered checkpoint decoded (offset %d, bit mask %#x)", off, bit)
+		}
+	})
+}

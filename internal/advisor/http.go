@@ -1,10 +1,12 @@
 package advisor
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"timeouts/internal/ipaddr"
 )
@@ -20,14 +22,49 @@ type adviceResponse struct {
 	Source    string  `json:"source"`
 	Samples   uint64  `json:"samples"`
 	Epoch     uint64  `json:"epoch"`
+	Stale     bool    `json:"stale"`
 }
 
 // healthResponse is the JSON body of /healthz.
 type healthResponse struct {
+	// OK means "ready to serve advice": state is serving and a snapshot is
+	// published. Recovering and draining instances answer 200 with OK=false
+	// so load balancers pull them without treating them as crashed.
 	OK       bool   `json:"ok"`
+	State    string `json:"state"`
 	Epoch    uint64 `json:"epoch"`
 	Prefixes int    `json:"prefixes"`
 	Samples  uint64 `json:"samples"`
+	// SnapshotAgeS is the seconds since the last publish (-1 before the
+	// first): a serving-but-stalled advisor shows here long before its
+	// advice goes quietly stale.
+	SnapshotAgeS float64 `json:"snapshot_age_s"`
+}
+
+// handlerConfig collects NewHandler options.
+type handlerConfig struct {
+	gate       *Gate
+	reqTimeout time.Duration
+}
+
+// HandlerOption configures NewHandler.
+type HandlerOption func(*handlerConfig)
+
+// WithGate places the advice routes (/timeout, /snapshot) behind g: bounded
+// in-flight admission with 503 shedding, plus drain/recovering rejection.
+// /healthz stays outside the gate — health checks must keep answering
+// precisely when the gate is shedding, or operators lose sight of an
+// overloaded instance at the worst moment.
+func WithGate(g *Gate) HandlerOption {
+	return func(c *handlerConfig) { c.gate = g }
+}
+
+// WithRequestTimeout bounds each admitted advice request's handling time via
+// a context deadline. The lookup path is nanoseconds, so this is a backstop
+// against pathological encodes on huge /snapshot responses, not a tuning
+// knob; it also caps how long one request can hold an admission slot.
+func WithRequestTimeout(d time.Duration) HandlerOption {
+	return func(c *handlerConfig) { c.reqTimeout = d }
 }
 
 // NewHandler wraps an Advisor in the advice HTTP API:
@@ -40,31 +77,62 @@ type healthResponse struct {
 // timeout captures 95% of pings from 95% of the population). Bad addresses
 // or non-standard levels answer 400; "no data yet" answers 404 — never a
 // fabricated 0 s timeout. Handlers read exactly one snapshot per request,
-// so a response can never mix epochs.
-func NewHandler(adv *Advisor) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/timeout", func(w http.ResponseWriter, r *http.Request) {
+// so a response can never mix epochs; every advice response carries its
+// epoch in X-Advisor-Epoch so clients can correlate answers across a
+// restart or a publish.
+func NewHandler(adv *Advisor, opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	advice := http.NewServeMux()
+	advice.HandleFunc("/timeout", func(w http.ResponseWriter, r *http.Request) {
 		serveTimeout(adv, w, r)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		h := healthResponse{OK: true}
-		if snap := adv.Current(); snap != nil {
-			h.Epoch = snap.Epoch()
-			h.Prefixes = snap.Prefixes()
-			h.Samples = snap.Samples()
-		}
-		writeJSON(w, http.StatusOK, h)
-	})
-	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	advice.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		snap := adv.Current()
 		if snap == nil {
 			http.Error(w, "no snapshot published yet", http.StatusNotFound)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Advisor-Epoch", strconv.FormatUint(snap.Epoch(), 10))
 		snap.WriteJSON(w)
 	})
+	var adviceH http.Handler = advice
+	if cfg.reqTimeout > 0 {
+		adviceH = withDeadline(adviceH, cfg.reqTimeout)
+	}
+	adviceH = cfg.gate.Wrap(adviceH)
+
+	mux := http.NewServeMux()
+	mux.Handle("/timeout", adviceH)
+	mux.Handle("/snapshot", adviceH)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		state := cfg.gate.State()
+		h := healthResponse{State: state.String(), SnapshotAgeS: -1}
+		snap := adv.Current()
+		if snap != nil {
+			h.Epoch = snap.Epoch()
+			h.Prefixes = snap.Prefixes()
+			h.Samples = snap.Samples()
+		}
+		if at := adv.PublishedAt(); at != 0 {
+			h.SnapshotAgeS = time.Duration(adv.clockFn()()-at).Seconds()
+		}
+		h.OK = state == GateServing && snap != nil
+		writeJSON(w, http.StatusOK, h)
+	})
 	return mux
+}
+
+// withDeadline attaches a per-request context deadline to h.
+func withDeadline(h http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // serveTimeout answers one GET /timeout query.
@@ -103,6 +171,7 @@ func serveTimeout(adv *Advisor, w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	w.Header().Set("X-Advisor-Epoch", strconv.FormatUint(adv2.Epoch, 10))
 	writeJSON(w, http.StatusOK, adviceResponse{
 		Addr:      addrStr,
 		Prefix:    addr.Prefix().String(),
@@ -113,6 +182,7 @@ func serveTimeout(adv *Advisor, w http.ResponseWriter, r *http.Request) {
 		Source:    adv2.Source.String(),
 		Samples:   adv2.Samples,
 		Epoch:     adv2.Epoch,
+		Stale:     adv2.Stale,
 	})
 }
 

@@ -1,0 +1,321 @@
+package advisor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"timeouts/internal/obs"
+	"timeouts/internal/survey"
+	"timeouts/internal/xrand"
+)
+
+// ErrSkipBudget reports that lenient sources skipped more corrupt records
+// than IngestConfig.MaxSkip allows — the loop's terminal "this feed is
+// mostly noise" error, matchable with errors.Is.
+var ErrSkipBudget = errors.New("advisor: ingest corrupt-record skip budget exceeded")
+
+// Resilient continuous ingest: RunIngest supervises a record source through a
+// bounded queue into the store, republishing advice as it goes. The loop is
+// built to survive the three ways a long-running feed fails — the source
+// stops opening (backoff and retry with jitter), records arrive corrupt
+// (count, skip, continue, within an error budget), and the consumer falls
+// behind (bounded queue backpressure, never unbounded memory) — because an
+// advisor that dies with its feed takes the whole serving plane down with it.
+
+// siteIngestBackoff salts the backoff jitter hash.
+const siteIngestBackoff uint64 = 0x696e6762 // "ingb"
+
+// IngestConfig configures RunIngest. Open is required; everything else has a
+// production default.
+type IngestConfig struct {
+	// Open produces the record source to tail; it is called once at start
+	// and again after every EOF (when tailing) or source error. Each call
+	// should return a fresh source positioned at the records the caller
+	// wants re-read — typically reopening a growing file or redialing a
+	// feed. Sources that also satisfy survey.StatSource get their per-cause
+	// skip counts harvested into the loop's stats.
+	Open func() (survey.RecordSource, error)
+	// Queue bounds the records in flight between the reader and the store
+	// (default 1024). A full queue blocks the reader — backpressure —
+	// instead of growing memory.
+	Queue int
+	// Backoff is the initial retry delay after a failed open or a source
+	// error (default 100ms), doubling per consecutive failure up to
+	// BackoffMax (default 30s), with ±50% deterministic jitter derived from
+	// Seed so restarts don't synchronize.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Seed drives the jitter (and nothing else).
+	Seed uint64
+	// Tail is how many times to reopen the source after a clean EOF:
+	// 0 ingests a single pass and stops; negative tails forever. Source
+	// errors always reopen regardless of Tail — they are failures to
+	// retry, not ends to respect.
+	Tail int
+	// PublishEvery republishes advice after every N records consumed
+	// (default 4096; the final publish always happens).
+	PublishEvery uint64
+	// CheckpointEvery checkpoints after every N records consumed, aligned
+	// to the publish that precedes it (0 = only the final checkpoint).
+	CheckpointEvery uint64
+	// MaxSkip is the corrupt-record budget: once more than MaxSkip records
+	// have been skipped by lenient sources, the loop stops with an error —
+	// a feed that is mostly noise should page someone, not quietly thin
+	// the advice. 0 means unlimited.
+	MaxSkip uint64
+}
+
+// IngestStats reports what one RunIngest did.
+type IngestStats struct {
+	// Records is how many records reached the store.
+	Records uint64
+	// Skipped is how many corrupt records lenient sources dropped.
+	Skipped uint64
+	// Reopens counts source reopens (tail EOFs and error retries).
+	Reopens uint64
+	// SourceErrors counts failed opens and mid-stream source errors.
+	SourceErrors uint64
+	// Publishes and Checkpoints count advice republishes and durable saves,
+	// final ones included.
+	Publishes   uint64
+	Checkpoints uint64
+}
+
+// ingestCounters is the reader/consumer-shared form of IngestStats.
+type ingestCounters struct {
+	skipped      atomic.Uint64
+	reopens      atomic.Uint64
+	sourceErrors atomic.Uint64
+}
+
+// backoffDelay returns the jittered exponential delay for the attempt-th
+// consecutive failure (attempt counts from 0).
+func (cfg *IngestConfig) backoffDelay(attempt uint64) time.Duration {
+	base := cfg.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := cfg.BackoffMax
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	d := base
+	for i := uint64(0); i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// ±50% deterministic jitter: restarts spread instead of thundering.
+	j := 0.5 + xrand.HashFloat(cfg.Seed, siteIngestBackoff, attempt)
+	return time.Duration(float64(d) * j)
+}
+
+// sleep waits d or until ctx is done, reporting whether the wait completed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// RunIngest tails cfg.Open into st, republishing via adv and checkpointing
+// via ck (both optional: nil adv skips publishing, nil ck no-ops saves), until
+// the source is exhausted (per Tail), the skip budget is blown, or ctx is
+// cancelled. Cancellation is the drain path and returns nil: the loop stops
+// consuming, publishes what it has, writes a final checkpoint, and hands
+// back. The returned stats are complete in every case.
+//
+// Observability counters (advisor.ingest.loop.*) register on reg if the
+// caller wires one via RegisterIngestObs; RunIngest itself stays free of
+// registry state so concurrent tests can run loops without sharing metrics.
+func RunIngest(ctx context.Context, cfg IngestConfig, st *Store, adv *Advisor, ck *Checkpointer) (IngestStats, error) {
+	if cfg.Open == nil {
+		return IngestStats{}, fmt.Errorf("advisor: RunIngest needs an Open function")
+	}
+	queue := cfg.Queue
+	if queue <= 0 {
+		queue = 1024
+	}
+	publishEvery := cfg.PublishEvery
+	if publishEvery == 0 {
+		publishEvery = 4096
+	}
+
+	var ctrs ingestCounters
+	recs := make(chan survey.Record, queue)
+	readErr := make(chan error, 1) // the reader's terminal error, if any
+
+	rctx, stopReader := context.WithCancel(ctx)
+	defer stopReader()
+	go func() {
+		defer close(recs)
+		readErr <- readLoop(rctx, &cfg, &ctrs, recs)
+	}()
+
+	var stats IngestStats
+	var sinceCkpt uint64
+	drained := false // ctx cancelled: finish up without consuming more
+	finish := func(terminal error) (IngestStats, error) {
+		stats.Skipped = ctrs.skipped.Load()
+		stats.Reopens = ctrs.reopens.Load()
+		stats.SourceErrors = ctrs.sourceErrors.Load()
+		var epoch uint64
+		if adv != nil {
+			epoch = adv.Publish(st).Epoch()
+			stats.Publishes++
+		}
+		if ck != nil {
+			if _, err := ck.Save(st, epoch); err != nil {
+				if terminal == nil {
+					terminal = fmt.Errorf("advisor: final checkpoint: %w", err)
+				}
+			} else {
+				stats.Checkpoints++
+			}
+		}
+		return stats, terminal
+	}
+
+	for {
+		if drained {
+			return finish(nil)
+		}
+		select {
+		case <-ctx.Done():
+			// Drain: stop the reader, consume nothing further, keep what
+			// the store already holds.
+			stopReader()
+			drained = true
+		case rec, ok := <-recs:
+			if !ok {
+				err := <-readErr
+				if err == context.Canceled {
+					err = nil // cancellation is the drain path
+				}
+				return finish(err)
+			}
+			st.Observe(rec)
+			stats.Records++
+			sinceCkpt++
+			if stats.Records%publishEvery == 0 {
+				var epoch uint64
+				if adv != nil {
+					epoch = adv.Publish(st).Epoch()
+					stats.Publishes++
+				}
+				if cfg.CheckpointEvery > 0 && sinceCkpt >= cfg.CheckpointEvery && ck != nil {
+					if _, err := ck.Save(st, epoch); err == nil {
+						stats.Checkpoints++
+					}
+					sinceCkpt = 0
+				}
+			}
+		}
+	}
+}
+
+// readLoop is RunIngest's reader side: open the source, pump records into
+// recs (blocking on a full queue — backpressure), harvest skip stats, back
+// off and reopen on failure. It returns nil on a clean end of input,
+// context.Canceled when stopped, or the terminal error (skip budget blown).
+func readLoop(ctx context.Context, cfg *IngestConfig, ctrs *ingestCounters, recs chan<- survey.Record) error {
+	var failures uint64 // consecutive, for backoff
+	var passes int      // clean EOFs seen, for Tail
+	for {
+		if ctx.Err() != nil {
+			return context.Canceled
+		}
+		src, err := cfg.Open()
+		if err != nil {
+			ctrs.sourceErrors.Add(1)
+			if !sleep(ctx, cfg.backoffDelay(failures)) {
+				return context.Canceled
+			}
+			failures++
+			ctrs.reopens.Add(1)
+			continue
+		}
+		failures = 0
+		stat, _ := src.(survey.StatSource)
+		harvested := uint64(0) // this source's skips already folded into ctrs
+		harvest := func() {
+			if stat == nil {
+				return
+			}
+			if s := stat.Stats().Skipped(); s > harvested {
+				ctrs.skipped.Add(s - harvested)
+				harvested = s
+			}
+		}
+		overBudget := func() error {
+			if cfg.MaxSkip > 0 {
+				if sk := ctrs.skipped.Load(); sk > cfg.MaxSkip {
+					return fmt.Errorf("%w: %d corrupt records (budget %d)",
+						ErrSkipBudget, sk, cfg.MaxSkip)
+				}
+			}
+			return nil
+		}
+		srcErr := func() error {
+			for {
+				rec, err := src.Read()
+				harvest()
+				// Enforce the budget on every read — including the EOF one,
+				// so an all-corrupt source still trips it — and before
+				// forwarding, so a lenient source that skips unboundedly
+				// between two good records cannot outrun it.
+				if berr := overBudget(); berr != nil {
+					return berr
+				}
+				if err != nil {
+					return err
+				}
+				select {
+				case recs <- rec:
+				case <-ctx.Done():
+					return context.Canceled
+				}
+			}
+		}()
+		switch {
+		case srcErr == io.EOF:
+			if cfg.Tail == 0 || (cfg.Tail > 0 && passes >= cfg.Tail) {
+				return nil
+			}
+			passes++
+			ctrs.reopens.Add(1)
+		case srcErr == context.Canceled:
+			return context.Canceled
+		case errors.Is(srcErr, ErrSkipBudget):
+			return srcErr
+		default:
+			ctrs.sourceErrors.Add(1)
+			if !sleep(ctx, cfg.backoffDelay(failures)) {
+				return context.Canceled
+			}
+			failures++
+			ctrs.reopens.Add(1)
+		}
+	}
+}
+
+// RegisterIngestObs folds one RunIngest's stats into reg's diagnostic
+// counters, so long-running daemons expose ingest health without the loop
+// itself carrying registry state.
+func RegisterIngestObs(reg *obs.Registry, s IngestStats) {
+	reg.DiagCounter("advisor.ingest.loop.records").Add(s.Records)
+	reg.DiagCounter("advisor.ingest.loop.skipped").Add(s.Skipped)
+	reg.DiagCounter("advisor.ingest.loop.reopens").Add(s.Reopens)
+	reg.DiagCounter("advisor.ingest.loop.source_errors").Add(s.SourceErrors)
+	reg.DiagCounter("advisor.ingest.loop.publishes").Add(s.Publishes)
+	reg.DiagCounter("advisor.ingest.loop.checkpoints").Add(s.Checkpoints)
+}

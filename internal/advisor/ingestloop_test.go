@@ -1,0 +1,361 @@
+package advisor
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/survey"
+)
+
+// ingestRecs builds n unique matched records.
+func ingestRecs(n int) []survey.Record {
+	recs := make([]survey.Record, n)
+	for i := range recs {
+		recs[i] = survey.Record{
+			Type: survey.RecMatched,
+			Addr: ipaddr.Addr(0x0a000001 + uint32(i%64)<<8),
+			When: time.Duration(i+1) * time.Second,
+			RTT:  time.Duration(1+i%500) * time.Millisecond,
+		}
+	}
+	return recs
+}
+
+func TestRunIngestRetriesTransientOpenErrors(t *testing.T) {
+	recs := ingestRecs(100)
+	var opens atomic.Int64
+	cfg := IngestConfig{
+		Open: func() (survey.RecordSource, error) {
+			if opens.Add(1) <= 3 {
+				return nil, errors.New("feed not up yet")
+			}
+			return survey.NewSliceSource(recs), nil
+		},
+		Backoff:    time.Millisecond,
+		BackoffMax: 4 * time.Millisecond,
+	}
+	st := NewStore()
+	adv := New()
+	stats, err := RunIngest(context.Background(), cfg, st, adv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 100 || st.Records() != 100 {
+		t.Errorf("Records = %d (store %d), want 100", stats.Records, st.Records())
+	}
+	if stats.SourceErrors != 3 || stats.Reopens != 3 {
+		t.Errorf("SourceErrors = %d, Reopens = %d; want 3 and 3", stats.SourceErrors, stats.Reopens)
+	}
+	if stats.Publishes == 0 || adv.Current() == nil {
+		t.Error("no advice published")
+	}
+	if adv.Current().Samples() != 100 {
+		t.Errorf("published samples = %d, want 100", adv.Current().Samples())
+	}
+}
+
+// errAfterSource yields n records then fails mid-stream, exercising the
+// reopen-on-source-error path (as a feed dying mid-read would).
+type errAfterSource struct {
+	recs []survey.Record
+	i    int
+}
+
+func (s *errAfterSource) Read() (survey.Record, error) {
+	if s.i >= len(s.recs) {
+		return survey.Record{}, errors.New("connection reset")
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, nil
+}
+
+func TestRunIngestReopensAfterSourceError(t *testing.T) {
+	recs := ingestRecs(60)
+	var opens atomic.Int64
+	cfg := IngestConfig{
+		Open: func() (survey.RecordSource, error) {
+			// First two opens die partway through; the third delivers the
+			// whole pass. Records before the cut are re-read on reopen —
+			// the "fresh source positioned where the caller wants" contract.
+			switch opens.Add(1) {
+			case 1:
+				return &errAfterSource{recs: recs[:10]}, nil
+			case 2:
+				return &errAfterSource{recs: recs[:25]}, nil
+			default:
+				return survey.NewSliceSource(recs), nil
+			}
+		},
+		Backoff: time.Millisecond,
+	}
+	st := NewStore()
+	stats, err := RunIngest(context.Background(), cfg, st, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 10+25+60 {
+		t.Errorf("Records = %d, want 95 (two partial passes + one full)", stats.Records)
+	}
+	if stats.SourceErrors != 2 || stats.Reopens != 2 {
+		t.Errorf("SourceErrors = %d, Reopens = %d; want 2 and 2", stats.SourceErrors, stats.Reopens)
+	}
+}
+
+func TestRunIngestPublishAndCheckpointCadence(t *testing.T) {
+	dir := t.TempDir()
+	recs := ingestRecs(64)
+	cfg := IngestConfig{
+		Open: func() (survey.RecordSource, error) {
+			return survey.NewSliceSource(recs), nil
+		},
+		PublishEvery:    16,
+		CheckpointEvery: 32,
+	}
+	st := NewStore()
+	now := int64(1)
+	st.SetClock(func() int64 { return now })
+	adv := New()
+	ck := &Checkpointer{Dir: dir, Keep: 10}
+	stats, err := RunIngest(context.Background(), cfg, st, adv, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 records / publish every 16 = 4 in-stream publishes, plus the final.
+	if stats.Publishes != 5 {
+		t.Errorf("Publishes = %d, want 5", stats.Publishes)
+	}
+	// Checkpoints at records 32 and 64, plus the final one.
+	if stats.Checkpoints != 3 {
+		t.Errorf("Checkpoints = %d, want 3", stats.Checkpoints)
+	}
+	if got := len(ck.generations()); got != 3 {
+		t.Errorf("generations on disk = %d, want 3", got)
+	}
+	// The newest generation is the final publish's epoch and recovers to
+	// the full store.
+	st2, epoch, _, err := ck.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != adv.Current().Epoch() {
+		t.Errorf("recovered epoch = %d, want %d", epoch, adv.Current().Epoch())
+	}
+	if st2.Records() != 64 {
+		t.Errorf("recovered records = %d, want 64", st2.Records())
+	}
+}
+
+// infiniteSource generates records forever — the tail-a-live-feed shape.
+type infiniteSource struct{ i int }
+
+func (s *infiniteSource) Read() (survey.Record, error) {
+	s.i++
+	return survey.Record{
+		Type: survey.RecMatched,
+		Addr: ipaddr.Addr(0x0a000001 + uint32(s.i%64)<<8),
+		When: time.Duration(s.i) * time.Second,
+		RTT:  time.Duration(1+s.i%500) * time.Millisecond,
+	}, nil
+}
+
+// TestRunIngestCancelDrains pins the drain contract: cancelling the context
+// mid-tail returns nil (not an error), publishes what was ingested, and
+// writes a final checkpoint.
+func TestRunIngestCancelDrains(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	st := NewStore()
+	now := int64(1)
+	st.SetClock(func() int64 { return now })
+	adv := New()
+	ck := &Checkpointer{Dir: dir}
+	cfg := IngestConfig{
+		Open:         func() (survey.RecordSource, error) { return &infiniteSource{}, nil },
+		PublishEvery: 50,
+	}
+	go func() {
+		// Cancel once records have demonstrably flowed — observed through
+		// the atomic snapshot pointer, never the single-writer store.
+		for adv.Current() == nil {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	stats, err := RunIngest(ctx, cfg, st, adv, ck)
+	if err != nil {
+		t.Fatalf("RunIngest on cancel = %v, want nil (drain)", err)
+	}
+	if stats.Records == 0 {
+		t.Fatal("drained with zero records")
+	}
+	if adv.Current() == nil || adv.Current().Samples() == 0 {
+		t.Error("no final publish on drain")
+	}
+	if stats.Checkpoints == 0 || len(ck.generations()) == 0 {
+		t.Error("no final checkpoint on drain")
+	}
+	st2, _, _, err := ck.Load()
+	if err != nil || st2 == nil {
+		t.Fatalf("final checkpoint unreadable: %v", err)
+	}
+}
+
+func TestRunIngestTailReopensAtEOF(t *testing.T) {
+	recs := ingestRecs(20)
+	var opens atomic.Int64
+	cfg := IngestConfig{
+		Open: func() (survey.RecordSource, error) {
+			opens.Add(1)
+			return survey.NewSliceSource(recs), nil
+		},
+		Tail: 2, // first pass + two reopens = three passes
+	}
+	st := NewStore()
+	stats, err := RunIngest(context.Background(), cfg, st, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opens.Load() != 3 || stats.Records != 60 || stats.Reopens != 2 {
+		t.Errorf("opens = %d, Records = %d, Reopens = %d; want 3, 60, 2",
+			opens.Load(), stats.Records, stats.Reopens)
+	}
+}
+
+// corruptCSV builds a CSV dataset of good records with nBad garbage rows
+// interleaved, which the lenient reader skips and counts.
+func corruptCSV(t *testing.T, good []survey.Record, nBad int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := survey.NewCSVWriter(&buf)
+	for _, r := range good {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	for i := 0; i < nBad; i++ {
+		out = append(out, []byte(fmt.Sprintf("garbage,row,%d,?\n", i))...)
+	}
+	return out
+}
+
+func TestRunIngestCountsCorruptRecords(t *testing.T) {
+	good := ingestRecs(40)
+	data := corruptCSV(t, good, 7)
+	cfg := IngestConfig{
+		Open: func() (survey.RecordSource, error) {
+			src, _, err := survey.OpenSourceLenient(bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			return src, nil
+		},
+	}
+	st := NewStore()
+	stats, err := RunIngest(context.Background(), cfg, st, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 40 || stats.Skipped != 7 {
+		t.Errorf("Records = %d, Skipped = %d; want 40 and 7", stats.Records, stats.Skipped)
+	}
+}
+
+func TestRunIngestSkipBudget(t *testing.T) {
+	good := ingestRecs(10)
+	data := corruptCSV(t, good, 30)
+	cfg := IngestConfig{
+		Open: func() (survey.RecordSource, error) {
+			src, _, err := survey.OpenSourceLenient(bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			return src, nil
+		},
+		MaxSkip: 5,
+	}
+	st := NewStore()
+	stats, err := RunIngest(context.Background(), cfg, st, nil, nil)
+	if !errors.Is(err, ErrSkipBudget) {
+		t.Fatalf("err = %v, want ErrSkipBudget", err)
+	}
+	if stats.Skipped <= 5 {
+		t.Errorf("Skipped = %d, want > budget of 5", stats.Skipped)
+	}
+	// The good records read before the budget blew still landed.
+	if stats.Records != 10 {
+		t.Errorf("Records = %d, want 10", stats.Records)
+	}
+}
+
+func TestRunIngestRequiresOpen(t *testing.T) {
+	if _, err := RunIngest(context.Background(), IngestConfig{}, NewStore(), nil, nil); err == nil {
+		t.Fatal("nil Open accepted")
+	}
+}
+
+func TestIngestBackoffJitterBounds(t *testing.T) {
+	cfg := IngestConfig{Backoff: 100 * time.Millisecond, BackoffMax: 2 * time.Second, Seed: 9}
+	prevCap := time.Duration(0)
+	for attempt := uint64(0); attempt < 12; attempt++ {
+		d := cfg.backoffDelay(attempt)
+		base := 100 * time.Millisecond << attempt
+		if base > 2*time.Second {
+			base = 2 * time.Second
+		}
+		lo, hi := base/2, base+base/2
+		if d < lo || d > hi {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+		}
+		if base == 2*time.Second {
+			prevCap = d
+		}
+	}
+	if prevCap == 0 {
+		t.Error("backoff never reached its cap")
+	}
+	// Deterministic: same seed, same delays.
+	if cfg.backoffDelay(3) != cfg.backoffDelay(3) {
+		t.Error("jitter is not deterministic")
+	}
+}
+
+// slowSource blocks each Read briefly so the bounded queue actually fills
+// and drains under ctx control; used to smoke the backpressure path.
+type slowSource struct{ i int }
+
+func (s *slowSource) Read() (survey.Record, error) {
+	if s.i >= 2000 {
+		return survey.Record{}, io.EOF
+	}
+	s.i++
+	return survey.Record{
+		Type: survey.RecMatched,
+		Addr: ipaddr.Addr(0x0a000001),
+		When: time.Duration(s.i) * time.Second,
+		RTT:  time.Millisecond,
+	}, nil
+}
+
+func TestRunIngestBoundedQueue(t *testing.T) {
+	cfg := IngestConfig{
+		Open:  func() (survey.RecordSource, error) { return &slowSource{}, nil },
+		Queue: 4, // tiny queue: the reader must block on the consumer
+	}
+	st := NewStore()
+	stats, err := RunIngest(context.Background(), cfg, st, nil, nil)
+	if err != nil || stats.Records != 2000 {
+		t.Fatalf("Records = %d, %v; want 2000 through a 4-deep queue", stats.Records, err)
+	}
+}

@@ -62,6 +62,12 @@ type Advice struct {
 	// Epoch identifies the snapshot that answered — every field of one
 	// response is consistent with exactly this epoch.
 	Epoch uint64
+	// Stale reports that the destination's prefix has data but its newest
+	// sample is older than the advisor's staleness TTL, so the answer
+	// degraded to the population fallback: per-prefix delay regimes shift
+	// on the scale of days (the COVID latency study, PAPERS.md), and a
+	// degraded-but-honest answer beats a confidently-wrong stale one.
+	Stale bool
 }
 
 // Snapshot is an immutable, atomically swappable view of the store: the
@@ -72,9 +78,18 @@ type Snapshot struct {
 	epoch    uint64
 	prefixes []ipaddr.Prefix24 // sorted ascending
 	samples  []uint64          // per prefix rank
+	updated  []int64           // per prefix rank: newest sample's wall time, unix ns
 	quants   []time.Duration   // rank*nLevels + levelIndex
 	matrix   stats.TimeoutMatrix
 	total    uint64
+
+	// Staleness TTL, stamped by Advisor.Publish (zero when the snapshot is
+	// built directly off a store): a prefix whose newest sample is older
+	// than ttl answers from the population fallback with Advice.Stale set.
+	// clock is the publish-time clock so lookups stay a pure read of
+	// immutable state plus one time call — no locks, no allocations.
+	ttl   int64
+	clock func() int64
 }
 
 // Snapshot builds an immutable advice snapshot of the store's current
@@ -92,6 +107,7 @@ func (s *Store) Snapshot(epoch uint64) *Snapshot {
 	}
 	sort.Slice(snap.prefixes, func(i, j int) bool { return snap.prefixes[i] < snap.prefixes[j] })
 	snap.samples = make([]uint64, len(snap.prefixes))
+	snap.updated = make([]int64, len(snap.prefixes))
 	snap.quants = make([]time.Duration, len(snap.prefixes)*nLevels)
 	vecs := make([]stats.Quantiles, len(snap.prefixes))
 	for r, p := range snap.prefixes {
@@ -102,6 +118,7 @@ func (s *Store) Snapshot(epoch uint64) *Snapshot {
 		}
 		vecs[r], _ = sk.Quantiles()
 		snap.samples[r] = sk.n
+		snap.updated[r] = s.updated[p]
 		snap.total += sk.n
 	}
 	snap.matrix = stats.BuildTimeoutMatrix(vecs)
@@ -140,12 +157,13 @@ func (s *Snapshot) rank(p ipaddr.Prefix24) (int, bool) {
 
 // Lookup answers one advice query against this snapshot: the timeout that
 // captures the capture-th percentile of responses from addr's /24, or —
-// when the prefix has no data — the population matrix cell at (coverage,
-// capture). Levels must be standard percentiles, matched with the same
-// epsilon tolerance as stats.TimeoutMatrix (computed levels like
-// 80.00000000000001 resolve rather than erroring). The path is lock-free
-// and allocation-free: a binary search to the prefix rank, then flat array
-// indexing.
+// when the prefix has no data, or its data is older than the staleness TTL —
+// the population matrix cell at (coverage, capture). Levels must be standard
+// percentiles, matched with the same epsilon tolerance as
+// stats.TimeoutMatrix (computed levels like 80.00000000000001 resolve rather
+// than erroring). The path is lock-free and allocation-free: a binary search
+// to the prefix rank, flat array indexing, and (with a TTL configured) one
+// clock read.
 func (s *Snapshot) Lookup(addr ipaddr.Addr, capture, coverage float64) (Advice, error) {
 	ci, ok := stats.LevelIndex(stats.StandardPercentiles, capture)
 	if !ok {
@@ -155,22 +173,30 @@ func (s *Snapshot) Lookup(addr ipaddr.Addr, capture, coverage float64) (Advice, 
 	if !ok {
 		return Advice{}, ErrBadLevel
 	}
+	stale := false
 	if r, ok := s.rank(addr.Prefix()); ok {
-		return Advice{
-			Timeout: s.quants[r*nLevels+ci],
-			Source:  SourcePrefix,
-			Samples: s.samples[r],
-			Epoch:   s.epoch,
-		}, nil
+		// A zero freshness stamp means "unknown", which never goes stale;
+		// every store since the stamps were introduced writes real ones.
+		if s.ttl > 0 && s.updated[r] != 0 && s.clock()-s.updated[r] > s.ttl {
+			stale = true
+		} else {
+			return Advice{
+				Timeout: s.quants[r*nLevels+ci],
+				Source:  SourcePrefix,
+				Samples: s.samples[r],
+				Epoch:   s.epoch,
+			}, nil
+		}
 	}
 	if s.matrix.Addresses == 0 {
-		return Advice{Epoch: s.epoch}, ErrNoData
+		return Advice{Epoch: s.epoch, Stale: stale}, ErrNoData
 	}
 	return Advice{
 		Timeout: s.matrix.Cell[ri][ci],
 		Source:  SourcePopulation,
 		Samples: uint64(s.matrix.Addresses),
 		Epoch:   s.epoch,
+		Stale:   stale,
 	}, nil
 }
 

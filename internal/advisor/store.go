@@ -24,10 +24,15 @@ import (
 // snapshot, so the store itself needs no locks.
 type Store struct {
 	sketches map[ipaddr.Prefix24]*Sketch
+	updated  map[ipaddr.Prefix24]int64 // wall time (unix ns) of each prefix's newest sample
 	open     map[ipaddr.Addr]openPair
 	records  uint64
 	matched  uint64
 	delayed  uint64
+
+	// clock stamps per-prefix freshness; nil means the wall clock. Tests
+	// and the checkpoint chaos suite inject a deterministic clock.
+	clock func() int64
 
 	// Observability (nil-safe no-ops unless SetObserver installs them).
 	obsRecords  *obs.Counter
@@ -47,9 +52,28 @@ type openPair struct {
 func NewStore() *Store {
 	return &Store{
 		sketches: make(map[ipaddr.Prefix24]*Sketch),
+		updated:  make(map[ipaddr.Prefix24]int64),
 		open:     make(map[ipaddr.Addr]openPair),
 	}
 }
+
+// SetClock installs the clock that stamps per-prefix freshness (nil restores
+// the wall clock). Freshness drives the staleness TTL: a snapshot built from
+// this store degrades lookups for prefixes whose newest sample is older than
+// the advisor's TTL to the population fallback rather than serving
+// confidently-wrong stale advice.
+func (s *Store) SetClock(fn func() int64) { s.clock = fn }
+
+// now returns the store's current freshness stamp.
+func (s *Store) now() int64 {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return time.Now().UnixNano()
+}
+
+// touch stamps a prefix as freshly sampled.
+func (s *Store) touch(p ipaddr.Prefix24) { s.updated[p] = s.now() }
 
 // SetObserver registers the store's ingest metrics on reg. All three are
 // deterministic-class: record streams arrive in dataset emission order,
@@ -85,7 +109,9 @@ func (s *Store) sketch(p ipaddr.Prefix24) *Sketch {
 // sketch — the entry point for the live rtt plane, where the RTT is known
 // without record-stream attribution.
 func (s *Store) Add(addr ipaddr.Addr, rtt time.Duration) {
-	s.sketch(addr.Prefix()).Add(rtt)
+	p := addr.Prefix()
+	s.sketch(p).Add(rtt)
+	s.touch(p)
 	s.matched++
 	s.obsSamples.Inc()
 }
@@ -110,7 +136,9 @@ func (s *Store) Observe(rec survey.Record) {
 		st := s.open[rec.Addr]
 		st.push(int64(rec.When), true)
 		s.open[rec.Addr] = st
-		s.sketch(rec.Addr.Prefix()).Add(rec.RTT)
+		p := rec.Addr.Prefix()
+		s.sketch(p).Add(rec.RTT)
+		s.touch(p)
 		s.matched++
 		s.obsSamples.Inc()
 	case survey.RecTimeout:
@@ -130,7 +158,9 @@ func (s *Store) Observe(rec survey.Record) {
 				st.resolved[i] = true
 				s.open[rec.Addr] = st
 				lat := rec.When - time.Duration(st.send[i])
-				s.sketch(rec.Addr.Prefix()).Add(lat)
+				p := rec.Addr.Prefix()
+				s.sketch(p).Add(lat)
+				s.touch(p)
 				s.delayed++
 				s.obsSamples.Inc()
 			}
@@ -169,11 +199,21 @@ func (s *Store) Consume(src survey.RecordSource) error {
 }
 
 // Merge folds other's state into s: sketches add bucket-wise (commutative
-// and associative, the obs.Registry.Merge discipline), counters add, and
-// open attribution state unions. Shards partition the address space, so
-// open-state keys never collide in sharded use; on a collision the entry
-// with more recent probes wins, keeping the merge deterministic for any
-// fixed merge order.
+// and associative, the obs.Registry.Merge discipline), freshness stamps take
+// the per-prefix maximum, counters add, and open attribution state unions.
+// Shards partition the address space, so open-state keys never collide in
+// sharded use; on a collision the entry with more recent probes wins,
+// keeping the merge deterministic for any fixed merge order.
+//
+// Counter/metric agreement: the folded record and sample counts are also
+// mirrored into s's obs counters, so a store observed on a registry keeps
+// advisor.ingest.records == Records() and advisor.ingest.samples ==
+// Samples() across any sequence of Observe/Add/Merge — the invariant
+// TestStoreMergeCounterAgreement pins. The stores being merged *in* must
+// therefore be unobserved, or observed on registries that are never merged
+// with s's — otherwise their ingest totals would count twice. That is the
+// sharded discipline anyway: shard stores are plain, the accumulator owns
+// the metrics.
 func (s *Store) Merge(other *Store) {
 	for p, sk := range other.sketches {
 		mine := s.sketches[p]
@@ -183,6 +223,11 @@ func (s *Store) Merge(other *Store) {
 		}
 		mine.Merge(sk)
 	}
+	for p, t := range other.updated {
+		if t > s.updated[p] {
+			s.updated[p] = t
+		}
+	}
 	for a, st := range other.open {
 		if cur, ok := s.open[a]; !ok || st.newest() > cur.newest() {
 			s.open[a] = st
@@ -191,6 +236,8 @@ func (s *Store) Merge(other *Store) {
 	s.records += other.records
 	s.matched += other.matched
 	s.delayed += other.delayed
+	s.obsRecords.Add(other.records)
+	s.obsSamples.Add(other.matched + other.delayed)
 	s.obsPrefixes.Observe(int64(len(s.sketches)))
 }
 

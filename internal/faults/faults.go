@@ -42,6 +42,7 @@ const (
 	siteDataByte     uint64 = 0x64617461 // "data": does this stored byte flip?
 	siteDataBit      uint64 = 0x64626974 // "dbit": which bit of it?
 	siteProcPanic    uint64 = 0x70616e69 // "pani": does this shard worker panic?
+	siteCrashOp      uint64 = 0x63726173 // "cras": does durable-write op N simulate a kill?
 )
 
 // WireConfig sets per-delivery fault rates for the simulated network. Each
@@ -84,6 +85,19 @@ type ProcConfig struct {
 	ShardPanicRate float64
 }
 
+// CrashConfig sets rates for injected crash-points around durable-state
+// writes. Components that persist state (the advisor's checkpointer) number
+// every step that touches the disk — temp-file create, each chunk write,
+// sync, rename, generation GC — and consult the plan before performing it;
+// a hit simulates the process dying exactly there, leaving whatever bytes
+// already reached the disk. Keys are the global operation sequence number,
+// so a fixed seed kills the same step in every run — the recovery
+// invariant's chaos tests sweep seeds to cover the whole write path.
+type CrashConfig struct {
+	// OpRate is the per-operation probability of a simulated kill.
+	OpRate float64
+}
+
 // Plan is a complete fault-injection configuration. The zero value — and a
 // nil *Plan — injects nothing; every method is nil-safe so call sites can
 // thread an optional plan without guards.
@@ -91,10 +105,11 @@ type Plan struct {
 	// Seed drives every fault decision. Two runs with the same plan are
 	// identical; changing the seed reshuffles which deliveries, bytes, and
 	// shards are hit without changing the rates.
-	Seed uint64
-	Wire WireConfig
-	Data DataConfig
-	Proc ProcConfig
+	Seed  uint64
+	Wire  WireConfig
+	Data  DataConfig
+	Proc  ProcConfig
+	Crash CrashConfig
 }
 
 // WireActive reports whether the plan injects wire-level faults.
@@ -105,6 +120,9 @@ func (p *Plan) DataActive() bool { return p != nil && p.Data.FlipRate > 0 }
 
 // ProcActive reports whether the plan injects process-level faults.
 func (p *Plan) ProcActive() bool { return p != nil && p.Proc.ShardPanicRate > 0 }
+
+// CrashActive reports whether the plan injects crash-points.
+func (p *Plan) CrashActive() bool { return p != nil && p.Crash.OpRate > 0 }
 
 // WireFaultKind identifies the fault applied to one delivery.
 type WireFaultKind int
@@ -208,6 +226,17 @@ func (p *Plan) ShardPanics(shard int) bool {
 		return false
 	}
 	return xrand.HashFloat(p.Seed, siteProcPanic, uint64(shard)) < p.Proc.ShardPanicRate
+}
+
+// CrashAt decides whether the durable-write operation with the given global
+// sequence number simulates a process kill. Keying on the sequence number
+// alone makes the decision independent of what the operation writes, so the
+// same seed kills the same step of the same save in every run.
+func (p *Plan) CrashAt(op uint64) bool {
+	if !p.CrashActive() {
+		return false
+	}
+	return xrand.HashFloat(p.Seed, siteCrashOp, op) < p.Crash.OpRate
 }
 
 // MaybePanicShard panics with a recognizable message if the plan injects a
