@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke chaos advisor-chaos bench bench-compare obs-check transport-check advisor-check check ci
+.PHONY: all build vet test race fuzz fuzz-smoke chaos advisor-chaos bench bench-compare obs-check transport-check advisor-check metrics-check check ci
 
 all: check
 
@@ -119,12 +119,24 @@ obs-check:
 advisor-check:
 	$(GO) test -race -count=1 ./internal/advisor ./cmd/advisord
 
+# The telemetry-plane suite, raced (scrapes race live publishes and the
+# watchdog ticker): golden-file Prometheus text exposition and its format
+# invariants, the debug-server /metrics endpoint, serve-path instrumentation
+# (route × status-class histograms, zero-alloc pin), scrape-under-publish-load,
+# watchdog quantiles/breach counting, access-log sampling, and the regression
+# test proving serve traffic and diagnostic metrics cannot perturb the
+# deterministic snapshot bytes.
+metrics-check:
+	$(GO) test -race -count=1 -run 'TestProm|TestRuntimeCollector|TestHistogramQuantile|TestDebugServer|TestEscapeLabel|TestFormatValue|TestStatusClass|TestServeMetrics|TestServeInstrumented|TestHealthzIngest|TestMetricsScrape|TestWatchdog|TestAccessLogger|TestOutcomeOf|TestServeTraffic' ./internal/obs ./internal/advisor
+	$(GO) test -count=1 -run 'TestAdvisordMetricsAndAccessLog' ./cmd/advisord
+
 check: build test race
 
 # The CI pipeline: build, vet, full tests, race pass on the concurrent
 # packages, the fault-injection suite under -race, the advisord kill/restore
 # chaos suite, the observability determinism suite, the transport/rtt suite
 # (loopback + differential, raced), the advice-serving suite (epoch-swap
-# hammer + shard invariance + serve/drain/ingest robustness, raced), then a
-# short fuzz smoke of every fuzz target.
-ci: build vet test race chaos advisor-chaos obs-check transport-check advisor-check fuzz-smoke
+# hammer + shard invariance + serve/drain/ingest robustness, raced), the
+# telemetry-plane suite (exposition golden + scrape races + zero-alloc pin,
+# raced), then a short fuzz smoke of every fuzz target.
+ci: build vet test race chaos advisor-chaos obs-check transport-check advisor-check metrics-check fuzz-smoke

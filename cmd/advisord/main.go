@@ -4,8 +4,9 @@
 // HTTP/JSON:
 //
 //	GET /timeout?addr=X[&capture=p][&coverage=r]  one recommendation
-//	GET /healthz                                  state + epoch + snapshot age
+//	GET /healthz                                  state + epoch + snapshot age + ingest lag
 //	GET /snapshot                                 full advice dump
+//	GET /metrics                                  Prometheus 0.0.4 text exposition
 //
 // Usage:
 //
@@ -17,6 +18,8 @@
 //	         [-checkpoint-interval D] [-stale-after D]
 //	         [-max-inflight N] [-retry-after D] [-request-timeout D]
 //	         [-drain-timeout D] [-max-skip N]
+//	         [-access-log FILE] [-log-sample N]
+//	         [-self-slo D] [-watchdog-interval D]
 //	         [-metrics FILE] [-trace FILE] [-manifest FILE] [-debug-addr ADDR]
 //
 // With -i, the dataset is streamed through the advisor's resilient ingest
@@ -78,6 +81,11 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", 5*time.Second, "per-request handling deadline")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 		maxSkip      = flag.Uint64("max-skip", 0, "corrupt-record budget for -i ingest (0 = unlimited)")
+
+		accessLog  = flag.String("access-log", "", "write sampled JSONL access logs to this file (\"-\" for stderr)")
+		logSample  = flag.Int("log-sample", 100, "log 1 in every N requests (1 = all)")
+		selfSLO    = flag.Duration("self-slo", 0, "self-watchdog p99 latency budget; breaches count in advisor.self.timeout_breach (0 disables breach counting)")
+		wdInterval = flag.Duration("watchdog-interval", 10*time.Second, "self-watchdog sampling interval")
 	)
 	cli := obs.RegisterCLI()
 	flag.Parse()
@@ -88,14 +96,22 @@ func main() {
 		fail(err)
 	}
 
+	// The serving registry is always on: /metrics must answer whether or not
+	// any -metrics/-trace/-debug-addr flag was set. When the obs CLI did
+	// activate, share its registry so file outputs and /metrics agree.
+	reg := cli.Reg
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
 	var ck *advisor.Checkpointer
 	if *ckptDir != "" {
 		ck = &advisor.Checkpointer{Dir: *ckptDir, Keep: *ckptKeep}
-		ck.SetObserver(cli.Reg)
+		ck.SetObserver(reg)
 	}
 
 	adv := advisor.New()
-	adv.SetObserver(cli.Reg)
+	adv.SetObserver(reg)
 	adv.SetTTL(*staleAfter)
 
 	// Recovery: newest valid generation wins; torn or corrupt ones are
@@ -120,7 +136,7 @@ func main() {
 				advisor.CheckpointAge(st, time.Now().UnixNano()).Round(time.Second))
 		}
 	}
-	st.SetObserver(cli.Reg)
+	st.SetObserver(reg)
 
 	if *in == "" && !*sim && !recovered {
 		fmt.Fprintln(os.Stderr, "advisord: need -i DATASET, -sim, or a recoverable -checkpoint-dir (see -h)")
@@ -131,10 +147,35 @@ func main() {
 	// "recovering") from the first moment the address is printed, and a
 	// recovered advisord answers advice queries while fresh ingest runs.
 	gate := advisor.NewGate(*maxInflight, *retryAfter)
-	gate.SetObserver(cli.Reg)
+	gate.SetObserver(reg)
 	if !recovered {
 		gate.SetState(advisor.GateRecovering)
 	}
+
+	// Telemetry plane: per-route serve histograms, sampled access logging,
+	// the self-watchdog, and a /metrics exposition that folds in every
+	// scrape-time collector the daemon owns. /metrics and /healthz sit
+	// outside the gate — they must answer precisely while the gate sheds.
+	serveMetrics := advisor.NewServeMetrics(reg)
+	if *accessLog != "" {
+		out := os.Stderr
+		if *accessLog != "-" {
+			f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		serveMetrics.SetAccessLogger(advisor.NewAccessLogger(out, *logSample))
+	}
+	progress := &advisor.IngestProgress{}
+	watchdog := advisor.NewWatchdog(serveMetrics, reg, *selfSLO, *wdInterval)
+	promH := obs.PromHandler(reg, obs.NewRuntimeCollector(), adv, progress, ck, watchdog)
+	for _, c := range []obs.PromCollector{adv, progress, ck, watchdog} {
+		cli.Debug.RegisterProm(c) // -debug-addr's /metrics shows the same series
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fail(err)
@@ -143,11 +184,18 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	go watchdog.Run(ctx)
 	serverDone := make(chan error, 1)
 	go func() {
 		serverDone <- advisor.RunServer(ctx, advisor.ServerConfig{
-			Listener:     ln,
-			Handler:      advisor.NewHandler(adv, advisor.WithGate(gate), advisor.WithRequestTimeout(*reqTimeout)),
+			Listener: ln,
+			Handler: advisor.NewHandler(adv,
+				advisor.WithGate(gate),
+				advisor.WithRequestTimeout(*reqTimeout),
+				advisor.WithServeMetrics(serveMetrics),
+				advisor.WithMetrics(promH),
+				advisor.WithIngestProgress(progress),
+				advisor.WithCheckpointer(ck)),
 			Gate:         gate,
 			DrainTimeout: *drainTimeout,
 		})
@@ -173,11 +221,14 @@ func main() {
 			Seed:            *seed,
 			CheckpointEvery: *ckptEvery,
 			MaxSkip:         *maxSkip,
+			Progress:        progress,
+			Obs:             reg,
+			Trace:           cli.Tracer,
 		}, st, adv, ck)
 		if last := f.Load(); last != nil {
 			last.Close()
 		}
-		advisor.RegisterIngestObs(cli.Reg, stats)
+		advisor.RegisterIngestObs(reg, stats)
 		if err != nil {
 			fail(err)
 		}
@@ -201,7 +252,7 @@ func main() {
 			Blocks:  pop.Blocks(),
 			Cycles:  *cycles,
 			Seed:    *seed,
-			Obs:     cli.Reg,
+			Obs:     reg,
 			Trace:   cli.Tracer,
 		}
 		fabric := func(int) simnet.Fabric {
@@ -267,10 +318,14 @@ serveLoop:
 	}
 
 	// Graceful drain: RunServer has flipped the gate to draining and is
-	// finishing in-flight requests; once it returns, write the final
-	// checkpoint and exit 0 — the SIGTERM contract.
+	// finishing in-flight requests; once it returns, close the debug plane
+	// too (its listener must not outlive the serve plane), write the final
+	// checkpoint, and exit 0 — the SIGTERM contract.
 	if err := <-serverDone; err != nil {
 		fmt.Fprintln(os.Stderr, "advisord: drain:", err)
+	}
+	if err := cli.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "advisord: debug server:", err)
 	}
 	if ck != nil {
 		epoch := uint64(0)

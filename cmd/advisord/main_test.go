@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
@@ -199,6 +200,103 @@ func TestAdvisordEndToEnd(t *testing.T) {
 	}
 	if _, err := p2.wait(t); err != nil {
 		t.Fatalf("recovered instance exit after SIGTERM: %v", err)
+	}
+}
+
+// TestAdvisordMetricsAndAccessLog drives the telemetry plane on the real
+// binary: /metrics serves Prometheus text (serve histograms, live ingest
+// series, runtime collectors, watchdog quantiles after a tick) and the
+// sampled access log lands as parseable JSONL.
+func TestAdvisordMetricsAndAccessLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildAdvisord(t)
+	dataset := writeDataset(t, 160)
+	logPath := filepath.Join(t.TempDir(), "access.jsonl")
+	p := startAdvisord(t, bin, "-i", dataset,
+		"-access-log", logPath, "-log-sample", "1",
+		"-self-slo", "1ns", "-watchdog-interval", "50ms")
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, body := p.get(t, "/healthz"); strings.Contains(body, `"state":"serving"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never reached serving state")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		p.get(t, "/timeout?addr=10.0.1.1")
+	}
+
+	resp, err := http.Get("http://" + p.addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := resp.Header.Get("Content-Type")
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"advisor_http_latency_timeout_2xx_seconds_bucket",
+		"advisor_http_latency_timeout_2xx_seconds_count",
+		"advisor_ingest_live_records 161",
+		"advisor_current_epoch",
+		"advisor_snapshot_age_seconds",
+		"go_goroutines",
+		"go_gc_pause_seconds_bucket",
+		`advisor_queries{class="diagnostic"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The watchdog samples every 50ms against a 1ns SLO: its quantiles and a
+	// breach count must appear within a few ticks.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		_, body := p.get(t, "/metrics")
+		if strings.Contains(body, "advisor_self_p99_seconds") &&
+			strings.Contains(body, "advisor_self_timeout_breach") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog series never appeared; last scrape:\n%s", body)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.wait(t); err != nil {
+		t.Fatalf("exit after SIGTERM: %v", err)
+	}
+	logData, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatalf("access log: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(logData)), "\n")
+	if len(lines) < 20 {
+		t.Fatalf("access log has %d lines, want >= 20", len(lines))
+	}
+	for _, line := range lines[:3] {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("unparseable access log line %q: %v", line, err)
+		}
+		for _, k := range []string{"id", "route", "status", "outcome", "duration_ms"} {
+			if _, ok := rec[k]; !ok {
+				t.Errorf("access log line missing %q: %s", k, line)
+			}
+		}
 	}
 }
 

@@ -57,6 +57,7 @@ func main() {
 		IdleTimeout: *idle,
 	})
 	srv.SetObserver(cli.Reg)
+	cli.Debug.RegisterProm(srv) // live session count on -debug-addr's /metrics
 	srv.Start()
 	fmt.Printf("rttserver: listening on %s:%d\n", tr.LocalAddr().IP, tr.LocalAddr().Port)
 
@@ -66,6 +67,7 @@ func main() {
 
 	srv.Close()
 	tr.Close()
+	cli.Close()
 	fmt.Printf("rttserver: packets=%d sessions=%d echoes=%d auth_failures=%d\n",
 		srv.Packets(), srv.Hellos(), srv.Echoes(), srv.AuthFailures())
 	if err := cli.Finish("rttserver", *seed, 1, nil); err != nil {

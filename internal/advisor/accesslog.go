@@ -1,0 +1,70 @@
+package advisor
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// AccessLogger emits one structured JSONL record per sampled request on the
+// instrumented routes. It rides the ServeMetrics middleware's status/duration
+// capture, so the serve path pays for logging only on the requests that are
+// actually sampled; sampled-out requests cost one atomic increment.
+//
+// Every request — logged or not — consumes a request id from the same
+// monotonic counter, so ids in the log expose the sampling gaps: record 400
+// followed by record 500 means 99 requests fell between them.
+type AccessLogger struct {
+	log   *slog.Logger
+	every uint64 // log 1 in every N requests (1 = all)
+	seq   atomic.Uint64
+}
+
+// NewAccessLogger writes JSON Lines access records to w, logging one request
+// in every `every` (values < 1 mean log everything).
+func NewAccessLogger(w io.Writer, every int) *AccessLogger {
+	if every < 1 {
+		every = 1
+	}
+	return &AccessLogger{
+		log:   slog.New(slog.NewJSONHandler(w, nil)),
+		every: uint64(every),
+	}
+}
+
+// record logs one request outcome if it falls on the sampling lattice.
+func (l *AccessLogger) record(route string, r *http.Request, status int, dur time.Duration, epoch string) {
+	id := l.seq.Add(1)
+	if l.every > 1 && id%l.every != 1 {
+		return
+	}
+	l.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
+		slog.Uint64("id", id),
+		slog.String("route", route),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.RequestURI()),
+		slog.String("remote", r.RemoteAddr),
+		slog.Int("status", status),
+		slog.String("outcome", outcomeOf(status)),
+		slog.Float64("duration_ms", float64(dur)/float64(time.Millisecond)),
+		slog.String("epoch", epoch),
+	)
+}
+
+// outcomeOf condenses a status code into the operator-facing outcome label:
+// shed (503, the gate refused), error (other 5xx), client_error (4xx), ok.
+func outcomeOf(status int) string {
+	switch {
+	case status == http.StatusServiceUnavailable:
+		return "shed"
+	case status >= 500:
+		return "error"
+	case status >= 400:
+		return "client_error"
+	default:
+		return "ok"
+	}
+}

@@ -84,6 +84,33 @@ func (a *Advisor) SetObserver(reg *obs.Registry) {
 	a.obsEpoch = reg.DiagGauge("advisor.epoch")
 }
 
+// CollectProm exports scrape-time serving state: the epoch actually being
+// served right now and how old it is. These are deliberately distinct from
+// the registry's advisor_epoch/advisor_prefixes families — those are
+// high-water marks that merge across shards, while a scrape wants the
+// current values, stale epochs included (advisor_snapshot_age_seconds is -1
+// until the first publish, so dashboards can tell "never published" from
+// "just published").
+func (a *Advisor) CollectProm(w *obs.PromWriter) {
+	if a == nil {
+		return
+	}
+	age := -1.0
+	if at := a.PublishedAt(); at != 0 {
+		age = time.Duration(a.clockFn()() - at).Seconds()
+	}
+	w.Type("advisor_snapshot_age_seconds", "gauge")
+	w.Sample("advisor_snapshot_age_seconds", age)
+	if snap := a.Current(); snap != nil {
+		w.Type("advisor_current_epoch", "gauge")
+		w.Sample("advisor_current_epoch", float64(snap.Epoch()))
+		w.Type("advisor_current_prefixes", "gauge")
+		w.Sample("advisor_current_prefixes", float64(snap.Prefixes()))
+		w.Type("advisor_current_samples", "gauge")
+		w.Sample("advisor_current_samples", float64(snap.Samples()))
+	}
+}
+
 // Publish builds a snapshot of st under the next epoch and swaps it in as
 // the current advice, returning it. Publish is the only writer of the
 // snapshot pointer; callers serialize their own publishes (one ingest

@@ -1,12 +1,14 @@
 package advisor
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
 	"timeouts/internal/ipaddr"
+	"timeouts/internal/obs"
 	"timeouts/internal/survey"
 )
 
@@ -121,6 +123,58 @@ func (w *shedSinkWriter) Header() http.Header {
 }
 func (w *shedSinkWriter) Write(p []byte) (int, error) { return len(p), nil }
 func (w *shedSinkWriter) WriteHeader(code int)        { w.code = code }
+
+// BenchmarkServeInstrumented measures the serve-path instrumentation
+// middleware riding a trivial handler: pooled status capture, two clock
+// reads, one histogram add. The overhead must stay in the tens of
+// nanoseconds and 0 allocs/op (pinned by TestServeInstrumentedZeroAlloc) —
+// telemetry that taxes the hot path becomes the latency it measures.
+func BenchmarkServeInstrumented(b *testing.B) {
+	reg := obs.NewRegistry()
+	m := NewServeMetrics(reg)
+	h := m.Instrument(routeTimeout, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	req := httptest.NewRequest(http.MethodGet, "/timeout", nil)
+	w := &shedSinkWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.code = 0
+		h.ServeHTTP(w, req)
+	}
+	if got := reg.DiagHistogram("advisor.http.latency.timeout.2xx").Count(); got != uint64(b.N) {
+		b.Fatalf("recorded %d samples, want %d", got, b.N)
+	}
+}
+
+// BenchmarkPromEncode measures one full /metrics render over a registry
+// sized like a live advisord: the store/advisor/gate counter families plus
+// populated serve histograms. Scrapes run every few seconds for the life of
+// the process, so the encode must stay comfortably sub-millisecond.
+func BenchmarkPromEncode(b *testing.B) {
+	reg := obs.NewRegistry()
+	adv := benchAdvisor(4096)
+	adv.SetObserver(reg)
+	st := NewStore()
+	st.SetObserver(reg)
+	m := NewServeMetrics(reg)
+	for r := routeKind(0); r < numRoutes; r++ {
+		for c := 0; c < numClasses; c++ {
+			m.hists[r][c].ObserveN(time.Duration(c+1)*time.Millisecond, 1000)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		adv.Lookup(ipaddr.Addr(0x0a000001+uint32(i)<<8), 95, 95)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := obs.WritePromText(io.Discard, reg, adv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkStoreObserve measures the steady-state ingest cost: one matched
 // record folded into an existing prefix sketch plus open-probe bookkeeping.

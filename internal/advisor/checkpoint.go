@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"timeouts/internal/ipaddr"
@@ -363,21 +364,57 @@ type Checkpointer struct {
 
 	ops uint64 // durable-step sequence, consumed by Kill
 
+	lastSave atomic.Int64 // unix ns of the last successful Save; 0 = none
+
 	obsSaves   *obs.Counter
 	obsErrors  *obs.Counter
 	obsLoaded  *obs.Counter
 	obsSkipped *obs.Counter
 	obsEpoch   *obs.Gauge
+	obsDur     *obs.Histogram
+	obsBytes   *obs.Gauge
 }
 
 // SetObserver registers the checkpointer's metrics on reg. All are
 // diagnostic-class: they count durable I/O, not the seed-determined stream.
+// advisor.checkpoint.save is a latency histogram of successful save wall
+// times — a checkpoint that drifts toward the paper's turtle thresholds is
+// an advisor whose durability is becoming its own high-delay tail.
 func (c *Checkpointer) SetObserver(reg *obs.Registry) {
 	c.obsSaves = reg.DiagCounter("advisor.checkpoint.saves")
 	c.obsErrors = reg.DiagCounter("advisor.checkpoint.save_errors")
 	c.obsLoaded = reg.DiagCounter("advisor.recovery.loaded")
 	c.obsSkipped = reg.DiagCounter("advisor.recovery.skipped_generations")
 	c.obsEpoch = reg.DiagGauge("advisor.checkpoint.epoch")
+	c.obsDur = reg.DiagHistogram("advisor.checkpoint.save")
+	c.obsBytes = reg.DiagGauge("advisor.checkpoint.bytes_hwm")
+}
+
+// LastSaveAt returns the wall time (unix ns) of the last successful Save,
+// 0 before the first. Nil-safe, so /healthz can report checkpoint age
+// without caring whether durability is configured.
+func (c *Checkpointer) LastSaveAt() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.lastSave.Load()
+}
+
+// CollectProm exports scrape-time durability series: seconds since the last
+// successful save (-1 before the first — "no data", not "fresh") and how
+// many generations the directory currently holds.
+func (c *Checkpointer) CollectProm(w *obs.PromWriter) {
+	if c == nil {
+		return
+	}
+	age := -1.0
+	if at := c.lastSave.Load(); at != 0 {
+		age = time.Since(time.Unix(0, at)).Seconds()
+	}
+	w.Type("advisor_checkpoint_age_seconds", "gauge")
+	w.Sample("advisor_checkpoint_age_seconds", age)
+	w.Type("advisor_checkpoint_generations", "gauge")
+	w.Sample("advisor_checkpoint_generations", float64(len(c.generations())))
 }
 
 // keep returns the generation retention count.
@@ -446,6 +483,7 @@ func (c *Checkpointer) Save(st *Store, epoch uint64) (string, error) {
 	if c == nil {
 		return "", nil
 	}
+	start := time.Now()
 	path, err := c.save(st, epoch)
 	if err != nil {
 		c.obsErrors.Inc()
@@ -453,6 +491,11 @@ func (c *Checkpointer) Save(st *Store, epoch uint64) (string, error) {
 	}
 	c.obsSaves.Inc()
 	c.obsEpoch.Observe(int64(epoch))
+	c.obsDur.Observe(time.Since(start))
+	if fi, statErr := os.Stat(path); statErr == nil {
+		c.obsBytes.Observe(fi.Size())
+	}
+	c.lastSave.Store(time.Now().UnixNano())
 	return path, nil
 }
 

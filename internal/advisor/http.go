@@ -39,12 +39,28 @@ type healthResponse struct {
 	// first): a serving-but-stalled advisor shows here long before its
 	// advice goes quietly stale.
 	SnapshotAgeS float64 `json:"snapshot_age_s"`
+	// IngestRecords and IngestQueue report the live ingest loop when one is
+	// wired (WithIngestProgress): records consumed so far and the queue
+	// depth between reader and store. IngestBackoffS is the source-retry
+	// backoff currently in progress (0 when the feed is healthy) — together
+	// they answer "is this advisor falling behind its feed" from the same
+	// endpoint that answers "is it up".
+	IngestRecords  uint64  `json:"ingest_records"`
+	IngestQueue    int64   `json:"ingest_queue"`
+	IngestBackoffS float64 `json:"ingest_backoff_s"`
+	// LastCheckpointAgeS is the seconds since the last durable save (-1
+	// when checkpointing is off or none has landed yet).
+	LastCheckpointAgeS float64 `json:"last_checkpoint_age_s"`
 }
 
 // handlerConfig collects NewHandler options.
 type handlerConfig struct {
 	gate       *Gate
 	reqTimeout time.Duration
+	metrics    *ServeMetrics
+	metricsH   http.Handler
+	progress   *IngestProgress
+	ckpt       *Checkpointer
 }
 
 // HandlerOption configures NewHandler.
@@ -65,6 +81,32 @@ func WithGate(g *Gate) HandlerOption {
 // knob; it also caps how long one request can hold an admission slot.
 func WithRequestTimeout(d time.Duration) HandlerOption {
 	return func(c *handlerConfig) { c.reqTimeout = d }
+}
+
+// WithServeMetrics instruments every route with m's per-route × status-class
+// latency histograms (and, if m carries an access logger, sampled request
+// logging). The instrumentation wraps *outside* the gate, so shed and
+// drain rejections are measured like any other response.
+func WithServeMetrics(m *ServeMetrics) HandlerOption {
+	return func(c *handlerConfig) { c.metrics = m }
+}
+
+// WithMetrics mounts h at GET /metrics. Like /healthz it sits outside the
+// gate: a scrape must land precisely when the gate is shedding, or the
+// overload that most needs diagnosing is the one interval with no data.
+func WithMetrics(h http.Handler) HandlerOption {
+	return func(c *handlerConfig) { c.metricsH = h }
+}
+
+// WithIngestProgress feeds the live ingest loop's progress into /healthz
+// (records consumed, queue depth, active backoff).
+func WithIngestProgress(p *IngestProgress) HandlerOption {
+	return func(c *handlerConfig) { c.progress = p }
+}
+
+// WithCheckpointer lets /healthz report the age of the last durable save.
+func WithCheckpointer(ck *Checkpointer) HandlerOption {
+	return func(c *handlerConfig) { c.ckpt = ck }
 }
 
 // NewHandler wraps an Advisor in the advice HTTP API:
@@ -105,12 +147,15 @@ func NewHandler(adv *Advisor, opts ...HandlerOption) http.Handler {
 	}
 	adviceH = cfg.gate.Wrap(adviceH)
 
+	// Instrumentation wraps per outer route (so /timeout and /snapshot get
+	// distinct route labels despite sharing the gated inner handler) and
+	// outside the gate (so sheds are measured, not invisible).
 	mux := http.NewServeMux()
-	mux.Handle("/timeout", adviceH)
-	mux.Handle("/snapshot", adviceH)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/timeout", cfg.metrics.Instrument(routeTimeout, adviceH))
+	mux.Handle("/snapshot", cfg.metrics.Instrument(routeSnapshot, adviceH))
+	healthH := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		state := cfg.gate.State()
-		h := healthResponse{State: state.String(), SnapshotAgeS: -1}
+		h := healthResponse{State: state.String(), SnapshotAgeS: -1, LastCheckpointAgeS: -1}
 		snap := adv.Current()
 		if snap != nil {
 			h.Epoch = snap.Epoch()
@@ -118,11 +163,21 @@ func NewHandler(adv *Advisor, opts ...HandlerOption) http.Handler {
 			h.Samples = snap.Samples()
 		}
 		if at := adv.PublishedAt(); at != 0 {
-			h.SnapshotAgeS = time.Duration(adv.clockFn()()-at).Seconds()
+			h.SnapshotAgeS = time.Duration(adv.clockFn()() - at).Seconds()
+		}
+		h.IngestRecords = cfg.progress.Records()
+		h.IngestQueue = cfg.progress.Queued()
+		h.IngestBackoffS = cfg.progress.Backoff().Seconds()
+		if at := cfg.ckpt.LastSaveAt(); at != 0 {
+			h.LastCheckpointAgeS = time.Since(time.Unix(0, at)).Seconds()
 		}
 		h.OK = state == GateServing && snap != nil
 		writeJSON(w, http.StatusOK, h)
 	})
+	mux.Handle("/healthz", cfg.metrics.Instrument(routeHealthz, healthH))
+	if cfg.metricsH != nil {
+		mux.Handle("/metrics", cfg.metricsH)
+	}
 	return mux
 }
 

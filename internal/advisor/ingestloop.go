@@ -67,6 +67,102 @@ type IngestConfig struct {
 	// a feed that is mostly noise should page someone, not quietly thin
 	// the advice. 0 means unlimited.
 	MaxSkip uint64
+	// Progress, when set, is updated live as the loop runs — records
+	// consumed, current queue depth, active backoff, last publish time — so
+	// /healthz and /metrics can report ingest lag while the loop is still
+	// inside RunIngest (RegisterIngestObs only fires after it returns).
+	Progress *IngestProgress
+	// Obs, when set, receives the loop's diagnostic high-water gauges
+	// (advisor.ingest.loop.queue_hwm, advisor.ingest.loop.backoff_hwm_ns).
+	Obs *obs.Registry
+	// Trace, when set, records wall-clock spans for each publish and
+	// checkpoint the loop performs (ingest.publish, ingest.checkpoint).
+	Trace *obs.Tracer
+}
+
+// IngestProgress is the live, concurrently-readable view of a running
+// ingest loop, shared between RunIngest (writer) and the serve plane's
+// /healthz and /metrics handlers (readers). All methods are nil-safe, so a
+// handler can hold an optional *IngestProgress without guards.
+type IngestProgress struct {
+	records     atomic.Uint64
+	queued      atomic.Int64
+	backoffNS   atomic.Int64
+	lastPublish atomic.Int64 // unix ns; 0 = no publish yet
+}
+
+// Records returns how many records have reached the store so far.
+func (p *IngestProgress) Records() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.records.Load()
+}
+
+// Queued returns the ingest queue depth at the last consume — the records
+// sitting between the reader and the store right now. A persistently full
+// queue means the consumer (store + publish + checkpoint) is the bottleneck.
+func (p *IngestProgress) Queued() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.queued.Load()
+}
+
+// Backoff returns the backoff delay the reader is currently sleeping
+// through (zero when the source is healthy).
+func (p *IngestProgress) Backoff() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Duration(p.backoffNS.Load())
+}
+
+// LastPublishAt returns the wall time (unix ns) of the loop's most recent
+// advice publish, 0 before the first.
+func (p *IngestProgress) LastPublishAt() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.lastPublish.Load()
+}
+
+// CollectProm exports the live ingest series for /metrics scrapes.
+func (p *IngestProgress) CollectProm(w *obs.PromWriter) {
+	if p == nil {
+		return
+	}
+	w.Type("advisor_ingest_live_records", "counter")
+	w.Sample("advisor_ingest_live_records", float64(p.Records()))
+	w.Type("advisor_ingest_queue_depth", "gauge")
+	w.Sample("advisor_ingest_queue_depth", float64(p.Queued()))
+	w.Type("advisor_ingest_backoff_seconds", "gauge")
+	w.Sample("advisor_ingest_backoff_seconds", p.Backoff().Seconds())
+}
+
+// noteRecord records one consumed record and the queue depth behind it.
+func (p *IngestProgress) noteRecord(depth int64) {
+	if p == nil {
+		return
+	}
+	p.records.Add(1)
+	p.queued.Store(depth)
+}
+
+// notePublish stamps the publish time.
+func (p *IngestProgress) notePublish() {
+	if p == nil {
+		return
+	}
+	p.lastPublish.Store(time.Now().UnixNano())
+}
+
+// setBackoff publishes the backoff the reader is sleeping through (0 clears).
+func (p *IngestProgress) setBackoff(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.backoffNS.Store(int64(d))
 }
 
 // IngestStats reports what one RunIngest did.
@@ -115,6 +211,19 @@ func (cfg *IngestConfig) backoffDelay(attempt uint64) time.Duration {
 	return time.Duration(float64(d) * j)
 }
 
+// backoffSleep publishes the retry delay (progress gauge + high-water metric)
+// for the attempt-th consecutive failure, sleeps it out, and clears the
+// published backoff — so /healthz and /metrics show the reader is in backoff
+// while it is, not after.
+func backoffSleep(ctx context.Context, cfg *IngestConfig, attempt uint64) bool {
+	d := cfg.backoffDelay(attempt)
+	cfg.Progress.setBackoff(d)
+	cfg.Obs.DiagGauge("advisor.ingest.loop.backoff_hwm_ns").Observe(int64(d))
+	ok := sleep(ctx, d)
+	cfg.Progress.setBackoff(0)
+	return ok
+}
+
 // sleep waits d or until ctx is done, reporting whether the wait completed.
 func sleep(ctx context.Context, d time.Duration) bool {
 	t := time.NewTimer(d)
@@ -153,6 +262,7 @@ func RunIngest(ctx context.Context, cfg IngestConfig, st *Store, adv *Advisor, c
 	var ctrs ingestCounters
 	recs := make(chan survey.Record, queue)
 	readErr := make(chan error, 1) // the reader's terminal error, if any
+	queueHWM := cfg.Obs.DiagGauge("advisor.ingest.loop.queue_hwm")
 
 	rctx, stopReader := context.WithCancel(ctx)
 	defer stopReader()
@@ -164,17 +274,30 @@ func RunIngest(ctx context.Context, cfg IngestConfig, st *Store, adv *Advisor, c
 	var stats IngestStats
 	var sinceCkpt uint64
 	drained := false // ctx cancelled: finish up without consuming more
+	publish := func() uint64 {
+		if adv == nil {
+			return 0
+		}
+		end := cfg.Trace.StartWall("ingest.publish")
+		epoch := adv.Publish(st).Epoch()
+		end()
+		stats.Publishes++
+		cfg.Progress.notePublish()
+		return epoch
+	}
+	checkpoint := func(epoch uint64) error {
+		end := cfg.Trace.StartWall("ingest.checkpoint")
+		_, err := ck.Save(st, epoch)
+		end()
+		return err
+	}
 	finish := func(terminal error) (IngestStats, error) {
 		stats.Skipped = ctrs.skipped.Load()
 		stats.Reopens = ctrs.reopens.Load()
 		stats.SourceErrors = ctrs.sourceErrors.Load()
-		var epoch uint64
-		if adv != nil {
-			epoch = adv.Publish(st).Epoch()
-			stats.Publishes++
-		}
+		epoch := publish()
 		if ck != nil {
-			if _, err := ck.Save(st, epoch); err != nil {
+			if err := checkpoint(epoch); err != nil {
 				if terminal == nil {
 					terminal = fmt.Errorf("advisor: final checkpoint: %w", err)
 				}
@@ -206,14 +329,12 @@ func RunIngest(ctx context.Context, cfg IngestConfig, st *Store, adv *Advisor, c
 			st.Observe(rec)
 			stats.Records++
 			sinceCkpt++
+			cfg.Progress.noteRecord(int64(len(recs)))
+			queueHWM.Observe(int64(len(recs)))
 			if stats.Records%publishEvery == 0 {
-				var epoch uint64
-				if adv != nil {
-					epoch = adv.Publish(st).Epoch()
-					stats.Publishes++
-				}
+				epoch := publish()
 				if cfg.CheckpointEvery > 0 && sinceCkpt >= cfg.CheckpointEvery && ck != nil {
-					if _, err := ck.Save(st, epoch); err == nil {
+					if err := checkpoint(epoch); err == nil {
 						stats.Checkpoints++
 					}
 					sinceCkpt = 0
@@ -237,7 +358,7 @@ func readLoop(ctx context.Context, cfg *IngestConfig, ctrs *ingestCounters, recs
 		src, err := cfg.Open()
 		if err != nil {
 			ctrs.sourceErrors.Add(1)
-			if !sleep(ctx, cfg.backoffDelay(failures)) {
+			if !backoffSleep(ctx, cfg, failures) {
 				return context.Canceled
 			}
 			failures++
@@ -299,7 +420,7 @@ func readLoop(ctx context.Context, cfg *IngestConfig, ctrs *ingestCounters, recs
 			return srcErr
 		default:
 			ctrs.sourceErrors.Add(1)
-			if !sleep(ctx, cfg.backoffDelay(failures)) {
+			if !backoffSleep(ctx, cfg, failures) {
 				return context.Canceled
 			}
 			failures++

@@ -1,0 +1,151 @@
+package advisor
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"timeouts/internal/obs"
+)
+
+// Serve-path instrumentation: per-route × status-class latency histograms on
+// the paper's own metric ladder, wired around the Gate so every outcome the
+// serve plane can produce — an admitted lookup, an overload shed, a
+// recovering or draining rejection — lands in a bucketed wall-clock
+// distribution. This is the paper's methodology pointed back at the service
+// itself: advisord tells clients how long to wait, so it must measure its
+// own "surprisingly high delay" tail with the same discipline it applies to
+// ping latencies. All histograms are diagnostic-class (request durations are
+// execution facts, not seed-determined ones), so enabling them cannot
+// perturb the deterministic snapshot the shard-invariance suites pin.
+
+// routeKind indexes the instrumented routes.
+type routeKind int
+
+// Instrumented routes.
+const (
+	routeTimeout routeKind = iota
+	routeSnapshot
+	routeHealthz
+	numRoutes
+)
+
+// routeNames are the route label values, indexed by routeKind.
+var routeNames = [numRoutes]string{"timeout", "snapshot", "healthz"}
+
+// numClasses is the status classes tracked: 2xx, 3xx, 4xx, 5xx.
+const numClasses = 4
+
+// classNames are the status-class name fragments, indexed by statusClass.
+var classNames = [numClasses]string{"2xx", "3xx", "4xx", "5xx"}
+
+// statusClass maps an HTTP status code to its class index (2xx..5xx;
+// anything outside 200-599 clamps to the nearest class).
+func statusClass(code int) int {
+	c := code/100 - 2
+	if c < 0 {
+		c = 0
+	}
+	if c >= numClasses {
+		c = numClasses - 1
+	}
+	return c
+}
+
+// ServeMetrics holds the serve plane's latency histograms, pre-created at
+// construction so the per-request path is two clock reads and one atomic
+// histogram add — no map lookups, no name formatting, no allocations.
+type ServeMetrics struct {
+	hists [numRoutes][numClasses]*obs.Histogram
+	pool  sync.Pool // *statusWriter, reused so instrumentation allocates nothing
+	log   *AccessLogger
+}
+
+// NewServeMetrics registers the per-route × status-class serve histograms
+// (advisor.http.latency.<route>.<class>, all diagnostic) on reg and returns
+// the instrumentation handle. A nil registry yields metrics that no-op.
+func NewServeMetrics(reg *obs.Registry) *ServeMetrics {
+	m := &ServeMetrics{}
+	for r := routeKind(0); r < numRoutes; r++ {
+		for c := 0; c < numClasses; c++ {
+			m.hists[r][c] = reg.DiagHistogram("advisor.http.latency." + routeNames[r] + "." + classNames[c])
+		}
+	}
+	m.pool.New = func() any { return &statusWriter{} }
+	return m
+}
+
+// SetAccessLogger attaches sampled structured request logging to the
+// instrumented routes; the logger shares the middleware's status/duration
+// capture, so logging adds no second wrapper on the request path.
+func (m *ServeMetrics) SetAccessLogger(l *AccessLogger) {
+	if m != nil {
+		m.log = l
+	}
+}
+
+// RouteHists returns the route's histograms across status classes — the
+// self-watchdog's raw material. Nil-safe (returns zero-value array of nils).
+func (m *ServeMetrics) RouteHists(r routeKind) [numClasses]*obs.Histogram {
+	if m == nil {
+		return [numClasses]*obs.Histogram{}
+	}
+	return m.hists[r]
+}
+
+// statusWriter captures the response status code (and lets the access
+// logger read response headers like X-Advisor-Epoch) without buffering the
+// body. Pooled by ServeMetrics so instrumentation stays allocation-free.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer when it streams.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Instrument wraps h with the route's latency/status capture: duration is
+// measured wall-to-wall around the handler (gate rejections included, so
+// shed latency is visible too), and the sample lands in the histogram for
+// the response's status class. A nil receiver returns h unchanged, so
+// handlers build identically with instrumentation off.
+func (m *ServeMetrics) Instrument(route routeKind, h http.Handler) http.Handler {
+	if m == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := m.pool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.code = w, 0
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		m.hists[route][statusClass(code)].Observe(dur)
+		if m.log != nil {
+			m.log.record(routeNames[route], r, code, dur, sw.Header().Get("X-Advisor-Epoch"))
+		}
+		sw.ResponseWriter = nil
+		m.pool.Put(sw)
+	})
+}

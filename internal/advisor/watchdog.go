@@ -1,0 +1,108 @@
+package advisor
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"timeouts/internal/obs"
+)
+
+// Watchdog is advisord watching itself with the paper's own machinery: it
+// periodically folds the /timeout serve-path histograms (all status classes)
+// through the same conservative nearest-rank quantile rule the advice plane
+// applies to ping RTTs, and exports the service's own p99/p999. If the p99
+// exceeds a configured SLO, it counts a breach — the serving analogue of the
+// paper's observation that operators pick timeouts far below the real tail.
+// A timeout-advice service whose own tail quietly exceeds its SLO is giving
+// advice it does not follow.
+type Watchdog struct {
+	// Metrics supplies the serve histograms; the watchdog reads the /timeout
+	// route across all status classes, so sheds and errors count toward the
+	// tail exactly as a client experiences them.
+	Metrics *ServeMetrics
+	// SLO is the p99 budget; 0 disables breach counting (quantiles still
+	// export).
+	SLO time.Duration
+	// Interval between samples; 0 defaults to 10s.
+	Interval time.Duration
+
+	p99, p999 atomic.Int64 // last sampled quantiles, ns; 0 = no data yet
+	breaches  *obs.Counter
+}
+
+// NewWatchdog builds a watchdog over m's /timeout histograms, counting SLO
+// breaches in reg's diagnostic counter advisor.self.timeout_breach.
+func NewWatchdog(m *ServeMetrics, reg *obs.Registry, slo, interval time.Duration) *Watchdog {
+	return &Watchdog{
+		Metrics:  m,
+		SLO:      slo,
+		Interval: interval,
+		breaches: reg.DiagCounter("advisor.self.timeout_breach"),
+	}
+}
+
+// Sample computes the current self-quantiles from the serve histograms,
+// stores them for export, and counts an SLO breach when p99 exceeds the
+// budget. It returns the sampled quantiles; ok is false while no requests
+// have been served (no data is never reported as a zero tail).
+func (wd *Watchdog) Sample() (p99, p999 time.Duration, ok bool) {
+	hs := wd.Metrics.RouteHists(routeTimeout)
+	p99, ok = obs.QuantileOver(99, hs[:]...)
+	if !ok {
+		return 0, 0, false
+	}
+	p999, _ = obs.QuantileOver(99.9, hs[:]...)
+	wd.p99.Store(int64(p99))
+	wd.p999.Store(int64(p999))
+	if wd.SLO > 0 && p99 > wd.SLO {
+		wd.breaches.Inc()
+	}
+	return p99, p999, true
+}
+
+// Quantiles returns the last sampled self-quantiles (ok=false before the
+// first sample with data).
+func (wd *Watchdog) Quantiles() (p99, p999 time.Duration, ok bool) {
+	p99 = time.Duration(wd.p99.Load())
+	p999 = time.Duration(wd.p999.Load())
+	return p99, p999, p99 != 0
+}
+
+// Breaches returns how many samples found p99 above the SLO.
+func (wd *Watchdog) Breaches() uint64 { return wd.breaches.Value() }
+
+// Run samples on the configured interval until ctx is done.
+func (wd *Watchdog) Run(ctx context.Context) {
+	iv := wd.Interval
+	if iv <= 0 {
+		iv = 10 * time.Second
+	}
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			wd.Sample()
+		}
+	}
+}
+
+// CollectProm exports the self-watch series: the last sampled quantiles (only
+// once there is data) and the configured SLO so dashboards can plot the
+// budget line without configuration duplication. The breach counter itself
+// travels with the registry's families.
+func (wd *Watchdog) CollectProm(w *obs.PromWriter) {
+	if p99, p999, ok := wd.Quantiles(); ok {
+		w.Type("advisor_self_p99_seconds", "gauge")
+		w.Sample("advisor_self_p99_seconds", p99.Seconds())
+		w.Type("advisor_self_p999_seconds", "gauge")
+		w.Sample("advisor_self_p999_seconds", p999.Seconds())
+	}
+	if wd.SLO > 0 {
+		w.Type("advisor_self_slo_seconds", "gauge")
+		w.Sample("advisor_self_slo_seconds", wd.SLO.Seconds())
+	}
+}

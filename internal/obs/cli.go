@@ -25,6 +25,11 @@ type CLI struct {
 	// them into the workload configs.
 	Reg    *Registry
 	Tracer *Tracer
+
+	// Debug is the running debug server when -debug-addr was set: daemons
+	// register extra /metrics collectors on it (DebugServer.RegisterProm)
+	// and fold it into their graceful drain via Close.
+	Debug *DebugServer
 }
 
 // RegisterCLI registers the observability flags on the default flag set.
@@ -47,13 +52,26 @@ func (c *CLI) Init() error {
 	c.Reg = NewRegistry()
 	c.Tracer = NewTracer()
 	if c.debugAddr != "" {
-		addr, err := ServeDebug(c.debugAddr, c.Reg)
+		d, err := ServeDebug(c.debugAddr, c.Reg)
 		if err != nil {
 			return fmt.Errorf("obs: debug server: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (metrics at /metrics)\n", addr)
+		c.Debug = d
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (Prometheus text at /metrics)\n", d.Addr())
 	}
 	return nil
+}
+
+// Close shuts down whatever Init started (today: the debug server). Safe
+// when nothing was started; daemons call it as part of graceful drain so the
+// debug listener does not outlive the serve plane.
+func (c *CLI) Close() error {
+	if c.Debug == nil {
+		return nil
+	}
+	err := c.Debug.Close()
+	c.Debug = nil
+	return err
 }
 
 // Finish writes whichever output files were requested. tool, seed, shards

@@ -35,16 +35,21 @@ var Boundaries = []time.Duration{
 
 // Histogram counts latency samples into the fixed Boundaries buckets:
 // bucket i holds samples v with Boundaries[i-1] < v <= Boundaries[i], and a
-// final overflow bucket holds everything above the last boundary.
-// Histograms are always deterministic-class: their contents are a function
-// of the sample stream, which the sharded merge reproduces exactly.
+// final overflow bucket holds everything above the last boundary. A running
+// sum of all samples rides along so Prometheus exposition can emit the
+// `_sum` series; sums merge by addition, the same commutative discipline as
+// the buckets. Histograms over the seed-determined sample stream are
+// deterministic-class; serve-path latency histograms (wall-clock request
+// durations) are diagnostic-class, created via Registry.DiagHistogram.
 type Histogram struct {
 	buckets []atomic.Uint64 // len(Boundaries)+1; last is +Inf
 	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	diag    bool
 }
 
-func newHistogram() *Histogram {
-	return &Histogram{buckets: make([]atomic.Uint64, len(Boundaries)+1)}
+func newHistogram(diag bool) *Histogram {
+	return &Histogram{buckets: make([]atomic.Uint64, len(Boundaries)+1), diag: diag}
 }
 
 // bucketOf returns the bucket index for a sample.
@@ -66,6 +71,7 @@ func (h *Histogram) Observe(v time.Duration) {
 	}
 	h.buckets[bucketOf(v)].Add(1)
 	h.count.Add(1)
+	h.sum.Add(int64(v))
 }
 
 // ObserveN records n identical samples (batched deliveries).
@@ -75,6 +81,7 @@ func (h *Histogram) ObserveN(v time.Duration, n uint64) {
 	}
 	h.buckets[bucketOf(v)].Add(n)
 	h.count.Add(n)
+	h.sum.Add(int64(n) * int64(v))
 }
 
 // Count returns the total number of samples.
@@ -83,6 +90,68 @@ func (h *Histogram) Count() uint64 {
 		return 0
 	}
 	return h.count.Load()
+}
+
+// Sum returns the running total of all samples.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Quantile returns a conservative estimate of the p-th percentile
+// (0 < p <= 100): the upper boundary of the bucket holding the nearest-rank
+// sample (the stats.Percentile rank discipline applied to bucket counts),
+// clamped to the last boundary when the rank lands in the overflow bucket.
+// ok is false when the histogram is empty — "no data", never a fabricated 0.
+// This is what lets the paper's own quantile machinery be pointed back at a
+// service's serve-path histogram (the advisord self-watchdog).
+func (h *Histogram) Quantile(p float64) (d time.Duration, ok bool) {
+	if h == nil {
+		return 0, false
+	}
+	return QuantileOver(p, h)
+}
+
+// QuantileOver computes Histogram.Quantile over the bucket-wise sum of
+// several histograms without materializing a merged histogram — the
+// aggregation the self-watchdog uses to fold per-route × status-class serve
+// histograms into one tail estimate.
+func QuantileOver(p float64, hs ...*Histogram) (d time.Duration, ok bool) {
+	var total uint64
+	for _, h := range hs {
+		if h != nil {
+			total += h.count.Load()
+		}
+	}
+	if total == 0 {
+		return 0, false
+	}
+	// Nearest rank: the smallest rank with at least p% of samples at or
+	// below it — ceil(p/100 * n), at least 1 (stats.Percentile's rule).
+	target := uint64(p / 100 * float64(total))
+	if float64(target) < p/100*float64(total) || target == 0 {
+		target++
+	}
+	if target > total {
+		target = total
+	}
+	var cum uint64
+	for i := 0; i <= len(Boundaries); i++ {
+		for _, h := range hs {
+			if h != nil {
+				cum += h.buckets[i].Load()
+			}
+		}
+		if cum >= target {
+			if i == len(Boundaries) {
+				return Boundaries[len(Boundaries)-1], true
+			}
+			return Boundaries[i], true
+		}
+	}
+	return Boundaries[len(Boundaries)-1], true // unreachable: cum == total >= target
 }
 
 // CountAbove returns how many samples are strictly above the boundary.
@@ -124,6 +193,7 @@ func (h *Histogram) merge(other *Histogram) {
 		}
 	}
 	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
 }
 
 // snap renders the histogram for a snapshot, eliding empty buckets.

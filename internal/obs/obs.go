@@ -152,7 +152,17 @@ func (r *Registry) gauge(name string, diag bool) *Gauge {
 
 // Histogram returns (creating if needed) the named deterministic latency
 // histogram over the paper-aligned bucket boundaries.
-func (r *Registry) Histogram(name string) *Histogram {
+func (r *Registry) Histogram(name string) *Histogram { return r.histogram(name, false) }
+
+// DiagHistogram returns the named diagnostic latency histogram — one whose
+// samples are wall-clock measurements of this execution (serve-path request
+// durations, checkpoint write times) rather than the seed-determined event
+// stream. Diagnostic histograms travel in DiagnosticSnapshot and the trace
+// file, never the deterministic snapshot, so instrumenting a serving daemon
+// cannot perturb the shard-invariance contract.
+func (r *Registry) DiagHistogram(name string) *Histogram { return r.histogram(name, true) }
+
+func (r *Registry) histogram(name string, diag bool) *Histogram {
 	if r == nil {
 		return nil
 	}
@@ -160,7 +170,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	defer r.mu.Unlock()
 	h := r.hists[name]
 	if h == nil {
-		h = newHistogram()
+		h = newHistogram(diag)
 		r.hists[name] = h
 	}
 	return h
@@ -183,7 +193,7 @@ func (r *Registry) Merge(other *Registry) {
 		r.gauge(name, g.diag).Observe(g.Value())
 	}
 	for name, h := range other.hists {
-		r.Histogram(name).merge(h)
+		r.histogram(name, h.diag).merge(h)
 	}
 }
 
@@ -251,8 +261,8 @@ func (r *Registry) snapshot(diag bool) Snapshot {
 		}
 	}
 	for name, h := range r.hists {
-		if diag {
-			continue // histograms are always deterministic-class
+		if h.diag != diag {
+			continue
 		}
 		s.Histograms = append(s.Histograms, h.snap(name))
 	}

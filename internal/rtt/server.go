@@ -176,6 +176,21 @@ func (s *Server) Echoes() uint64 { return s.echoes.Load() }
 // Conns returns the number of live sessions.
 func (s *Server) Conns() int { return int(s.nconns.Load()) }
 
+// CollectProm exports the server's live scrape-time series — most usefully
+// the *current* session count, which the registry cannot carry (its gauges
+// are merge-safe high-water marks, and sessions come and go).
+func (s *Server) CollectProm(w *obs.PromWriter) {
+	if s == nil {
+		return
+	}
+	w.Type("rtt_server_live_sessions", "gauge")
+	w.Sample("rtt_server_live_sessions", float64(s.Conns()))
+	w.Type("rtt_server_packets_total", "counter")
+	w.Sample("rtt_server_packets_total", float64(s.Packets()))
+	w.Type("rtt_server_auth_failures_total", "counter")
+	w.Sample("rtt_server_auth_failures_total", float64(s.AuthFailures()))
+}
+
 // handle processes one arriving packet. count collapses identical duplicate
 // deliveries; the server answers once per call — a duplicated probe yields
 // one reply, and the client's own duplicate accounting covers the rest.
