@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke chaos advisor-chaos bench bench-compare obs-check transport-check advisor-check metrics-check check ci
+.PHONY: all build vet test race fuzz fuzz-smoke chaos advisor-chaos bench bench-compare obs-check transport-check advisor-check metrics-check scale-check check ci
 
 all: check
 
@@ -36,6 +36,7 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzCompactReader -fuzztime=30s ./internal/survey
 	$(GO) test -run=Fuzz -fuzz=FuzzSessionPacket -fuzztime=30s ./internal/rtt
 	$(GO) test -run=Fuzz -fuzz=FuzzCheckpointRoundTrip -fuzztime=30s ./internal/advisor
+	$(GO) test -run=Fuzz -fuzz=FuzzPermutationRank -fuzztime=30s ./internal/zmapper
 
 # Faster fuzz smoke for CI: same targets, 10 s each.
 fuzz-smoke:
@@ -45,6 +46,7 @@ fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzCompactReader -fuzztime=10s ./internal/survey
 	$(GO) test -run=Fuzz -fuzz=FuzzSessionPacket -fuzztime=10s ./internal/rtt
 	$(GO) test -run=Fuzz -fuzz=FuzzCheckpointRoundTrip -fuzztime=10s ./internal/advisor
+	$(GO) test -run=Fuzz -fuzz=FuzzPermutationRank -fuzztime=10s ./internal/zmapper
 
 # The chaos suite: every fault-injection test (TestChaos*) under the race
 # detector — fault-off byte-identity, fixed-seed fault determinism,
@@ -130,6 +132,14 @@ metrics-check:
 	$(GO) test -race -count=1 -run 'TestProm|TestRuntimeCollector|TestHistogramQuantile|TestDebugServer|TestEscapeLabel|TestFormatValue|TestStatusClass|TestServeMetrics|TestServeInstrumented|TestHealthzIngest|TestMetricsScrape|TestWatchdog|TestAccessLogger|TestOutcomeOf|TestServeTraffic' ./internal/obs ./internal/advisor
 	$(GO) test -count=1 -run 'TestAdvisordMetricsAndAccessLog' ./cmd/advisord
 
+# The bounded-memory smoke test: the dense rank-indexed paths at
+# internet-demonstration scale — a 2^24-address scan and a 4M-address survey
+# — must finish with peak heap under the budget pinned in scale_test.go
+# (64 MB; the map paths would need ~1.6 GB for the scan). -count=1 because a
+# cached pass never exercised the allocator.
+scale-check:
+	SCALE_CHECK=1 $(GO) test -count=1 -run 'TestScaleCheck' -v .
+
 check: build test race
 
 # The CI pipeline: build, vet, full tests, race pass on the concurrent
@@ -138,5 +148,6 @@ check: build test race
 # (loopback + differential, raced), the advice-serving suite (epoch-swap
 # hammer + shard invariance + serve/drain/ingest robustness, raced), the
 # telemetry-plane suite (exposition golden + scrape races + zero-alloc pin,
-# raced), then a short fuzz smoke of every fuzz target.
-ci: build vet test race chaos advisor-chaos obs-check transport-check advisor-check metrics-check fuzz-smoke
+# raced), the bounded-memory scale smoke, then a short fuzz smoke of every
+# fuzz target.
+ci: build vet test race chaos advisor-chaos obs-check transport-check advisor-check metrics-check scale-check fuzz-smoke

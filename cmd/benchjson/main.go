@@ -17,8 +17,10 @@
 // ops/sec) is also printed to stderr.
 //
 // In compare mode, benchmarks are matched by name and GOMAXPROCS suffix and
-// the exit status is 1 when any matched benchmark's ns/op grew by more than
-// the threshold percentage (default 10) — the CI regression gate.
+// the exit status is 1 when any matched benchmark's ns/op — or, for
+// benchmarks reporting the peak-heap-B metric (obs.ReportPeakHeap,
+// obs.HeapSampler) — grew by more than the threshold percentage (default
+// 10): the CI regression gate covers time and memory footprint alike.
 package main
 
 import (
@@ -57,7 +59,7 @@ func main() {
 			return
 		}
 		if obs.WriteBenchDeltas(os.Stdout, deltas) {
-			fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% (%s vs %s)\n",
+			fmt.Fprintf(os.Stderr, "benchjson: ns/op or peak-heap regression beyond %.0f%% (%s vs %s)\n",
 				*threshold, flag.Arg(0), flag.Arg(1))
 			os.Exit(1)
 		}

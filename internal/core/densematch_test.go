@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/stats"
+	"timeouts/internal/survey"
+)
+
+// denseStream builds a record stream over a contiguous address range plus a
+// couple of strays outside it, exercising every record class.
+func denseStream() (recs []survey.Record, base ipaddr.Addr, n int) {
+	interval := 660 * time.Second
+	base = ipaddr.Addr(0x02000000)
+	n = 64*11 + 1
+	var b recBuilder
+	for i := 0; i < 64; i++ {
+		a := base + ipaddr.Addr(i*11)
+		for r := 0; r < 30; r++ {
+			bt := time.Duration(r) * interval
+			switch i % 6 {
+			case 0:
+				b.matched(a, bt, time.Duration(90+i+r)*time.Millisecond)
+			case 1:
+				b.timeout(a, bt)
+				b.unmatched(a, bt+time.Duration(8+(r*13)%50)*time.Second, 1)
+			case 2:
+				b.timeout(a, bt)
+				b.unmatched(a, bt+330*time.Second, 1)
+			case 3:
+				b.matched(a, bt, 100*time.Millisecond)
+				b.unmatched(a, bt+2*time.Second, 6)
+			case 4:
+				if r == 0 {
+					b.errorRec(a, bt)
+				}
+				b.matched(a, bt, 120*time.Millisecond)
+			default:
+				b.matched(a, bt, 150*time.Millisecond)
+				if r%5 == 2 {
+					b.unmatched(a, bt+4*time.Second, 2)
+				}
+			}
+		}
+	}
+	// Strays outside [base, base+n): must spill to the map path, not
+	// corrupt (or crash on) the flat slice.
+	b.timeout(ipaddr.Addr(0x03000001), 10*time.Second)
+	b.unmatched(ipaddr.Addr(0x03000001), 10*time.Second+interval, 1)
+	b.matched(ipaddr.Addr(0x01ffffff), 20*time.Second, time.Second)
+	return b.recs, base, n
+}
+
+// TestStreamMatcherDenseEquivalence proves the dense (flat-slice) matcher
+// byte-identical to the map matcher over a stream exercising every record
+// class, including strays that spill past the dense range.
+func TestStreamMatcherDenseEquivalence(t *testing.T) {
+	recs, base, n := denseStream()
+	for _, opt := range []Options{{}, MatchOptionsForCycles(30)} {
+		mm := NewStreamMatcher(opt)
+		dm := NewStreamMatcherDense(opt, n, func(a ipaddr.Addr) int { return int(int64(a) - int64(base)) })
+		for _, rec := range recs {
+			mm.Observe(rec)
+			dm.Observe(rec)
+		}
+		if mm.Addresses() != dm.Addresses() {
+			t.Fatalf("live addresses: map %d, dense %d", mm.Addresses(), dm.Addresses())
+		}
+		mr, dr := mm.Finalize(), dm.Finalize()
+		if got, want := RenderReport(dr, false), RenderReport(mr, false); got != want {
+			t.Errorf("filtered reports differ:\ndense:\n%s\nmap:\n%s", got, want)
+		}
+		if got, want := RenderReport(dr, true), RenderReport(mr, true); got != want {
+			t.Errorf("naive reports differ:\ndense:\n%s\nmap:\n%s", got, want)
+		}
+		if len(mr.Addr) != len(dr.Addr) {
+			t.Fatalf("address counts differ: map %d, dense %d", len(mr.Addr), len(dr.Addr))
+		}
+		for a, m := range mr.Addr {
+			d := dr.Addr[a]
+			if d == nil {
+				t.Fatalf("address %s missing from dense result", a)
+			}
+			if m.Quantiles() != d.Quantiles() || m.Matched != d.Matched ||
+				m.Delayed != d.Delayed || m.Probes != d.Probes ||
+				m.MaxResponses != d.MaxResponses || m.Broadcast != d.Broadcast ||
+				m.Duplicate != d.Duplicate || m.ErrorSeen != d.ErrorSeen ||
+				m.ResponsePackets() != d.ResponsePackets() {
+				t.Fatalf("address %s differs:\nmap   %+v\ndense %+v", a, m, d)
+			}
+		}
+		if dm.Addresses() != 0 {
+			t.Error("Finalize did not reset the dense matcher")
+		}
+	}
+}
+
+// TestStreamMatcherFinalizeInto checks the streaming finalizer agrees with
+// the materializing one and visits dense entries in ascending index order.
+func TestStreamMatcherFinalizeInto(t *testing.T) {
+	recs, base, n := denseStream()
+	build := func() *StreamMatcher {
+		dm := NewStreamMatcherDense(Options{}, n, func(a ipaddr.Addr) int { return int(int64(a) - int64(base)) })
+		for _, rec := range recs {
+			dm.Observe(rec)
+		}
+		return dm
+	}
+	want := build().Finalize()
+	var lastDense ipaddr.Addr
+	got := make(map[ipaddr.Addr]*StreamAddressResult, len(want.Addr))
+	recsN := build().FinalizeInto(func(a ipaddr.Addr, ar *StreamAddressResult) {
+		if int64(a)-int64(base) >= 0 && int(int64(a)-int64(base)) < n {
+			if a <= lastDense {
+				t.Fatalf("dense entries out of order: %s after %s", a, lastDense)
+			}
+			lastDense = a
+		}
+		got[a] = ar
+	})
+	if recsN != want.Records {
+		t.Fatalf("records = %d, want %d", recsN, want.Records)
+	}
+	if len(got) != len(want.Addr) {
+		t.Fatalf("yielded %d addresses, want %d", len(got), len(want.Addr))
+	}
+	for a, w := range want.Addr {
+		g := got[a]
+		if g == nil || g.Matched != w.Matched || g.Delayed != w.Delayed || g.Quantiles() != w.Quantiles() {
+			t.Fatalf("address %s: FinalizeInto %+v, Finalize %+v", a, g, w)
+		}
+	}
+}
+
+// TestAddressQuantilesMemoized is the regression test for the satellite fix:
+// repeated AddressQuantiles calls return the same preallocated map (no
+// rebuild), and the values still equal the unmemoized computation.
+func TestAddressQuantilesMemoized(t *testing.T) {
+	recs, _, _ := denseStream()
+	res := Match(recs, Options{})
+	for _, filtered := range []bool{false, true} {
+		want := PerAddressQuantiles(res.Samples(filtered))
+		first := res.AddressQuantiles(filtered)
+		if len(first) != len(want) {
+			t.Fatalf("filtered=%v: %d addresses, want %d", filtered, len(first), len(want))
+		}
+		for a, q := range want {
+			if first[a] != q {
+				t.Fatalf("filtered=%v addr %s: %+v, want %+v", filtered, a, first[a], q)
+			}
+		}
+		second := res.AddressQuantiles(filtered)
+		// Same backing map, not a rebuild: mutating one shows in the other.
+		var probe ipaddr.Addr = 0x7f000001
+		second[probe] = stats.Quantiles{}
+		if _, ok := first[probe]; !ok {
+			t.Fatalf("filtered=%v: AddressQuantiles rebuilt the map on the second call", filtered)
+		}
+		delete(second, probe)
+	}
+}

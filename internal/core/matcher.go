@@ -140,6 +140,10 @@ func (a *AddressResult) ResponsePackets() uint64 { return a.packets }
 type Result struct {
 	Opt  Options
 	Addr map[ipaddr.Addr]*AddressResult
+
+	// quant memoizes AddressQuantiles per filtered flag ([0] naive,
+	// [1] filtered); see that method for the staleness contract.
+	quant [2]map[ipaddr.Addr]stats.Quantiles
 }
 
 // internal extension of AddressResult.

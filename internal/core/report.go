@@ -22,10 +22,35 @@ type Analysis interface {
 }
 
 // AddressQuantiles returns the per-address percentile vectors of the
-// matched result — PerAddressQuantiles over Samples — making Result satisfy
-// Analysis.
+// matched result — equal to PerAddressQuantiles over Samples — making
+// Result satisfy Analysis. The result map is preallocated from the known
+// address count and memoized per filtered flag: report rendering reads it
+// several times (Table 2, headline fractions), and the intermediate
+// per-address sample map Samples built on every call was pure garbage.
+// Callers must not mutate the returned map, and must not add samples to the
+// Result after the first call (the memo would go stale).
 func (r *Result) AddressQuantiles(filtered bool) map[ipaddr.Addr]stats.Quantiles {
-	return PerAddressQuantiles(r.Samples(filtered))
+	idx := 0
+	if filtered {
+		idx = 1
+	}
+	if r.quant[idx] != nil {
+		return r.quant[idx]
+	}
+	out := make(map[ipaddr.Addr]stats.Quantiles, len(r.Addr))
+	var scratch []time.Duration
+	for a, ar := range r.Addr {
+		if filtered && ar.Discarded() {
+			continue
+		}
+		if len(ar.Matched)+len(ar.Delayed) == 0 {
+			continue
+		}
+		scratch = append(append(scratch[:0], ar.Matched...), ar.Delayed...)
+		out[a] = stats.ComputeQuantiles(scratch)
+	}
+	r.quant[idx] = out
+	return out
 }
 
 // RenderReport renders the full analysis report — Table 1, the Table 2

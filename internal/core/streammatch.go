@@ -41,6 +41,14 @@ type StreamMatcher struct {
 	addrs   map[ipaddr.Addr]*streamAddr
 	records uint64
 
+	// Dense mode (NewStreamMatcherDense): open state lives inline in a
+	// preallocated flat slice indexed by the population's address index — no
+	// map, no per-address allocation. Addresses the index function rejects
+	// spill to the map path, so stray traffic cannot corrupt the flat state.
+	dense     []streamAddr
+	index     func(ipaddr.Addr) int
+	denseUsed int
+
 	// Observability (nil-safe no-ops unless SetObserver installs them). All
 	// matcher metrics are deterministic-class: the matcher consumes the
 	// merged record stream in dataset emission order, which is identical
@@ -57,7 +65,7 @@ type StreamMatcher struct {
 // streamAddr is the per-address open state — O(1) regardless of how many
 // records the address contributes.
 type streamAddr struct {
-	est       *stats.StreamingQuantiles // matched + delayed latency samples
+	est       stats.StreamingQuantiles // matched + delayed latency samples
 	matched   uint64
 	delayed   uint64
 	probes    int
@@ -68,7 +76,9 @@ type streamAddr struct {
 	ew        stats.EWMA
 	lastRound int64
 	lastLat   time.Duration
+	addr      ipaddr.Addr
 	errorSeen bool
+	init      bool
 }
 
 // openProbe is one not-yet-evicted probe.
@@ -84,6 +94,20 @@ type openProbe struct {
 func NewStreamMatcher(opt Options) *StreamMatcher {
 	opt = opt.withDefaults()
 	return &StreamMatcher{opt: opt, addrs: make(map[ipaddr.Addr]*streamAddr)}
+}
+
+// NewStreamMatcherDense creates a streaming matcher whose per-address open
+// state lives in a preallocated flat slice of n entries instead of a map:
+// index maps an address to its slot in [0, n) (a population's IndexOf).
+// Addresses the index rejects (negative or >= n) fall back to a spill map,
+// so the dense matcher accepts exactly the record streams the map matcher
+// does and produces byte-identical results — it only changes where the
+// state lives: O(n) up front, zero allocations per record after that.
+func NewStreamMatcherDense(opt Options, n int, index func(ipaddr.Addr) int) *StreamMatcher {
+	m := NewStreamMatcher(opt)
+	m.dense = make([]streamAddr, n)
+	m.index = index
+	return m
 }
 
 // SetObserver registers the matcher's metrics on reg: records consumed, the
@@ -106,7 +130,7 @@ func (m *StreamMatcher) SetObserver(reg *obs.Registry) {
 func (m *StreamMatcher) Records() uint64 { return m.records }
 
 // Addresses returns how many addresses currently hold open state.
-func (m *StreamMatcher) Addresses() int { return len(m.addrs) }
+func (m *StreamMatcher) Addresses() int { return m.denseUsed + len(m.addrs) }
 
 // Write implements survey.RecordWriter, folding one record into the match
 // state; it never returns an error.
@@ -117,13 +141,34 @@ func (m *StreamMatcher) Write(rec survey.Record) error {
 
 // get returns (creating if needed) the address's open state.
 func (m *StreamMatcher) get(a ipaddr.Addr) *streamAddr {
+	if m.dense != nil {
+		if i := m.index(a); i >= 0 && i < len(m.dense) {
+			st := &m.dense[i]
+			if !st.init {
+				m.initAddr(st, a)
+				m.denseUsed++
+				m.obsAddrsHWM.Observe(int64(m.Addresses()))
+			}
+			return st
+		}
+	}
 	st := m.addrs[a]
 	if st == nil {
-		st = &streamAddr{est: stats.NewStreamingQuantiles(), ew: stats.EWMA{Alpha: m.opt.BroadcastAlpha}, lastRound: -10}
+		st = &streamAddr{}
+		m.initAddr(st, a)
 		m.addrs[a] = st
-		m.obsAddrsHWM.Observe(int64(len(m.addrs)))
+		m.obsAddrsHWM.Observe(int64(m.Addresses()))
 	}
 	return st
+}
+
+// initAddr stamps a fresh state cell with its address and the non-zero
+// initial values (EWMA alpha, the out-of-band lastRound sentinel).
+func (m *StreamMatcher) initAddr(st *streamAddr, a ipaddr.Addr) {
+	st.init = true
+	st.addr = a
+	st.ew = stats.EWMA{Alpha: m.opt.BroadcastAlpha}
+	st.lastRound = -10
 }
 
 // push opens a new probe on st, maintaining the open-probe high-water mark
@@ -273,30 +318,63 @@ type StreamResult struct {
 // matcher's per-address state is consumed; further Observe calls start a
 // fresh accumulation.
 func (m *StreamMatcher) Finalize() *StreamResult {
-	res := &StreamResult{Opt: m.opt, Addr: make(map[ipaddr.Addr]*StreamAddressResult, len(m.addrs)), Records: m.records}
-	for a, st := range m.addrs {
-		for st.nOpen > 0 {
-			st.evict()
-		}
-		if st.est.Spilled() {
-			m.obsSpills.Inc()
-		}
-		res.Addr[a] = &StreamAddressResult{
-			Matched:      st.matched,
-			Delayed:      st.delayed,
-			Probes:       st.probes,
-			MaxResponses: st.maxResp,
-			Broadcast:    st.ew.Max() > m.opt.BroadcastMark,
-			Duplicate:    st.maxResp > m.opt.DuplicateMax,
-			ErrorSeen:    st.errorSeen,
-			packets:      st.packets,
-			est:          st.est,
+	res := &StreamResult{Opt: m.opt, Addr: make(map[ipaddr.Addr]*StreamAddressResult, m.Addresses()), Records: m.records}
+	m.sealInto(func(a ipaddr.Addr, ar *StreamAddressResult) { res.Addr[a] = ar })
+	return res
+}
+
+// FinalizeInto seals all remaining open state like Finalize but yields each
+// per-address result to fn instead of materializing the result map — dense
+// entries in ascending index order, spill entries after them in map order.
+// The *StreamAddressResult is freshly allocated and remains valid after fn
+// returns. It returns the record count the stream contributed.
+func (m *StreamMatcher) FinalizeInto(fn func(ipaddr.Addr, *StreamAddressResult)) uint64 {
+	records := m.records
+	m.sealInto(fn)
+	return records
+}
+
+// sealInto drains every live state cell through fn and resets the matcher.
+func (m *StreamMatcher) sealInto(fn func(ipaddr.Addr, *StreamAddressResult)) {
+	for i := range m.dense {
+		if m.dense[i].init {
+			m.sealOne(&m.dense[i], fn)
 		}
 	}
+	for _, st := range m.addrs {
+		m.sealOne(st, fn)
+	}
 	m.addrs = make(map[ipaddr.Addr]*streamAddr)
+	if m.dense != nil {
+		m.dense = make([]streamAddr, len(m.dense))
+	}
+	m.denseUsed = 0
 	m.records = 0
 	m.openProbes = 0
-	return res
+}
+
+// sealOne seals one address's open state into a StreamAddressResult. The
+// quantile sketch is copied out by value so the result never pins the dense
+// slice (or the matcher's next accumulation) in memory.
+func (m *StreamMatcher) sealOne(st *streamAddr, fn func(ipaddr.Addr, *StreamAddressResult)) {
+	for st.nOpen > 0 {
+		st.evict()
+	}
+	if st.est.Spilled() {
+		m.obsSpills.Inc()
+	}
+	est := st.est
+	fn(st.addr, &StreamAddressResult{
+		Matched:      st.matched,
+		Delayed:      st.delayed,
+		Probes:       st.probes,
+		MaxResponses: st.maxResp,
+		Broadcast:    st.ew.Max() > m.opt.BroadcastMark,
+		Duplicate:    st.maxResp > m.opt.DuplicateMax,
+		ErrorSeen:    st.errorSeen,
+		packets:      st.packets,
+		est:          &est,
+	})
 }
 
 // BuildTable1 computes the Table 1 accounting from a streaming result,

@@ -90,6 +90,14 @@ type Lab struct {
 	// execution-speed opt-in (cmd/reproduce's -parallel flag).
 	Parallel int
 
+	// Dense routes every workload through the flat rank-indexed state
+	// paths: the survey's outstanding-probe ring, the scanner's pump/bitset
+	// probe loop, the dense StreamMatcher, and the model's bounded radio
+	// table. Output is byte-identical to the map paths (abl-dense checks
+	// this), so Dense is — like Parallel and Stream — purely a
+	// memory/throughput opt-in (cmd/reproduce's -dense flag).
+	Dense bool
+
 	// Stream routes Quantiles through the bounded-memory streaming pipeline
 	// (StreamMatch) instead of the in-memory matcher. At simulation scale
 	// the two are byte-identical (abl-streaming checks this), so Stream is,
@@ -130,8 +138,19 @@ func NewLab(s Scale) *Lab {
 // shard-local) with every vantage registered, while the immutable
 // Population is shared and read concurrently.
 func ShardFabric(pop *netmodel.Population) func(int) simnet.Fabric {
+	return shardFabric(pop, false)
+}
+
+// DenseShardFabric is ShardFabric with each model's radio state in its
+// bounded dense-table form.
+func DenseShardFabric(pop *netmodel.Population) func(int) simnet.Fabric {
+	return shardFabric(pop, true)
+}
+
+func shardFabric(pop *netmodel.Population, dense bool) func(int) simnet.Fabric {
 	return func(int) simnet.Fabric {
 		model := netmodel.NewModel(pop)
+		model.SetDense(dense)
 		for _, v := range survey.Vantages {
 			model.AddVantage(v.Addr, v.Continent)
 		}
@@ -140,6 +159,22 @@ func ShardFabric(pop *netmodel.Population) func(int) simnet.Fabric {
 		model.AddVantage(outageSrc, ipmeta.NorthAmerica)
 		return model
 	}
+}
+
+// fabric returns the lab's shard-fabric factory, dense when Dense is set.
+func (l *Lab) fabric(pop *netmodel.Population) func(int) simnet.Fabric {
+	if l.Dense {
+		return DenseShardFabric(pop)
+	}
+	return ShardFabric(pop)
+}
+
+// world builds a sequential-run world, with the model's radio state dense
+// when Dense is set.
+func (l *Lab) world() *World {
+	w := NewWorld(l.popCfg)
+	w.Model.SetDense(l.Dense)
+	return w
 }
 
 // PopConfig returns the lab's population config.
@@ -160,15 +195,16 @@ func (l *Lab) Survey() ([]survey.Record, survey.Stats, error) {
 			Vantage: survey.VantageW,
 			Cycles:  l.Scale.SurveyCycles,
 			Seed:    l.Scale.Seed,
+			Dense:   l.Dense,
 			Obs:     l.Obs,
 			Trace:   l.Trace,
 		}
 		if l.Parallel > 1 {
 			pop := netmodel.New(l.popCfg)
 			cfg.Blocks = pop.Blocks()
-			st, err = survey.RunSharded(cfg, l.Parallel, ShardFabric(pop), &mem)
+			st, err = survey.RunSharded(cfg, l.Parallel, l.fabric(pop), &mem)
 		} else {
-			w := NewWorld(l.popCfg)
+			w := l.world()
 			cfg.Blocks = w.Pop.Blocks()
 			st, err = survey.Run(w.Net, cfg, &mem)
 		}
@@ -203,22 +239,37 @@ func (l *Lab) StreamMatch() (*core.StreamResult, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.streamRes == nil {
-		m := core.NewStreamMatcher(core.MatchOptionsForCycles(l.Scale.SurveyCycles))
-		m.SetObserver(l.Obs)
+		opt := core.MatchOptionsForCycles(l.Scale.SurveyCycles)
+		newMatcher := func(pop *netmodel.Population) *core.StreamMatcher {
+			var m *core.StreamMatcher
+			if l.Dense {
+				m = core.NewStreamMatcherDense(opt, pop.NumAddrs(), pop.IndexOf)
+			} else {
+				m = core.NewStreamMatcher(opt)
+			}
+			m.SetObserver(l.Obs)
+			return m
+		}
 		cfg := survey.Config{
 			Vantage: survey.VantageW,
 			Cycles:  l.Scale.SurveyCycles,
 			Seed:    l.Scale.Seed,
+			Dense:   l.Dense,
 			Obs:     l.Obs,
 			Trace:   l.Trace,
 		}
-		var err error
+		var (
+			m   *core.StreamMatcher
+			err error
+		)
 		if l.Parallel > 1 {
 			pop := netmodel.New(l.popCfg)
+			m = newMatcher(pop)
 			cfg.Blocks = pop.Blocks()
-			_, err = survey.RunSharded(cfg, l.Parallel, ShardFabric(pop), m)
+			_, err = survey.RunSharded(cfg, l.Parallel, l.fabric(pop), m)
 		} else {
-			w := NewWorld(l.popCfg)
+			w := l.world()
+			m = newMatcher(w.Pop)
 			cfg.Blocks = w.Pop.Blocks()
 			_, err = survey.Run(w.Net, cfg, m)
 		}
@@ -284,10 +335,16 @@ func (l *Lab) Scans(n int) ([]*zmapper.Scan, error) {
 		if l.Parallel > 1 {
 			pop := netmodel.New(l.popCfg)
 			cfg.TargetN, cfg.TargetAt = pop.NumAddrs(), pop.AddrAt
-			sc, err = zmapper.RunSharded(cfg, l.Parallel, ShardFabric(pop))
+			if l.Dense {
+				cfg.Dense, cfg.TargetIndex = true, pop.IndexOf
+			}
+			sc, err = zmapper.RunSharded(cfg, l.Parallel, l.fabric(pop))
 		} else {
-			w := NewWorld(l.popCfg)
+			w := l.world()
 			cfg.TargetN, cfg.TargetAt = w.Pop.NumAddrs(), w.Pop.AddrAt
+			if l.Dense {
+				cfg.Dense, cfg.TargetIndex = true, w.Pop.IndexOf
+			}
 			sc, err = zmapper.Run(w.Net, cfg)
 		}
 		if err != nil {

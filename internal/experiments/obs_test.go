@@ -19,8 +19,16 @@ var obsScale = Scale{Seed: 42, Blocks: 96, SurveyCycles: 4, ZmapScans: 1, Sample
 // snapshot JSON and the manifest's deterministic section.
 func runObsWorkloads(t *testing.T, parallel int) (lab *Lab, snap, manifest []byte) {
 	t.Helper()
+	return runObsWorkloadsDense(t, parallel, false)
+}
+
+// runObsWorkloadsDense is runObsWorkloads with the dense state paths
+// switched on when dense is set.
+func runObsWorkloadsDense(t *testing.T, parallel int, dense bool) (lab *Lab, snap, manifest []byte) {
+	t.Helper()
 	lab = NewLab(obsScale)
 	lab.Parallel = parallel
+	lab.Dense = dense
 	lab.Obs = obs.NewRegistry()
 	lab.Trace = obs.NewTracer()
 	if _, _, err := lab.Survey(); err != nil {
@@ -60,6 +68,26 @@ func TestObsShardInvariance(t *testing.T) {
 	}
 	if len(seqSnap) == 0 || !bytes.Contains(seqSnap, []byte("survey.probes")) {
 		t.Fatalf("snapshot looks empty or uninstrumented:\n%s", seqSnap)
+	}
+}
+
+// TestObsDenseInvariance extends the shard-invariance contract to the dense
+// state paths: with Lab.Dense set — the survey's outstanding ring, the
+// scanner's pump/bitset loop, the dense StreamMatcher, the model's bounded
+// radio table — the deterministic snapshot and manifest bytes must equal
+// the map paths' exactly, sequentially and sharded. Note obsScale's 96
+// blocks make a non-power-of-two population, so the permutation's
+// table-backed Seek is on this path as well.
+func TestObsDenseInvariance(t *testing.T) {
+	_, mapSnap, mapMan := runObsWorkloads(t, 1)
+	for _, parallel := range []int{1, 8} {
+		_, snap, man := runObsWorkloadsDense(t, parallel, true)
+		if !bytes.Equal(mapSnap, snap) {
+			t.Errorf("dense -parallel %d metric snapshot differs from map path:\nmap:\n%s\ndense:\n%s", parallel, mapSnap, snap)
+		}
+		if !bytes.Equal(mapMan, man) {
+			t.Errorf("dense -parallel %d manifest section differs from map path:\nmap:\n%s\ndense:\n%s", parallel, mapMan, man)
+		}
 	}
 }
 

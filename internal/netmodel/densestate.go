@@ -1,0 +1,127 @@
+package netmodel
+
+import "timeouts/internal/ipaddr"
+
+// Dense radio state: the map of *hostState in Model caps populations at
+// simulation scale — one heap allocation and one map entry per cellular
+// address ever probed. At internet scale almost all of that state is dead
+// weight, because the radio state machine only distinguishes an address from
+// a fresh one while it is *recent*:
+//
+//   - wakeHold's first branch needs wakeUntil only while t < wakeUntil, and
+//     wakeUntil ≤ lastActive always holds after every update (lastActive is
+//     raised to t+hold ≥ wakeUntil).
+//   - Its second branch treats any entry with t-lastActive > IdleTimeout
+//     exactly like a missing entry (the !used and the idle-expired arms run
+//     the same code), and IdleTimeout = 10 + 60·u with u ∈ [0,1) is
+//     strictly below 70 for every profile.
+//
+// So once sim time has moved more than radioHorizon past an entry's
+// lastActive, dropping the entry cannot change any future decision: the
+// model is byte-for-byte equivalent with or without it. Each shard's
+// scheduler clock is monotone, which makes a bounded open-addressing table
+// with horizon pruning a drop-in replacement for the unbounded map — the
+// table holds only the working set of recently active radios, independent of
+// population size.
+const radioHorizon = 70.0
+
+// radioEntry is one open-addressed slot: the address key plus the same
+// hostState the map path stores behind a pointer, inline.
+type radioEntry struct {
+	addr uint32
+	occ  bool
+	st   hostState
+}
+
+// radioTable is the dense-mode replacement for Model.state: an
+// open-addressed, linearly probed hash table over uint32 addresses whose
+// growth step first evicts entries older than radioHorizon (see above for
+// why eviction is invisible to the model's outputs).
+type radioTable struct {
+	slots []radioEntry
+	count int
+}
+
+const radioTableMinSize = 1024
+
+// get returns the state cell for addr, claiming an empty slot if the
+// address has none. now is the current (monotone) sim time, used by the
+// horizon prune when the table needs room. The returned pointer is valid
+// until the next get call.
+func (rt *radioTable) get(addr uint32, now float64) *hostState {
+	if rt.slots == nil {
+		rt.slots = make([]radioEntry, radioTableMinSize)
+	}
+	// Load factor 3/4: rehash (prune, growing only if pruning freed too
+	// little) before the probe chains degrade.
+	if (rt.count+1)*4 > len(rt.slots)*3 {
+		rt.rehash(now)
+	}
+	mask := uint32(len(rt.slots) - 1)
+	for i := (addr * 0x9E3779B1) & mask; ; i = (i + 1) & mask {
+		e := &rt.slots[i]
+		if !e.occ {
+			e.occ = true
+			e.addr = addr
+			e.st = hostState{}
+			rt.count++
+			return &e.st
+		}
+		if e.addr == addr {
+			return &e.st
+		}
+	}
+}
+
+// rehash rebuilds the table without entries whose lastActive is more than
+// radioHorizon behind now; it doubles the slot count only when live entries
+// would still fill half the current table, so a stable working set stays at
+// a stable size no matter how many addresses pass through.
+func (rt *radioTable) rehash(now float64) {
+	old := rt.slots
+	live := 0
+	for i := range old {
+		if old[i].occ && now-old[i].st.lastActive <= radioHorizon {
+			live++
+		}
+	}
+	size := len(old)
+	for (live+1)*2 > size {
+		size *= 2
+	}
+	rt.slots = make([]radioEntry, size)
+	rt.count = 0
+	mask := uint32(size - 1)
+	for i := range old {
+		e := &old[i]
+		if !e.occ || now-e.st.lastActive > radioHorizon {
+			continue
+		}
+		for j := (e.addr * 0x9E3779B1) & mask; ; j = (j + 1) & mask {
+			if !rt.slots[j].occ {
+				rt.slots[j] = *e
+				rt.count++
+				break
+			}
+		}
+	}
+}
+
+// SetDense switches the model's per-host radio state between the default
+// map (per-address allocation, unbounded) and the dense bounded table
+// (O(active radios) memory, no per-address allocation). The two are
+// byte-identical in every output; dense mode additionally makes
+// ResetRadioState O(1). Switching discards existing radio state, so call it
+// before the first probe.
+func (m *Model) SetDense(on bool) {
+	if on {
+		m.denseRadio = &radioTable{}
+		m.state = nil
+	} else {
+		m.denseRadio = nil
+		m.state = make(map[ipaddr.Addr]*hostState)
+	}
+}
+
+// Dense reports whether the model is in dense-state mode.
+func (m *Model) Dense() bool { return m.denseRadio != nil }

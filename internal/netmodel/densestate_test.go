@@ -1,0 +1,108 @@
+package netmodel
+
+import (
+	"testing"
+
+	"timeouts/internal/xrand"
+)
+
+// denseProbePlan builds a deterministic, time-monotone sequence of
+// (cellular profile, probe time) pairs that revisits addresses at spacings
+// straddling every state-machine regime: mid-wake, active, idle-expired,
+// and long-evicted.
+func denseProbePlan(p *Population, n int) []struct {
+	pr Profile
+	t  float64
+} {
+	var cell []Profile
+	for i := 0; i < p.NumAddrs() && len(cell) < 64; i++ {
+		pr := p.Profile(p.AddrAt(i))
+		if pr.Responsive && pr.Class == ClassCellular {
+			cell = append(cell, pr)
+		}
+	}
+	plan := make([]struct {
+		pr Profile
+		t  float64
+	}, 0, n)
+	t := 1.0
+	for i := 0; i < n; i++ {
+		r := xrand.Hash(99, uint64(i))
+		// Steps from 0.25s (inside a wake) through minutes (idle expiry)
+		// to multi-hour gaps (horizon eviction in the dense table).
+		switch r % 5 {
+		case 0:
+			t += 0.25
+		case 1:
+			t += 3
+		case 2:
+			t += 45
+		case 3:
+			t += 200
+		case 4:
+			t += 9000
+		}
+		plan = append(plan, struct {
+			pr Profile
+			t  float64
+		}{cell[int(r>>8)%len(cell)], t})
+	}
+	return plan
+}
+
+// TestDenseRadioStateMatchesMap drives the map-backed and dense-table radio
+// state machines through an identical probe schedule and requires
+// bit-identical holds — including across table growth and horizon eviction.
+func TestDenseRadioStateMatchesMap(t *testing.T) {
+	p := testPop(512)
+	plan := denseProbePlan(p, 20000)
+	if len(plan) == 0 {
+		t.Skip("no cellular hosts")
+	}
+	mm := NewModel(p)
+	dm := NewModel(p)
+	dm.SetDense(true)
+	if !dm.Dense() || mm.Dense() {
+		t.Fatal("Dense() flag wrong")
+	}
+	for i, step := range plan {
+		hm := mm.wakeHold(&step.pr, step.t)
+		hd := dm.wakeHold(&step.pr, step.t)
+		if hm != hd {
+			t.Fatalf("step %d (addr %s t=%v): map hold %v, dense hold %v", i, step.pr.Addr, step.t, hm, hd)
+		}
+	}
+	if dm.denseRadio.count >= len(plan)/2 {
+		t.Fatalf("dense table holds %d entries after %d probes; horizon pruning is not bounding it", dm.denseRadio.count, len(plan))
+	}
+}
+
+// TestDenseResetMatchesFreshModel is the satellite regression: a mid-run
+// ResetRadioState must leave the model byte-identical to a brand-new one,
+// in both state representations, and dense reset must not degrade into a
+// rebuild (it drops the bounded table, O(1)).
+func TestDenseResetMatchesFreshModel(t *testing.T) {
+	p := testPop(512)
+	plan := denseProbePlan(p, 4000)
+	if len(plan) == 0 {
+		t.Skip("no cellular hosts")
+	}
+	for _, dense := range []bool{false, true} {
+		used := NewModel(p)
+		used.SetDense(dense)
+		for _, step := range plan[:2000] {
+			used.wakeHold(&step.pr, step.t)
+		}
+		used.ResetRadioState()
+
+		fresh := NewModel(p)
+		fresh.SetDense(dense)
+		for i, step := range plan[2000:] {
+			hu := used.wakeHold(&step.pr, step.t)
+			hf := fresh.wakeHold(&step.pr, step.t)
+			if hu != hf {
+				t.Fatalf("dense=%v step %d: reset model hold %v, fresh model hold %v", dense, i, hu, hf)
+			}
+		}
+	}
+}

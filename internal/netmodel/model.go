@@ -54,6 +54,11 @@ type Model struct {
 	vantages map[ipaddr.Addr]ipmeta.Continent
 	state    map[ipaddr.Addr]*hostState
 
+	// denseRadio, when non-nil, replaces state with the bounded
+	// open-addressing table (SetDense); see densestate.go for the
+	// equivalence argument.
+	denseRadio *radioTable
+
 	// Per-call scratch. Respond is invoked synchronously from Send, which
 	// consumes the returned slice before the next probe, so the delivery
 	// slice, decoder, quote buffer and reply message are all reusable.
@@ -92,8 +97,17 @@ func (m *Model) AddVantage(addr ipaddr.Addr, c ipmeta.Continent) {
 }
 
 // ResetRadioState clears cellular radio state, as if all devices had been
-// idle for a long time. Tools use it between independent experiments.
-func (m *Model) ResetRadioState() { m.state = make(map[ipaddr.Addr]*hostState) }
+// idle for a long time. Tools use it between independent experiments. In
+// dense mode this is O(1): the bounded table is simply dropped, which is
+// exactly equivalent to a fresh model (a missing entry and a long-idle
+// entry behave identically in wakeHold).
+func (m *Model) ResetRadioState() {
+	if m.denseRadio != nil {
+		*m.denseRadio = radioTable{}
+		return
+	}
+	m.state = make(map[ipaddr.Addr]*hostState)
+}
 
 // Respond implements simnet.Fabric.
 func (m *Model) Respond(from ipaddr.Addr, at simnet.Time, pkt []byte) []simnet.Delivery {
@@ -357,10 +371,15 @@ func (m *Model) congLevel(pr *Profile) float64 {
 // it is ready — which is why the paper sees RTT1-RTT2 differences of almost
 // exactly the probe spacing (Figure 12).
 func (m *Model) wakeHold(pr *Profile, t float64) float64 {
-	st := m.state[pr.Addr]
-	if st == nil {
-		st = &hostState{}
-		m.state[pr.Addr] = st
+	var st *hostState
+	if m.denseRadio != nil {
+		st = m.denseRadio.get(uint32(pr.Addr), t)
+	} else {
+		st = m.state[pr.Addr]
+		if st == nil {
+			st = &hostState{}
+			m.state[pr.Addr] = st
+		}
 	}
 	var hold float64
 	switch {

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/metrics"
 	"strconv"
 	"strings"
 )
@@ -19,6 +21,119 @@ type BenchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// PeakHeapBytes is the "peak-heap-B" custom metric emitted by
+	// benchmarks that call ReportPeakHeap — the heap footprint the run
+	// reached, gated against regressions like ns/op.
+	PeakHeapBytes float64 `json:"peak_heap_bytes,omitempty"`
+}
+
+// PeakHeapUnit is the custom-metric unit ReportPeakHeap and
+// HeapSampler.Report emit and ParseBench recognizes.
+const PeakHeapUnit = "peak-heap-B"
+
+// ReportPeakHeap records the process's peak heap footprint on b as a
+// PeakHeapUnit metric. HeapSys — memory obtained from the OS for the heap —
+// is used rather than a live-bytes figure because it is monotone within a
+// process: it captures the high-water mark the benchmark forced, not
+// whatever the last GC left behind. That monotonicity cuts both ways: in a
+// shared `go test -bench=.` process the reading is the maximum over every
+// benchmark run so far, so call this only from benchmarks that run alone in
+// their process (or first); otherwise use a HeapSampler, whose peak is
+// scoped to the sampled run. (b is *testing.B; the interface avoids a
+// testing dependency here.)
+func ReportPeakHeap(b interface{ ReportMetric(float64, string) }) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapSys), PeakHeapUnit)
+}
+
+// HeapSampler tracks the maximum live heap observed across Sample calls,
+// reported as growth over a baseline taken at construction — a peak scoped
+// and attributed to the sampled run. "Live" is /gc/heap/live:bytes from
+// runtime/metrics: bytes the last GC proved reachable. The obvious
+// alternatives mismeasure in a shared `go test -bench` process: HeapSys is
+// process-monotone (earlier benchmarks own the high-water mark), and
+// HeapAlloc rides the GC sawtooth, whose amplitude scales with every other
+// benchmark's resident data (the shared lab keeps tens of MB live), so its
+// peak mostly measures uncollected garbage. Live bytes exclude garbage by
+// construction, and subtracting a post-GC baseline cancels the resident
+// heap, leaving the workload's own footprint. Thread the Sample call into
+// a per-event callback of the workload (a response sink, a record writer);
+// only every Nth call pays for a metrics read, so the sampling overhead
+// stays well under a percent of a microsecond-scale event loop.
+type HeapSampler struct {
+	every int
+	n     int
+	base  uint64
+	peak  uint64
+	buf   [1]metrics.Sample
+}
+
+const heapLiveMetric = "/gc/heap/live:bytes"
+
+// NewHeapSampler returns a sampler that reads the heap on the first and
+// every every'th Sample call (every <= 1: every call). It forces a GC so
+// the baseline reflects current live data, not the previous benchmark's
+// garbage — construct it before the timer starts (b.ResetTimer).
+func NewHeapSampler(every int) *HeapSampler {
+	if every < 1 {
+		every = 1
+	}
+	h := &HeapSampler{every: every}
+	h.buf[0].Name = heapLiveMetric
+	runtime.GC()
+	h.base = h.readLive()
+	return h
+}
+
+func (h *HeapSampler) readLive() uint64 {
+	metrics.Read(h.buf[:])
+	return h.buf[0].Value.Uint64()
+}
+
+// Sample counts one event and, on the sampling cadence, folds the current
+// live-heap figure into the peak. The figure only moves when a GC
+// completes, so a workload that allocates enough to trigger collections —
+// the kind worth measuring — is sampled at its mid-run live size.
+func (h *HeapSampler) Sample() {
+	if h.n%h.every == 0 {
+		if v := h.readLive(); v > h.peak {
+			h.peak = v
+		}
+	}
+	h.n++
+}
+
+// Peak reports the largest live-heap growth over the construction-time
+// baseline seen so far. It forces a final GC so still-reachable workload
+// state is counted even when no collection ran since it was built; call it
+// after the timer stops (b.StopTimer).
+func (h *HeapSampler) Peak() uint64 {
+	runtime.GC()
+	if v := h.readLive(); v > h.peak {
+		h.peak = v
+	}
+	if h.peak < h.base {
+		return 0
+	}
+	return h.peak - h.base
+}
+
+// peakHeapFloor is the minimum Report emits: 1 MB. A literal zero would be
+// dropped from the JSON (omitempty) and excluded from comparison, so a
+// later blow-up could never gate; and percent deltas off a near-zero base
+// turn sub-MB jitter into gate flaps. The floor keeps tiny footprints
+// present, stable, and still miles below any real regression.
+const peakHeapFloor = 1 << 20
+
+// Report records the sampled peak on b as a PeakHeapUnit metric, floored
+// at peakHeapFloor.
+func (h *HeapSampler) Report(b interface{ ReportMetric(float64, string) }) {
+	peak := h.Peak()
+	if peak < peakHeapFloor {
+		peak = peakHeapFloor
+	}
+	b.ReportMetric(float64(peak), PeakHeapUnit)
 }
 
 // ParseBench extracts benchmark results from `go test -bench` output,
@@ -51,17 +166,22 @@ func ParseBench(r io.Reader) []BenchResult {
 			continue
 		}
 		res := BenchResult{Name: name, Procs: procs, Iterations: iters, NsPerOp: nsop}
-		// Optional -benchmem columns: "<B> B/op <N> allocs/op".
+		// Optional "<value> <unit>" column pairs: the -benchmem columns
+		// ("B/op", "allocs/op") and custom metrics such as peak-heap-B.
 		for i := 4; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseInt(fields[i], 10, 64)
-			if err != nil {
-				continue
-			}
 			switch fields[i+1] {
 			case "B/op":
-				res.BytesPerOp = v
+				if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+					res.BytesPerOp = v
+				}
 			case "allocs/op":
-				res.AllocsPerOp = v
+				if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+					res.AllocsPerOp = v
+				}
+			case PeakHeapUnit:
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					res.PeakHeapBytes = v
+				}
 			}
 		}
 		out = append(out, res)
@@ -82,20 +202,26 @@ func WriteBenchJSON(w io.Writer, r io.Reader) error {
 }
 
 // BenchDelta is one benchmark's old-vs-new comparison. Regressed is set when
-// ns/op grew by more than the caller's threshold.
+// ns/op grew by more than the caller's threshold; PeakRegressed when the
+// peak-heap metric did (only possible when both sides report one).
 type BenchDelta struct {
-	Name       string
-	Procs      int
-	OldNsPerOp float64
-	NewNsPerOp float64
-	DeltaPct   float64 // positive = slower
-	Regressed  bool
+	Name        string
+	Procs       int
+	OldNsPerOp  float64
+	NewNsPerOp  float64
+	DeltaPct    float64 // positive = slower
+	Regressed   bool
+	OldPeakHeap float64
+	NewPeakHeap float64
+	PeakDelta   float64 // percent; positive = more memory
+	PeakRegress bool
 }
 
 // CompareBench matches benchmarks by (Name, Procs) across two result sets
-// and reports the ns/op delta of each pair, flagging those that regressed by
-// more than thresholdPct percent. Benchmarks present on only one side are
-// skipped: a renamed or new benchmark is not a regression.
+// and reports the ns/op — and, where both sides carry one, peak-heap —
+// delta of each pair, flagging those that regressed by more than
+// thresholdPct percent. Benchmarks present on only one side are skipped: a
+// renamed or new benchmark is not a regression.
 func CompareBench(old, new []BenchResult, thresholdPct float64) []BenchDelta {
 	type key struct {
 		name  string
@@ -112,12 +238,18 @@ func CompareBench(old, new []BenchResult, thresholdPct float64) []BenchDelta {
 			continue
 		}
 		pct := (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
-		out = append(out, BenchDelta{
+		d := BenchDelta{
 			Name: r.Name, Procs: r.Procs,
 			OldNsPerOp: o.NsPerOp, NewNsPerOp: r.NsPerOp,
 			DeltaPct:  pct,
 			Regressed: pct > thresholdPct,
-		})
+		}
+		if o.PeakHeapBytes > 0 && r.PeakHeapBytes > 0 {
+			d.OldPeakHeap, d.NewPeakHeap = o.PeakHeapBytes, r.PeakHeapBytes
+			d.PeakDelta = (r.PeakHeapBytes - o.PeakHeapBytes) / o.PeakHeapBytes * 100
+			d.PeakRegress = d.PeakDelta > thresholdPct
+		}
+		out = append(out, d)
 	}
 	return out
 }
@@ -134,23 +266,31 @@ func WriteBenchSummary(w io.Writer, results []BenchResult) {
 		if r.AllocsPerOp > 0 || r.BytesPerOp > 0 {
 			fmt.Fprintf(w, "  %6d allocs/op", r.AllocsPerOp)
 		}
+		if r.PeakHeapBytes > 0 {
+			fmt.Fprintf(w, "  %7.1f MB peak heap", r.PeakHeapBytes/(1<<20))
+		}
 		fmt.Fprintln(w)
 	}
 }
 
-// WriteBenchDeltas writes one line per comparison, marking regressions, and
-// reports whether any benchmark regressed.
+// WriteBenchDeltas writes one line per comparison, marking regressions
+// (ns/op or peak heap), and reports whether any benchmark regressed.
 func WriteBenchDeltas(w io.Writer, deltas []BenchDelta) (regressed bool) {
 	for _, d := range deltas {
 		mark := "  "
-		if d.Regressed {
+		if d.Regressed || d.PeakRegress {
 			mark = "✗ "
 			regressed = true
 		} else if d.DeltaPct < -5 {
 			mark = "✓ "
 		}
-		fmt.Fprintf(w, "%s%-40s %14.1f → %12.1f ns/op  %+7.1f%%\n",
+		fmt.Fprintf(w, "%s%-40s %14.1f → %12.1f ns/op  %+7.1f%%",
 			mark, d.Name, d.OldNsPerOp, d.NewNsPerOp, d.DeltaPct)
+		if d.OldPeakHeap > 0 {
+			fmt.Fprintf(w, "  %7.1f → %7.1f MB peak  %+7.1f%%",
+				d.OldPeakHeap/(1<<20), d.NewPeakHeap/(1<<20), d.PeakDelta)
+		}
+		fmt.Fprintln(w)
 	}
 	return regressed
 }

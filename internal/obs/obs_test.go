@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -231,12 +232,13 @@ goarch: amd64
 pkg: timeouts
 BenchmarkParallelScan-8   	     100	  12345678 ns/op	  456789 B/op	    1234 allocs/op
 BenchmarkStreamingMatch   	    5000	    250000 ns/op
+BenchmarkDenseScan-8      	      20	  98765432 ns/op	 6.442e+07 peak-heap-B	    1000 B/op	       2 allocs/op
 PASS
 ok  	timeouts	12.3s
 `
 	res := ParseBench(strings.NewReader(out))
-	if len(res) != 2 {
-		t.Fatalf("parsed %d results, want 2: %+v", len(res), res)
+	if len(res) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(res), res)
 	}
 	r0 := res[0]
 	if r0.Name != "ParallelScan" || r0.Procs != 8 || r0.Iterations != 100 ||
@@ -247,6 +249,10 @@ ok  	timeouts	12.3s
 	if r1.Name != "StreamingMatch" || r1.Procs != 1 || r1.NsPerOp != 250000 || r1.BytesPerOp != 0 {
 		t.Errorf("result 1 = %+v", r1)
 	}
+	r2 := res[2]
+	if r2.Name != "DenseScan" || r2.PeakHeapBytes != 6.442e+07 || r2.BytesPerOp != 1000 || r2.AllocsPerOp != 2 {
+		t.Errorf("result 2 = %+v, want peak-heap-B parsed", r2)
+	}
 	var buf bytes.Buffer
 	if err := WriteBenchJSON(&buf, strings.NewReader(out)); err != nil {
 		t.Fatal(err)
@@ -255,8 +261,11 @@ ok  	timeouts	12.3s
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatalf("bench JSON invalid: %v\n%s", err, buf.String())
 	}
-	if len(decoded) != 2 {
+	if len(decoded) != 3 {
 		t.Errorf("bench JSON has %d entries", len(decoded))
+	}
+	if decoded[2].PeakHeapBytes != 6.442e+07 {
+		t.Errorf("peak heap lost in JSON round trip: %+v", decoded[2])
 	}
 }
 
@@ -294,3 +303,77 @@ func TestCompareBench(t *testing.T) {
 		t.Errorf("+10.0%% flagged at a 10%% threshold: %+v", ds[0])
 	}
 }
+
+func TestCompareBenchPeakHeap(t *testing.T) {
+	old := []BenchResult{
+		{Name: "ScaleScan", Procs: 8, NsPerOp: 1000, PeakHeapBytes: 100 << 20},
+		{Name: "NoPeak", Procs: 1, NsPerOp: 500},
+	}
+	now := []BenchResult{
+		// ns/op fine, but peak heap +50%: must regress.
+		{Name: "ScaleScan", Procs: 8, NsPerOp: 1000, PeakHeapBytes: 150 << 20},
+		// Peak appearing on only one side is not compared.
+		{Name: "NoPeak", Procs: 1, NsPerOp: 500, PeakHeapBytes: 1 << 20},
+	}
+	deltas := CompareBench(old, now, 10)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas: %+v", len(deltas), deltas)
+	}
+	byName := map[string]BenchDelta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["ScaleScan"]; !d.PeakRegress || d.Regressed || d.PeakDelta != 50 {
+		t.Errorf("ScaleScan delta = %+v, want peak regression +50%%", d)
+	}
+	if d := byName["NoPeak"]; d.PeakRegress || d.OldPeakHeap != 0 {
+		t.Errorf("NoPeak delta = %+v, want no peak comparison", d)
+	}
+	var buf bytes.Buffer
+	if !WriteBenchDeltas(&buf, deltas) {
+		t.Error("WriteBenchDeltas did not surface the peak-heap regression")
+	}
+	if !strings.Contains(buf.String(), "MB peak") {
+		t.Errorf("delta output missing peak columns:\n%s", buf.String())
+	}
+}
+
+func TestHeapSamplerTracksPeak(t *testing.T) {
+	s := NewHeapSampler(1)
+	ballast := make([]byte, 32<<20)
+	for i := range ballast {
+		ballast[i] = byte(i)
+	}
+	s.Sample()
+	after := s.Peak()
+	runtime.KeepAlive(ballast)
+	// Allow a little slack: baseline-live data freed mid-run shrinks the
+	// delta by its size.
+	if after < 31<<20 {
+		t.Fatalf("peak %d did not register the 32 MB ballast", after)
+	}
+	// The peak is a high-water mark: dropping the ballast must not lower it.
+	ballast = nil
+	runtime.GC()
+	s.Sample()
+	if got := s.Peak(); got < after {
+		t.Fatalf("peak fell from %d to %d after a GC", after, got)
+	}
+
+	// Report emits the parseable metric unit; a fresh sampler's growth is
+	// near zero, so the 1 MB floor must kick in (zero would vanish from
+	// the JSON via omitempty and never gate).
+	rec := metricRecorder{}
+	s2 := NewHeapSampler(0) // every<1 clamps to 1
+	s2.Report(&rec)
+	if rec.unit != PeakHeapUnit || rec.value < 1<<20 {
+		t.Fatalf("Report emitted (%v, %q), want at least the 1 MB floor in %s", rec.value, rec.unit, PeakHeapUnit)
+	}
+}
+
+type metricRecorder struct {
+	value float64
+	unit  string
+}
+
+func (m *metricRecorder) ReportMetric(v float64, unit string) { m.value, m.unit = v, unit }

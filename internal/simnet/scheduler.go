@@ -170,7 +170,26 @@ func (s *Scheduler) After(d time.Duration, fn func()) { s.schedule(s.now+d, fn, 
 // AfterEvent schedules ev to run d from now.
 func (s *Scheduler) AfterEvent(d time.Duration, ev Event) { s.schedule(s.now+d, nil, ev) }
 
+// seqNormalBand is OR-ed into the insertion sequence of normally scheduled
+// events. Front-band events (AtEventFront) keep the raw sequence, so at equal
+// times every front event orders before every normal event, while events
+// within a band stay FIFO among themselves. The counter itself can never
+// reach 2^63, so the band bit is unambiguous.
+const seqNormalBand = uint64(1) << 63
+
+// AtEventFront schedules ev at absolute time t ahead of every normally
+// scheduled event at the same instant. The dense scan path uses it for its
+// self-rescheduling probe pump: the map path pre-inserts all probe events
+// before any delivery exists, so its probes carry lower sequence numbers and
+// win every equal-time tie; a pump that re-schedules itself mid-run can only
+// reproduce that order from the front band.
+func (s *Scheduler) AtEventFront(t Time, ev Event) { s.scheduleBand(t, nil, ev, 0) }
+
 func (s *Scheduler) schedule(t Time, fn func(), ev Event) {
+	s.scheduleBand(t, fn, ev, seqNormalBand)
+}
+
+func (s *Scheduler) scheduleBand(t Time, fn func(), ev Event, band uint64) {
 	if !s.inited {
 		s.init()
 	}
@@ -178,17 +197,18 @@ func (s *Scheduler) schedule(t Time, fn func(), ev Event) {
 		t = s.now
 	}
 	s.seq++
+	key := band | s.seq
 	s.n++
 	switch {
 	case s.heapMode:
-		heap.Push(&s.events, firing{at: t, seq: s.seq, fn: fn, ev: ev})
+		heap.Push(&s.events, firing{at: t, seq: key, fn: fn, ev: ev})
 	case t < s.curEnd:
 		// The wheel's current slot has already been expired into curList;
 		// late arrivals for its window sort in after the dequeue cursor.
-		s.insertFiring(firing{at: t, seq: s.seq, fn: fn, ev: ev})
+		s.insertFiring(firing{at: t, seq: key, fn: fn, ev: ev})
 	default:
 		nd := s.newNode()
-		nd.at, nd.seq, nd.fn, nd.ev = t, s.seq, fn, ev
+		nd.at, nd.seq, nd.fn, nd.ev = t, key, fn, ev
 		s.wh.insert(nd)
 	}
 	if s.obsOn {

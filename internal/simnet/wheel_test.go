@@ -170,3 +170,58 @@ func TestWheelVsHeapLongHorizon(t *testing.T) {
 		}
 	}
 }
+
+// logEvent records its id into a shared order slice when run.
+type logEvent struct {
+	order *[]int
+	id    int
+}
+
+func (e *logEvent) Run(Time) { *e.order = append(*e.order, e.id) }
+
+// TestSchedulerFrontBand proves AtEventFront's ordering contract on both
+// engines: at equal times every front event runs before every normal event
+// regardless of insertion order, events within a band stay FIFO among
+// themselves, and differing times still dominate both bands. Front events
+// scheduled from inside a running event (the dense scan pump re-scheduling
+// itself) keep the contract too.
+func TestSchedulerFrontBand(t *testing.T) {
+	orders := map[string][]int{}
+	for name, s := range engines() {
+		var order []int
+		at := func(id int, at Time, front bool) {
+			ev := &logEvent{order: &order, id: id}
+			if front {
+				s.AtEventFront(at, ev)
+			} else {
+				s.AtEvent(at, ev)
+			}
+		}
+		base := 10 * time.Millisecond
+		at(0, base, false) // normal, inserted first
+		at(1, base, false) // normal, FIFO after 0
+		at(2, base, true)  // front: beats 0 and 1 despite later insertion
+		at(3, base, true)  // front, FIFO after 2
+		at(4, base-time.Millisecond, false)
+		at(5, base+time.Millisecond, true) // later time loses to all of the above
+		// A front event scheduled mid-run for a later tick still front-runs
+		// normal events already queued at that tick.
+		s.At(base-time.Millisecond, func() {
+			order = append(order, 6)
+			s.AtEventFront(base, &logEvent{order: &order, id: 7})
+		})
+		s.Run()
+		orders[name] = order
+	}
+	want := []int{4, 6, 2, 3, 7, 0, 1, 5}
+	for name, got := range orders {
+		if len(got) != len(want) {
+			t.Fatalf("%s: ran %d events, want %d (%v)", name, len(got), len(want), got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: order = %v, want %v", name, got, want)
+			}
+		}
+	}
+}

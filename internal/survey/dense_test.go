@@ -1,0 +1,204 @@
+package survey
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"timeouts/internal/ipaddr"
+	"timeouts/internal/netmodel"
+	"timeouts/internal/obs"
+	"timeouts/internal/simnet"
+)
+
+// denseSurveyFabric is surveyFabric with the model's radio state in its
+// bounded-table form, so the whole dense stack is under test at once.
+func denseSurveyFabric(pop *netmodel.Population, v Vantage) func(int) simnet.Fabric {
+	return func(int) simnet.Fabric {
+		model := netmodel.NewModel(pop)
+		model.SetDense(true)
+		model.AddVantage(v.Addr, v.Continent)
+		return model
+	}
+}
+
+// surveySnap renders a registry's deterministic snapshot for comparison.
+func surveySnap(t *testing.T, reg *obs.Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSurveyDenseMatchesMap proves the dense outstanding-probe ring
+// byte-identical to the map path: same stats, same dataset bytes, same
+// deterministic metric snapshots — sequentially and across shard counts,
+// with the dense netmodel radio table in the fabric as well.
+func TestSurveyDenseMatchesMap(t *testing.T) {
+	catalogs := []struct {
+		name    string
+		blocks  int
+		catalog []netmodel.ASSpec
+	}{
+		{name: "default", blocks: 64, catalog: nil},
+		{name: "mixed4", blocks: 32, catalog: testCatalog()},
+	}
+	for _, cat := range catalogs {
+		for _, seed := range []uint64{5, 99} {
+			t.Run(fmt.Sprintf("%s/seed%d", cat.name, seed), func(t *testing.T) {
+				pop := netmodel.New(netmodel.Config{Seed: seed, Blocks: cat.blocks, Catalog: cat.catalog})
+				base := Config{
+					Vantage: VantageW,
+					Blocks:  pop.Blocks(),
+					Cycles:  3,
+					Seed:    seed,
+				}
+
+				mapCfg := base
+				mapCfg.Obs = obs.NewRegistry()
+				var refMem MemWriter
+				refStats, err := Run(simnet.NewNetwork(&simnet.Scheduler{}, surveyFabric(pop, VantageW)(0)), mapCfg, &refMem)
+				if err != nil {
+					t.Fatalf("map Run: %v", err)
+				}
+				if refStats.Matched == 0 || refStats.Timeouts == 0 {
+					t.Fatalf("map survey stats %+v leave the check vacuous", refStats)
+				}
+				refBytes := encode(t, seed, refMem.Records)
+				refSnap := surveySnap(t, mapCfg.Obs)
+
+				check := func(mode string, st Stats, mem *MemWriter, reg *obs.Registry) {
+					t.Helper()
+					if st != refStats {
+						t.Errorf("%s: stats %+v, map %+v", mode, st, refStats)
+					}
+					if len(mem.Records) != len(refMem.Records) {
+						t.Fatalf("%s: %d records, map %d", mode, len(mem.Records), len(refMem.Records))
+					}
+					for i := range refMem.Records {
+						if mem.Records[i] != refMem.Records[i] {
+							t.Fatalf("%s: record %d = %+v, map %+v", mode, i, mem.Records[i], refMem.Records[i])
+						}
+					}
+					if !bytes.Equal(encode(t, seed, mem.Records), refBytes) {
+						t.Fatalf("%s: datasets differ but records match — encoder bug?", mode)
+					}
+					if got := surveySnap(t, reg); !bytes.Equal(got, refSnap) {
+						t.Errorf("%s: deterministic snapshots differ:\ndense:\n%s\nmap:\n%s", mode, got, refSnap)
+					}
+				}
+
+				denseCfg := base
+				denseCfg.Dense = true
+				denseCfg.Obs = obs.NewRegistry()
+				var seqMem MemWriter
+				seqStats, err := Run(simnet.NewNetwork(&simnet.Scheduler{}, denseSurveyFabric(pop, VantageW)(0)), denseCfg, &seqMem)
+				if err != nil {
+					t.Fatalf("dense Run: %v", err)
+				}
+				check("dense sequential", seqStats, &seqMem, denseCfg.Obs)
+
+				for _, shards := range []int{1, 4, 8} {
+					scfg := base
+					scfg.Dense = true
+					scfg.Obs = obs.NewRegistry()
+					var parMem MemWriter
+					parStats, err := RunSharded(scfg, shards, denseSurveyFabric(pop, VantageW), &parMem)
+					if err != nil {
+						t.Fatalf("dense RunSharded(%d): %v", shards, err)
+					}
+					check(fmt.Sprintf("dense shards=%d", shards), parStats, &parMem, scfg.Obs)
+				}
+			})
+		}
+	}
+}
+
+// TestSurveyDensePathological drives the force-expiry path: an interval
+// shorter than the timeout re-probes addresses while their previous probes
+// are still outstanding, so every slot force-expires its predecessor. The
+// dense ring must keep several live columns per slot residue and still
+// reproduce the map path byte-for-byte.
+func TestSurveyDensePathological(t *testing.T) {
+	const seed = 7
+	pop := netmodel.New(netmodel.Config{Seed: seed, Blocks: 32, Catalog: testCatalog()})
+	base := Config{
+		Vantage:  VantageW,
+		Blocks:   pop.Blocks(),
+		Interval: 2 * time.Second, // < Timeout: probes outlive the cycle
+		Timeout:  3 * time.Second,
+		Sweep:    4 * time.Second,
+		Cycles:   4,
+		Seed:     seed,
+	}
+
+	var refMem MemWriter
+	refStats, err := Run(simnet.NewNetwork(&simnet.Scheduler{}, surveyFabric(pop, VantageW)(0)), base, &refMem)
+	if err != nil {
+		t.Fatalf("map Run: %v", err)
+	}
+	if refStats.Timeouts == 0 {
+		t.Fatal("pathological config produced no timeouts; force-expiry untested")
+	}
+
+	denseCfg := base
+	denseCfg.Dense = true
+	var dMem MemWriter
+	dStats, err := Run(simnet.NewNetwork(&simnet.Scheduler{}, surveyFabric(pop, VantageW)(0)), denseCfg, &dMem)
+	if err != nil {
+		t.Fatalf("dense Run: %v", err)
+	}
+	if dStats != refStats {
+		t.Errorf("stats %+v, map %+v", dStats, refStats)
+	}
+	if len(dMem.Records) != len(refMem.Records) {
+		t.Fatalf("%d records, map %d", len(dMem.Records), len(refMem.Records))
+	}
+	for i := range refMem.Records {
+		if dMem.Records[i] != refMem.Records[i] {
+			t.Fatalf("record %d = %+v, map %+v", i, dMem.Records[i], refMem.Records[i])
+		}
+	}
+
+	var parMem MemWriter
+	parStats, err := RunSharded(denseCfg, 4, surveyFabric(pop, VantageW), &parMem)
+	if err != nil {
+		t.Fatalf("dense RunSharded: %v", err)
+	}
+	if parStats != refStats {
+		t.Errorf("sharded stats %+v, map %+v", parStats, refStats)
+	}
+	if !bytes.Equal(encode(t, seed, parMem.Records), encode(t, seed, refMem.Records)) {
+		t.Fatal("sharded dense dataset differs from map")
+	}
+}
+
+// TestSurveyDenseRejectsBadConfig covers the dense-mode validation errors.
+func TestSurveyDenseRejectsBadConfig(t *testing.T) {
+	pop := netmodel.New(netmodel.Config{Seed: 1, Blocks: 32, Catalog: testCatalog()})
+	var mem MemWriter
+
+	shuffled := Config{Dense: true, Seed: 1}
+	shuffled.Blocks = append([]ipaddr.Prefix24(nil), pop.Blocks()...)
+	shuffled.Blocks[0], shuffled.Blocks[1] = shuffled.Blocks[1], shuffled.Blocks[0]
+	if _, err := Run(simnet.NewNetwork(&simnet.Scheduler{}, surveyFabric(pop, VantageW)(0)), shuffled, &mem); err == nil {
+		t.Error("out-of-order blocks accepted in dense mode")
+	}
+	if _, err := RunSharded(shuffled, 4, surveyFabric(pop, VantageW), &mem); err == nil {
+		t.Error("out-of-order blocks accepted by RunSharded in dense mode")
+	}
+
+	tiny := Config{Dense: true, Blocks: pop.Blocks(), Interval: 100, Seed: 1} // 100ns: zero slot duration
+	if _, err := Run(simnet.NewNetwork(&simnet.Scheduler{}, surveyFabric(pop, VantageW)(0)), tiny, &mem); err == nil {
+		t.Error("zero slot duration accepted in dense mode")
+	}
+
+	huge := Config{Dense: true, Blocks: pop.Blocks(), Interval: 300 * time.Millisecond,
+		Timeout: 2 * time.Hour, Sweep: time.Second, Seed: 1}
+	if _, err := Run(simnet.NewNetwork(&simnet.Scheduler{}, surveyFabric(pop, VantageW)(0)), huge, &mem); err == nil {
+		t.Error("oversized ring accepted in dense mode")
+	}
+}

@@ -66,6 +66,11 @@ type Config struct {
 	ResponseDropRate float64
 	// Seed drives prober-local randomness (drop decisions, probe IDs).
 	Seed uint64
+	// Dense replaces the outstanding-probe map with a small ring of
+	// per-slot bitmaps over the block list — O(ring × blocks/8) bytes and
+	// no per-probe allocation, byte-identical output (see dense.go).
+	// Requires a strictly ascending block list.
+	Dense bool
 	// Faults optionally injects deterministic wire and process faults
 	// (nil: none). Wire faults corrupt, truncate, or duplicate deliveries
 	// in flight — the prober counts undecodable packets in
@@ -195,13 +200,22 @@ func Run(net *simnet.Network, cfg Config, out RecordWriter) (Stats, error) {
 	if len(cfg.Blocks) == 0 {
 		return Stats{}, fmt.Errorf("survey: no blocks to probe")
 	}
+	if cfg.Dense {
+		if err := validateDense(cfg); err != nil {
+			return Stats{}, err
+		}
+	}
 	cfg.traceSimPhases()
 	tr := transport.NewSim(net, cfg.Vantage.Addr)
 	s := &surveyor{
 		tr: tr, seq: tr, sched: net.Scheduler(), cfg: cfg, out: out,
-		blockTotal:  len(cfg.Blocks),
-		outstanding: make(map[ipaddr.Addr]simnet.Time),
-		o:           newSurveyObs(cfg.Obs),
+		blockTotal: len(cfg.Blocks),
+		o:          newSurveyObs(cfg.Obs),
+	}
+	if cfg.Dense {
+		s.ring = newOutRing(cfg, len(cfg.Blocks))
+	} else {
+		s.outstanding = make(map[ipaddr.Addr]simnet.Time)
 	}
 	net.SetFaults(cfg.Faults)
 	net.SetObserver(cfg.Obs)
@@ -241,6 +255,11 @@ func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric, ou
 	if len(cfg.Blocks) == 0 {
 		return Stats{}, fmt.Errorf("survey: no blocks to probe")
 	}
+	if cfg.Dense {
+		if err := validateDense(cfg); err != nil {
+			return Stats{}, err
+		}
+	}
 	if shards < 1 {
 		shards = 1
 	}
@@ -274,8 +293,12 @@ func RunSharded(cfg Config, shards int, fabric func(shard int) simnet.Fabric, ou
 		s := &surveyor{
 			tr: tr, seq: tr, sched: sched, cfg: scfg, tag: true,
 			blockOff: lo, blockTotal: len(cfg.Blocks),
-			outstanding: make(map[ipaddr.Addr]simnet.Time),
-			o:           newSurveyObs(scfg.Obs),
+			o: newSurveyObs(scfg.Obs),
+		}
+		if scfg.Dense {
+			s.ring = newOutRing(scfg, len(scfg.Blocks))
+		} else {
+			s.outstanding = make(map[ipaddr.Addr]simnet.Time)
 		}
 		surveyors[k] = s
 		tr.SetHandler(s.receive)
@@ -335,6 +358,7 @@ type surveyor struct {
 	cfg         Config
 	out         RecordWriter
 	outstanding map[ipaddr.Addr]simnet.Time
+	ring        *outRing // dense replacement for outstanding (nil: map path)
 	stats       Stats
 	o           surveyObs
 	err         error
@@ -405,19 +429,29 @@ func (s *surveyor) scheduleAll() {
 // sendSlot probes the slot's last octet in every block.
 func (s *surveyor) sendSlot(cycle, slot int) {
 	// Invert SlotOfOctet: slots 0..127 carry even octets, 128..255 odd.
-	oct := byte(slot%128)<<1 | byte(slot/128)
+	oct := octOfSlot(slot)
 	slotRank := uint64(cycle)*256 + uint64(slot)
+	if s.ring != nil {
+		// Dense: still-outstanding probes to this slot's addresses all live
+		// in the slot's previous column; expire them in the same ascending
+		// block order as the map path's per-address check below, then claim
+		// a fresh column covering every block.
+		s.forceExpirePrior(int64(slotRank), oct)
+		s.ring.claim(int64(slotRank), s.sched.Now(), len(s.cfg.Blocks))
+	}
 	for bi, b := range s.cfg.Blocks {
 		dst := b.Addr(oct)
 		gbi := uint64(s.blockOff + bi)
 		// A still-outstanding probe (possible only in pathological
 		// configurations where Interval < Timeout) is force-expired first.
-		if send, ok := s.outstanding[dst]; ok {
-			s.record(Record{Type: RecTimeout, Addr: dst, When: TruncSecond(send)},
-				simnet.ShardKey{At: s.sched.Now(), Phase: phaseSlot, A: slotRank, B: gbi})
-			s.stats.Timeouts++
-			s.o.timeouts.Inc()
-			delete(s.outstanding, dst)
+		if s.ring == nil {
+			if send, ok := s.outstanding[dst]; ok {
+				s.record(Record{Type: RecTimeout, Addr: dst, When: TruncSecond(send)},
+					simnet.ShardKey{At: s.sched.Now(), Phase: phaseSlot, A: slotRank, B: gbi})
+				s.stats.Timeouts++
+				s.o.timeouts.Inc()
+				delete(s.outstanding, dst)
+			}
 		}
 		s.echo = wire.ICMPEcho{
 			Type: wire.ICMPTypeEchoRequest,
@@ -425,7 +459,9 @@ func (s *surveyor) sendSlot(cycle, slot int) {
 			Seq:  uint16(cycle),
 		}
 		now := s.sched.Now()
-		s.outstanding[dst] = now
+		if s.ring == nil {
+			s.outstanding[dst] = now
+		}
 		s.stats.Probes++
 		s.o.probes.Inc()
 		// The probe's global rank — its position in the full unsharded
@@ -480,14 +516,29 @@ func (s *surveyor) receive(at transport.Time, from transport.Addr, data []byte, 
 		}
 		// The ICMP error resolves the outstanding probe; the analysis
 		// ignores error-answered probes (§3.1).
-		delete(s.outstanding, dst)
+		if s.ring != nil {
+			if c, bi := s.denseLookup(dst); c != nil {
+				c.clear(bi)
+			}
+		} else {
+			delete(s.outstanding, dst)
+		}
 		s.stats.Errors++
 		s.o.errors.Inc()
 		emit(Record{Type: RecError, Addr: dst, When: TruncSecond(at)})
 	case p.Echo != nil && p.Echo.Type == wire.ICMPTypeEchoReply:
 		src := p.IP.Src
-		if send, ok := s.outstanding[src]; ok {
+		var send simnet.Time
+		var ok bool
+		if s.ring != nil {
+			if c, bi := s.denseLookup(src); c != nil {
+				send, ok = c.sendAt, true
+				c.clear(bi)
+			}
+		} else if send, ok = s.outstanding[src]; ok {
 			delete(s.outstanding, src)
+		}
+		if ok {
 			s.stats.Matched++
 			s.o.matched.Inc()
 			s.o.rtt.Observe(TruncMicro(at - send))
@@ -519,6 +570,10 @@ func (s *surveyor) sweep() {
 // sweepPhase expires outstanding probes older than the timeout, keying the
 // records at the given phase and merge time.
 func (s *surveyor) sweepPhase(phase uint8, keyAt simnet.Time) {
+	if s.ring != nil {
+		s.sweepDense(phase, keyAt)
+		return
+	}
 	now := s.sched.Now()
 	var expired []ipaddr.Addr
 	for a, send := range s.outstanding {
@@ -547,6 +602,10 @@ func (s *surveyor) sweepPhase(phase uint8, keyAt simnet.Time) {
 // expireAll times out whatever remains after the run.
 func (s *surveyor) expireAll() {
 	s.sweepPhase(phaseFinal, endKeyTime)
+	if s.ring != nil {
+		s.expireRestDense()
+		return
+	}
 	if len(s.outstanding) > 0 {
 		// Remaining entries are younger than the timeout; expire them too —
 		// the survey is over and they will never be matched.

@@ -1,0 +1,144 @@
+package zmapper
+
+import "testing"
+
+// checkRankInverse walks a fresh iterator collecting the full emission
+// order, then checks the permutation invariants plus the round trips
+// Rank(At(pos)) == pos and At(Rank(v)) == v on a second instance (so lazy
+// tables and the closed form are exercised independently of the walk).
+func checkRankInverse(t *testing.T, n int, seed uint64) {
+	t.Helper()
+	it := NewPermutation(n, seed)
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		if v < 0 || v >= n {
+			t.Fatalf("n=%d seed=%d: emitted %d outside [0,%d)", n, seed, v, n)
+		}
+		if seen[v] {
+			t.Fatalf("n=%d seed=%d: %d emitted twice", n, seed, v)
+		}
+		seen[v] = true
+		order = append(order, v)
+	}
+	if len(order) != n {
+		t.Fatalf("n=%d seed=%d: emitted %d values, want %d", n, seed, len(order), n)
+	}
+
+	p := NewPermutation(n, seed)
+	if p.Size() != n {
+		t.Fatalf("Size() = %d, want %d", p.Size(), n)
+	}
+	for pos, v := range order {
+		if got := p.Rank(v); got != pos {
+			t.Fatalf("n=%d seed=%d: Rank(%d) = %d, want %d", n, seed, v, got, pos)
+		}
+		if got := p.At(pos); got != v {
+			t.Fatalf("n=%d seed=%d: At(%d) = %d, want %d", n, seed, pos, got, v)
+		}
+	}
+
+	// Seek(pos) on a fresh instance resumes exactly at order[pos:].
+	for _, pos := range []int{0, 1, n / 3, n / 2, n - 1, n} {
+		if pos < 0 || pos > n {
+			continue
+		}
+		q := NewPermutation(n, seed)
+		q.Seek(pos)
+		for want := pos; want < n; want++ {
+			v, ok := q.Next()
+			if !ok {
+				t.Fatalf("n=%d seed=%d: Seek(%d) exhausted at pos %d", n, seed, pos, want)
+			}
+			if v != order[want] {
+				t.Fatalf("n=%d seed=%d: Seek(%d) then Next #%d = %d, want %d", n, seed, pos, want-pos, v, order[want])
+			}
+		}
+		if _, ok := q.Next(); ok {
+			t.Fatalf("n=%d seed=%d: Seek(%d) over-emitted", n, seed, pos)
+		}
+	}
+}
+
+func TestPermutationRankInverse(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 100, 255, 256, 257, 1024, 24576} {
+		for seed := uint64(0); seed < 3; seed++ {
+			checkRankInverse(t, n, seed)
+		}
+	}
+}
+
+// TestPermutationRankLargePow2 spot-checks the closed-form path at a size
+// where walking to verify every element is still cheap but the discrete log
+// exercises many bits.
+func TestPermutationRankLargePow2(t *testing.T) {
+	const n = 1 << 20
+	it := NewPermutation(n, 42)
+	p := NewPermutation(n, 42)
+	for pos := 0; pos < 4096; pos++ {
+		v, ok := it.Next()
+		if !ok {
+			t.Fatal("exhausted early")
+		}
+		if got := p.Rank(v); got != pos {
+			t.Fatalf("Rank(%d) = %d, want %d", v, got, pos)
+		}
+		if got := p.At(pos); got != v {
+			t.Fatalf("At(%d) = %d, want %d", pos, got, v)
+		}
+	}
+	// Deep seek lands where a long walk would.
+	q := NewPermutation(n, 42)
+	q.Seek(n - 3)
+	w := NewPermutation(n, 42)
+	for i := 0; i < n-3; i++ {
+		w.Next()
+	}
+	for i := 0; i < 3; i++ {
+		qv, qok := q.Next()
+		wv, wok := w.Next()
+		if qv != wv || qok != wok {
+			t.Fatalf("tail element %d: seek gave (%d,%v), walk gave (%d,%v)", i, qv, qok, wv, wok)
+		}
+	}
+}
+
+func TestPermutationSeekRewinds(t *testing.T) {
+	p := NewPermutation(100, 7)
+	first := make([]int, 0, 100)
+	for {
+		v, ok := p.Next()
+		if !ok {
+			break
+		}
+		first = append(first, v)
+	}
+	p.Seek(0)
+	for i := range first {
+		v, ok := p.Next()
+		if !ok || v != first[i] {
+			t.Fatalf("after rewind, element %d = (%d,%v), want (%d,true)", i, v, ok, first[i])
+		}
+	}
+}
+
+// FuzzPermutationRank proves Rank is the exact inverse of the Next order —
+// full coverage, no repeats, round-trip both ways, and Seek resumption —
+// across sizes including non-powers-of-two and size 1.
+func FuzzPermutationRank(f *testing.F) {
+	f.Add(uint16(1), uint64(0))
+	f.Add(uint16(2), uint64(1))
+	f.Add(uint16(3), uint64(99))
+	f.Add(uint16(24), uint64(7))
+	f.Add(uint16(256), uint64(12345))
+	f.Add(uint16(257), uint64(3))
+	f.Add(uint16(4096), uint64(8))
+	f.Fuzz(func(t *testing.T, rawN uint16, seed uint64) {
+		n := int(rawN%4096) + 1
+		checkRankInverse(t, n, seed)
+	})
+}

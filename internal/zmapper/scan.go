@@ -57,6 +57,20 @@ type Config struct {
 	// Trace optionally records the scan's sim-time phases (probing, drain)
 	// — deterministic per seed — plus wall-clock diagnostics.
 	Trace *obs.Tracer
+	// Dense selects the flat O(1)-memory probe path: instead of one
+	// preallocated event per probe in the range, a single self-rescheduling
+	// pump event walks the permutation (seeked directly to the shard's
+	// slice) and fires each probe from the scheduler's front band, which
+	// reproduces the map path's equal-time tie order exactly (see
+	// simnet.Scheduler.AtEventFront). First-self-response tracking uses a
+	// bitset indexed by TargetIndex instead of a map. Byte-identical to the
+	// default path for any shard count.
+	Dense bool
+	// TargetIndex inverts TargetAt: the dense index of an address, or a
+	// negative value for addresses outside the population. Used by Dense
+	// runs collecting metrics; when nil the dense path falls back to the
+	// map-based first-self tracking (results are unaffected either way).
+	TargetIndex func(ipaddr.Addr) int
 }
 
 // Response is one echo response as the stateless scanner sees it.
@@ -141,8 +155,16 @@ type rangeRun struct {
 	obsRTTSelf   *obs.Histogram
 	// First self-response tracking for the rtt_first_self histogram: every
 	// address is probed once per scan, so all its deliveries stay within
-	// the shard that sent its probe and "first" is shard-local.
-	seenSelf map[ipaddr.Addr]bool
+	// the shard that sent its probe and "first" is shard-local. Dense runs
+	// with a TargetIndex use the bitset; everything else uses the map.
+	seenSelf    map[ipaddr.Addr]bool
+	seenBits    []uint64
+	targetIndex func(ipaddr.Addr) int
+
+	// sink, when set, receives each response as it arrives instead of
+	// buffering into res.responses (single-shard streaming; mutually
+	// exclusive with tag).
+	sink func(Response)
 }
 
 // probeEvent is one scheduled probe: a preallocated simnet.Event replacing
@@ -155,20 +177,60 @@ type probeEvent struct {
 
 // Run sends the probe at permutation position pos.
 func (e *probeEvent) Run(now simnet.Time) {
-	r := e.r
-	r.payload = wire.ZmapPayload{Dst: e.dst, SendTime: time.Duration(now)}.AppendTo(r.payload[:0])
+	e.r.sendProbe(now, e.dst, e.pos)
+}
+
+// sendProbe emits the probe for dst at permutation position pos.
+func (r *rangeRun) sendProbe(now simnet.Time, dst ipaddr.Addr, pos int) {
+	r.payload = wire.ZmapPayload{Dst: dst, SendTime: time.Duration(now)}.AppendTo(r.payload[:0])
 	r.echo = wire.ICMPEcho{
 		Type:    wire.ICMPTypeEchoRequest,
-		ID:      uint16(xrand.Hash(r.seed, uint64(e.dst), 0x1D)),
+		ID:      uint16(xrand.Hash(r.seed, uint64(dst), 0x1D)),
 		Seq:     0,
 		Payload: r.payload,
 	}
 	r.res.probes++
 	r.obsProbes.Inc()
-	r.seq.SetSendRank(uint64(e.pos))
-	pkt := wire.AppendEcho((*r.buf)[:0], r.src, e.dst, &r.echo)
+	r.seq.SetSendRank(uint64(pos))
+	pkt := wire.AppendEcho((*r.buf)[:0], r.src, dst, &r.echo)
 	*r.buf = pkt
 	r.tr.SendTo(transport.InPacket, pkt)
+}
+
+// pumpEvent is the dense path's probe driver: one event for the whole
+// range, re-scheduling itself for each successive permutation position. It
+// always schedules on the scheduler's front band — the map path pre-inserts
+// every probe event before any delivery exists, so its probes win every
+// equal-time tie against deliveries, and the pump must too for the two
+// paths to stay byte-identical (at the default 100 µs probe gap roughly one
+// delivery in 10^5 lands exactly on a probe instant, so such ties occur in
+// any sizable scan).
+type pumpEvent struct {
+	r        *rangeRun
+	sched    *simnet.Scheduler
+	perm     *Permutation
+	targetAt func(int) ipaddr.Addr
+	dst      ipaddr.Addr // destination for position pos, prefetched
+	pos      int
+	hi       int
+	gap      simnet.Time
+	start    simnet.Time
+}
+
+// Run fires the probe at the pump's current position and re-arms for the
+// next one.
+func (e *pumpEvent) Run(now simnet.Time) {
+	e.r.sendProbe(now, e.dst, e.pos)
+	e.pos++
+	if e.pos >= e.hi {
+		return
+	}
+	idx, ok := e.perm.Next()
+	if !ok {
+		return
+	}
+	e.dst = e.targetAt(idx)
+	e.sched.AtEventFront(e.start+simnet.Time(e.pos)*e.gap, e)
 }
 
 // receive handles one delivery.
@@ -198,16 +260,28 @@ func (r *rangeRun) receive(at transport.Time, from transport.Addr, data []byte, 
 	// Record one response per delivery; duplicate bursts add no RTT
 	// information to a stateless scanner.
 	rtt := time.Duration(at) - time.Duration(zp.SendTime)
-	res.responses = append(res.responses, Response{
-		Dst: zp.Dst,
-		Src: p.IP.Src,
-		RTT: rtt,
-	})
+	resp := Response{Dst: zp.Dst, Src: p.IP.Src, RTT: rtt}
+	if r.sink != nil {
+		r.sink(resp)
+	} else {
+		res.responses = append(res.responses, resp)
+	}
 	r.obsResponses.Inc()
 	r.obsRTT.Observe(rtt)
-	if r.seenSelf != nil && p.IP.Src == zp.Dst && !r.seenSelf[zp.Dst] {
-		r.seenSelf[zp.Dst] = true
-		r.obsRTTSelf.Observe(rtt)
+	if p.IP.Src == zp.Dst {
+		switch {
+		case r.seenBits != nil:
+			if i := r.targetIndex(zp.Dst); i >= 0 && i < len(r.seenBits)<<6 &&
+				r.seenBits[i>>6]&(1<<(uint(i)&63)) == 0 {
+				r.seenBits[i>>6] |= 1 << (uint(i) & 63)
+				r.obsRTTSelf.Observe(rtt)
+			}
+		case r.seenSelf != nil:
+			if !r.seenSelf[zp.Dst] {
+				r.seenSelf[zp.Dst] = true
+				r.obsRTTSelf.Observe(rtt)
+			}
+		}
 	}
 	if r.tag {
 		rank, idx := r.seq.LastDeliveryTag()
@@ -222,6 +296,13 @@ func (r *rangeRun) receive(at transport.Time, from transport.Addr, data []byte, 
 // delivery index) — under which it merges back into the sequential order.
 // The config must already have defaults applied.
 func runRange(net *simnet.Network, cfg Config, lo, hi int, tag bool) *rangeResult {
+	return runRangeSink(net, cfg, lo, hi, tag, nil)
+}
+
+// runRangeSink is runRange with an optional streaming sink: when sink is
+// non-nil (single-shard runs only — it is mutually exclusive with tag),
+// responses are yielded to it in event-loop order instead of buffered.
+func runRangeSink(net *simnet.Network, cfg Config, lo, hi int, tag bool, sink func(Response)) *rangeResult {
 	res := &rangeResult{}
 	sched := net.Scheduler()
 	net.SetFaults(cfg.Faults)
@@ -236,10 +317,16 @@ func runRange(net *simnet.Network, cfg Config, lo, hi int, tag bool) *rangeResul
 		obsCorrupt:   cfg.Obs.Counter("zmap.corrupt_packets"),
 		obsRTT:       cfg.Obs.Histogram("zmap.rtt"),
 		obsRTTSelf:   cfg.Obs.Histogram("zmap.rtt_first_self"),
+		sink:         sink,
 	}
 	defer func() { wire.PutBuf(rr.buf); rr.buf = nil }()
 	if cfg.Obs != nil {
-		rr.seenSelf = make(map[ipaddr.Addr]bool)
+		if cfg.Dense && cfg.TargetIndex != nil {
+			rr.targetIndex = cfg.TargetIndex
+			rr.seenBits = make([]uint64, (cfg.TargetN+63)/64)
+		} else {
+			rr.seenSelf = make(map[ipaddr.Addr]bool)
+		}
 	}
 
 	tr.SetHandler(rr.receive)
@@ -247,24 +334,35 @@ func runRange(net *simnet.Network, cfg Config, lo, hi int, tag bool) *rangeResul
 
 	perm := NewPermutation(cfg.TargetN, cfg.Seed)
 	gap := cfg.Duration / time.Duration(cfg.TargetN)
-	// One preallocated event per probe in the range; the exact capacity
-	// keeps element addresses stable across appends.
-	events := make([]probeEvent, 0, hi-lo)
-	i := 0
-	for {
-		idx, ok := perm.Next()
-		if !ok {
-			break
+	// Seek straight to the shard's slice of the permutation instead of
+	// walking (and discarding) everything before lo; O(log n) when the
+	// population is a power of two.
+	perm.Seek(lo)
+	if cfg.Dense {
+		// One pump event for the whole range: O(1) probe state instead of
+		// O(hi-lo) preallocated events.
+		if lo < hi {
+			if idx, ok := perm.Next(); ok {
+				pump := &pumpEvent{r: rr, sched: sched, perm: perm,
+					targetAt: cfg.TargetAt, dst: cfg.TargetAt(idx),
+					pos: lo, hi: hi, gap: gap, start: cfg.Start}
+				sched.AtEventFront(cfg.Start+simnet.Time(lo)*gap, pump)
+			}
 		}
-		pos := i
-		i++
-		if pos < lo || pos >= hi {
-			continue
+	} else {
+		// One preallocated event per probe in the range; the exact capacity
+		// keeps element addresses stable across appends.
+		events := make([]probeEvent, 0, hi-lo)
+		for pos := lo; pos < hi; pos++ {
+			idx, ok := perm.Next()
+			if !ok {
+				break
+			}
+			dst := cfg.TargetAt(idx)
+			at := cfg.Start + simnet.Time(pos)*gap
+			events = append(events, probeEvent{r: rr, dst: dst, pos: pos})
+			sched.AtEvent(at, &events[len(events)-1])
 		}
-		dst := cfg.TargetAt(idx)
-		at := cfg.Start + simnet.Time(pos)*gap
-		events = append(events, probeEvent{r: rr, dst: dst, pos: pos})
-		sched.AtEvent(at, &events[len(events)-1])
 	}
 	stop := cfg.Start + cfg.Duration + cfg.Drain
 	sched.At(stop, func() { rr.collecting = false })
@@ -342,6 +440,11 @@ func runShardedInto(cfg Config, shards int, fabric func(shard int) simnet.Fabric
 			shardRegs[k] = obs.NewRegistry()
 		}
 	}
+	// A single shard needs no tagging or merging: its event-loop emission
+	// order IS the sequential order, so responses stream straight into fn —
+	// O(1) response memory, which is what lets a 2^24-address scan run in
+	// a bounded heap.
+	tag := shards > 1
 	results := make([]*rangeResult, shards)
 	if err := simnet.RunShards(shards, 0, func(k int) error {
 		cfg.Faults.MaybePanicShard(k)
@@ -352,13 +455,21 @@ func runShardedInto(cfg Config, shards int, fabric func(shard int) simnet.Fabric
 		if shardRegs != nil {
 			scfg.Obs = shardRegs[k]
 		}
-		results[k] = runRange(net, scfg, lo, hi, true)
+		var sink func(Response)
+		if !tag {
+			sink = fn
+		}
+		results[k] = runRangeSink(net, scfg, lo, hi, tag, sink)
 		return nil
 	}); err != nil {
 		return 0, 0, 0, err
 	}
 	for _, sr := range shardRegs {
 		cfg.Obs.Merge(sr)
+	}
+	if !tag {
+		r := results[0]
+		return r.probes, r.packets, r.corrupt, nil
 	}
 	streams := make([][]simnet.Tagged[Response], shards)
 	for k, r := range results {
